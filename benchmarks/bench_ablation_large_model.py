@@ -1,0 +1,50 @@
+"""Ablation (paper Section 7): serving a model under a GPU memory budget.
+
+Sweeps the resident-memory budget for GPT-2 Medium and reports the warm
+inference latency of the budget-constrained plan — the "cost-effective
+alternative" to pipeline parallelism the paper sketches for models that
+outgrow one GPU.
+"""
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.core.large_model import plan_within_budget, warm_latency
+from repro.models import build_model
+from repro.units import GB, MB, MS
+
+BUDGETS_MB = (1400, 1160, 1024, 768, 512, 256)
+
+
+def test_ablation_memory_budget_sweep(benchmark, planner_v100, emit):
+    model = build_model("gpt2-medium")
+    cost_model = planner_v100.cost_model
+
+    def run():
+        rows = []
+        unconstrained = warm_latency(
+            cost_model, plan_within_budget(cost_model, model, 8 * GB))
+        for budget_mb in BUDGETS_MB:
+            plan = plan_within_budget(cost_model, model,
+                                      int(budget_mb * MB))
+            latency = warm_latency(cost_model, plan)
+            rows.append([budget_mb,
+                         plan.gpu_resident_bytes / MB,
+                         plan.host_resident_bytes / MB,
+                         latency / MS,
+                         latency / unconstrained])
+        return rows
+
+    rows = run_once(benchmark, run)
+    emit("ablation_large_model", format_table(
+        ["budget (MiB)", "resident (MiB)", "host-side (MiB)",
+         "warm latency (ms)", "slowdown"],
+        rows,
+        title="Ablation — GPT-2 Medium (1354 MiB) under a GPU memory "
+              "budget: DHA as the overflow mechanism"))
+
+    slowdowns = [row[4] for row in rows]
+    # Monotone trade-off, and shedding the embeddings (~200 MiB) is free.
+    assert slowdowns == sorted(slowdowns)
+    assert slowdowns[1] < 1.05   # 1160 MiB: embeddings offloaded, ~no cost
+    assert slowdowns[-1] > 2.0   # 256 MiB: deep offload has a real price

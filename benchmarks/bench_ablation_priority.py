@@ -1,0 +1,68 @@
+"""Ablation: DMA priority of borrowed-lane (secondary-partition) copies.
+
+The engine issues secondary-partition copies at a reduced DMA weight
+(``SECONDARY_LOAD_WEIGHT`` = 0.4) relative to a lane's own traffic, so a
+concurrent cold-start on the borrowed GPU keeps most of its bandwidth.  This
+ablation re-runs the Table 4 interference experiment with equal priority
+to show the mechanism matters: without it, two simultaneous PT+DHA
+cold-starts hurt each other's first partitions badly enough that
+exec-bound models fall behind PipeSwitch.
+"""
+
+from conftest import run_once
+
+import repro.engine.executor as executor_module
+from repro.analysis import format_table
+from repro.core import Strategy
+from repro.engine import run_concurrent_cold_starts, run_single_inference
+from repro.hw.specs import p3_8xlarge
+from repro.models import build_model
+from repro.units import MS
+
+MODELS = ("bert-base", "gpt2-medium")
+
+
+def _contended(planner, model, weight):
+    original = executor_module.SECONDARY_LOAD_WEIGHT
+    executor_module.SECONDARY_LOAD_WEIGHT = weight
+    try:
+        results = run_concurrent_cold_starts(
+            p3_8xlarge(), model, Strategy.PT_DHA, primaries=[0, 2],
+            planner=planner)
+    finally:
+        executor_module.SECONDARY_LOAD_WEIGHT = original
+    return sum(r.latency for r in results) / len(results)
+
+
+def test_ablation_secondary_copy_priority(benchmark, planner_v100, emit):
+    def run():
+        rows = []
+        for name in MODELS:
+            model = build_model(name)
+            pipeswitch = run_single_inference(
+                p3_8xlarge(), model, Strategy.PIPESWITCH,
+                planner=planner_v100).latency
+            low_priority = _contended(
+                planner_v100, model, executor_module.SECONDARY_LOAD_WEIGHT)
+            equal_priority = _contended(planner_v100, model, 1.0)
+            rows.append([name, pipeswitch / MS, low_priority / MS,
+                         equal_priority / MS])
+        return rows
+
+    rows = run_once(benchmark, run)
+    emit("ablation_priority", format_table(
+        ["model", "PipeSwitch (ms)", "PT+DHA(2) default weight (ms)",
+         "PT+DHA(2) weight=1.0 (ms)"],
+        rows,
+        title="Ablation — DMA priority of borrowed-lane copies under "
+              "two concurrent PT+DHA cold-starts"))
+
+    by_model = {row[0]: row for row in rows}
+    for name, pipeswitch, low, equal in rows:
+        # Load-bound models barely notice (both partitions gate equally);
+        # never meaningfully worse.
+        assert low <= equal * 1.02, name
+        assert low < pipeswitch, name  # the paper's Table 4 property
+    # For the exec-bound GPT-2 Medium, equal priority lets the borrowed
+    # lane starve the victim's first partition past PipeSwitch.
+    assert by_model["gpt2-medium"][3] > by_model["gpt2-medium"][1]

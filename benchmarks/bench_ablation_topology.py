@@ -1,0 +1,61 @@
+"""Ablation: PCIe-switch-aware secondary-GPU selection.
+
+Section 3.2 / 4.3.3: parallel transmission must pick a secondary on a
+*different* PCIe switch — two GPUs behind one switch share its uplink
+and halve each other's bandwidth.  This ablation runs PT with the
+topology-aware choice (gpu0 + gpu2) against the naive nearest-GPU choice
+(gpu0 + gpu1) and a no-NVLink fallback.
+"""
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.core import Strategy
+from repro.engine import execute_plan
+from repro.hw.machine import Machine
+from repro.hw.specs import p3_8xlarge
+from repro.models import build_model
+from repro.simkit import Simulator
+from repro.units import MS
+
+MODELS = ("bert-base", "bert-large", "gpt2-medium")
+
+
+def _execute(planner, plan, secondaries):
+    machine = Machine(Simulator(), p3_8xlarge())
+    process = execute_plan(machine, planner.cost_model, plan, 0, secondaries)
+    return machine.sim.run(process.done)
+
+
+def test_ablation_switch_aware_gpu_choice(benchmark, planner_v100, emit):
+    def run():
+        rows = []
+        for name in MODELS:
+            model = build_model(name)
+            plan = planner_v100.plan(model, Strategy.PT)
+            serial = planner_v100.plan(model, Strategy.PIPESWITCH)
+            cross_switch = _execute(planner_v100, plan, [2]).latency
+            same_switch = _execute(planner_v100, plan, [1]).latency
+            rows.append([name,
+                         serial.predicted_latency / MS,
+                         cross_switch / MS,
+                         same_switch / MS,
+                         same_switch / cross_switch])
+        return rows
+
+    rows = run_once(benchmark, run)
+    emit("ablation_topology", format_table(
+        ["model", "no PT (ms)", "PT cross-switch (ms)",
+         "PT same-switch (ms)", "same/cross"],
+        rows,
+        title="Ablation — secondary-GPU choice for parallel transmission\n"
+              "(same-switch secondaries contend on the shared uplink)"))
+
+    by_model = {row[0]: row for row in rows}
+    for name, serial, cross, same, ratio in rows:
+        assert cross < serial, name        # topology-aware PT helps
+        assert ratio > 1.2, name           # naive choice wastes most of it
+    # For the exec-bound GPT-2 Medium, a same-switch secondary is worse
+    # than not parallelizing at all — the reason DeepPlan refuses PT
+    # without a cross-switch NVLink peer (Section 4.3.3).
+    assert by_model["gpt2-medium"][3] > by_model["gpt2-medium"][1]

@@ -1,0 +1,45 @@
+"""Figure 2: decomposition of PipeSwitch inference latency into GPU
+execution time and pipeline stall time, batch size 1.
+
+Paper's claim: stalls account for 73-75% of latency for BERT/RoBERTa
+(large embedding layers) and 27-37% for ResNet and GPT-2.
+"""
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.core import Strategy
+from repro.engine import run_single_inference
+from repro.hw.specs import p3_8xlarge
+from repro.models import MODEL_NAMES, build_model
+from repro.units import MS
+
+
+def test_fig02_stall_decomposition(benchmark, planner_v100, emit):
+    def run():
+        rows = []
+        for name in MODEL_NAMES:
+            result = run_single_inference(p3_8xlarge(), build_model(name),
+                                          Strategy.PIPESWITCH,
+                                          planner=planner_v100)
+            rows.append([
+                name,
+                result.execution_time / MS,
+                result.total_stall / MS,
+                result.latency / MS,
+                100.0 * result.total_stall / result.latency,
+            ])
+        return rows
+
+    rows = run_once(benchmark, run)
+    emit("fig02_stall_decomposition", format_table(
+        ["model", "gpu exec (ms)", "stall (ms)", "total (ms)", "stall %"],
+        rows,
+        title="Figure 2 — PipeSwitch latency decomposition (batch 1)\n"
+              "paper: BERT/RoBERTa stall 73-75%, ResNet/GPT-2 27-37%"))
+
+    fractions = {row[0]: row[4] for row in rows}
+    assert 65 < fractions["bert-base"] < 85
+    assert 65 < fractions["roberta-large"] < 85
+    assert 20 < fractions["resnet50"] < 45
+    assert 20 < fractions["gpt2"] < 45

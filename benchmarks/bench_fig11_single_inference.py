@@ -1,0 +1,114 @@
+"""Figure 11 + Table 3: single cold-start inference speedups for all
+eight models under the five execution options, and excerpts of the
+generated plans.
+
+Paper's claims: DeepPlan (DHA) beats PipeSwitch on every model
+(1.10-1.43x for transformers, ~1.0x for ResNet); PT+DHA is best
+everywhere, peaking at 1.94x (BERT-Base) / 2.21x (RoBERTa-Base) over
+PipeSwitch; GPT-2 gains little from PT alone.
+"""
+
+from conftest import run_once
+
+from repro.analysis import format_series, format_table, normalize
+from repro.core import ExecMethod, Strategy
+from repro.engine import run_single_inference
+from repro.hw.specs import p3_8xlarge
+from repro.models import MODEL_NAMES, build_model
+from repro.units import MS
+
+STRATEGIES = (Strategy.BASELINE, Strategy.PIPESWITCH, Strategy.DHA,
+              Strategy.PT, Strategy.PT_DHA)
+
+
+def test_fig11_single_inference_speedups(benchmark, planner_v100, emit):
+    def run():
+        table = {}
+        for name in MODEL_NAMES:
+            model = build_model(name)
+            for strategy in STRATEGIES:
+                result = run_single_inference(p3_8xlarge(), model, strategy,
+                                              planner=planner_v100)
+                table[name, strategy] = result.latency
+        return table
+
+    latencies = run_once(benchmark, run)
+
+    series = {s.value: [] for s in STRATEGIES}
+    for name in MODEL_NAMES:
+        base = latencies[name, Strategy.BASELINE]
+        speedups = normalize(
+            [latencies[name, s] for s in STRATEGIES], base)
+        for strategy, speedup in zip(STRATEGIES, speedups):
+            series[strategy.value].append(speedup)
+
+    emit("fig11_single_inference", format_series(
+        "model", list(MODEL_NAMES), series,
+        title="Figure 11 — speedup over Baseline, batch 1 "
+              "(higher is better)", value_format="{:.2f}"))
+
+    raw = format_table(
+        ["model"] + [s.value + " (ms)" for s in STRATEGIES],
+        [[name] + [latencies[name, s] / MS for s in STRATEGIES]
+         for name in MODEL_NAMES],
+        title="Figure 11 (raw) — cold-start latency (ms)")
+    emit("fig11_raw_latency", raw)
+
+    for name in MODEL_NAMES:
+        ps = latencies[name, Strategy.PIPESWITCH]
+        assert latencies[name, Strategy.DHA] <= ps * 1.01, name
+        assert latencies[name, Strategy.PT_DHA] <= \
+            latencies[name, Strategy.DHA] * 1.01, name
+    headline = (latencies["bert-base", Strategy.PIPESWITCH]
+                / latencies["bert-base", Strategy.PT_DHA])
+    assert 1.7 < headline < 2.2
+
+
+def test_table3_plan_excerpts(benchmark, planner_v100, emit):
+    """Table 3: plan excerpts showing pipeline-aware decisions."""
+    from repro.core.planner import initial_approach
+
+    def run():
+        blocks = []
+
+        resnet = build_model("resnet101")
+        naive = initial_approach(planner_v100.cost_model.model_costs(resnet, 1))
+        plan = planner_v100.plan(resnet, Strategy.DHA)
+        # A mid-network window (the paper shows layers 63-69).
+        loadable = resnet.loadable_indices()
+        window = loadable[60:67]
+        rows = [["layer"] + [resnet.layers[i].kind.value for i in window],
+                ["initial approach"] + [
+                    "X" if naive[i] is ExecMethod.DHA else "O"
+                    for i in window],
+                ["DeepPlan (DHA)"] + [
+                    "X" if plan.method(i) is ExecMethod.DHA else "O"
+                    for i in window]]
+        blocks.append(format_table(
+            ["" for _ in rows[0]], rows,
+            title="Table 3a — ResNet-101 mid-network plan excerpt "
+                  "(O: load, X: direct-host-access)"))
+
+        gpt2 = build_model("gpt2")
+        naive_gpt = initial_approach(planner_v100.cost_model.model_costs(gpt2, 1))
+        plan_gpt = planner_v100.plan(gpt2, Strategy.DHA)
+        front = gpt2.loadable_indices()[:5]
+        rows = [["layer"] + [gpt2.layers[i].name for i in front],
+                ["initial approach"] + [
+                    "X" if naive_gpt[i] is ExecMethod.DHA else "O"
+                    for i in front],
+                ["DeepPlan (DHA)"] + [
+                    "X" if plan_gpt.method(i) is ExecMethod.DHA else "O"
+                    for i in front]]
+        blocks.append(format_table(
+            ["" for _ in rows[0]], rows,
+            title="Table 3b — GPT-2 front-of-model plan excerpt"))
+        return blocks, plan_gpt, front
+
+    blocks, plan_gpt, front = run_once(benchmark, run)
+    emit("table3_plan_excerpts", "\n\n".join(blocks))
+
+    # Paper Table 3b: DeepPlan keeps wte host-side, loads everything else.
+    marks = ["O" if plan_gpt.method(i) is ExecMethod.LOAD else "X"
+             for i in front]
+    assert marks == ["X", "O", "O", "O", "O"]

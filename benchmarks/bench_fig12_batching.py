@@ -1,0 +1,62 @@
+"""Figure 12: throughput while batching 1-8, normalized to Baseline at
+batch 1.
+
+Paper's claims: DeepPlan (PT+DHA) achieves the best throughput at every
+batch size; its lead over PipeSwitch narrows as the batch grows (more
+computation gives pipelining more room to hide loads).
+"""
+
+from conftest import run_once
+
+from repro.analysis import format_series
+from repro.core import Strategy
+from repro.engine import run_single_inference
+from repro.hw.specs import p3_8xlarge
+from repro.models import build_model
+
+MODELS = ("resnet50", "bert-base", "roberta-large", "gpt2-medium")
+BATCHES = (1, 2, 4, 8)
+STRATEGIES = (Strategy.BASELINE, Strategy.PIPESWITCH, Strategy.PT_DHA)
+
+
+def test_fig12_batching_throughput(benchmark, planner_v100, emit):
+    spec = p3_8xlarge()
+
+    def run():
+        table = {}
+        for name in MODELS:
+            model = build_model(name)
+            for batch in BATCHES:
+                for strategy in STRATEGIES:
+                    result = run_single_inference(
+                        spec, model, strategy, batch_size=batch,
+                        planner=planner_v100)
+                    # Throughput = images (or sequences) per second.
+                    table[name, batch, strategy] = batch / result.latency
+        return table
+
+    throughput = run_once(benchmark, run)
+
+    blocks = []
+    for name in MODELS:
+        reference = throughput[name, 1, Strategy.BASELINE]
+        series = {
+            s.value: [throughput[name, b, s] / reference for b in BATCHES]
+            for s in STRATEGIES
+        }
+        blocks.append(format_series(
+            "batch", list(BATCHES), series,
+            title=f"Figure 12 [{name}] — throughput normalized to "
+                  f"Baseline @ batch 1", value_format="{:.2f}"))
+    emit("fig12_batching", "\n\n".join(blocks))
+
+    for name in MODELS:
+        gaps = []
+        for batch in BATCHES:
+            ours = throughput[name, batch, Strategy.PT_DHA]
+            pipeswitch = throughput[name, batch, Strategy.PIPESWITCH]
+            assert ours >= pipeswitch * 0.999, (name, batch)
+            gaps.append(ours / pipeswitch)
+        # The PT+DHA lead narrows with batch size for transformers.
+        if name != "resnet50":
+            assert gaps[-1] < gaps[0], name

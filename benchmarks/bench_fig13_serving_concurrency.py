@@ -1,0 +1,86 @@
+"""Figure 13: 99% latency, goodput, and cold-start rate for BERT-Base
+while the number of deployed instances grows past GPU memory.
+
+Setup follows the paper: four V100s, 100 req/s Poisson arrivals spread
+uniformly over the instances, SLO 100 ms, 1000 measured requests after
+warm-up.
+
+Paper's claims: PipeSwitch's p99 blows up at ~120 instances; DeepPlan
+(DHA) is stable to ~160; PT+DHA serves 180 within the SLO and improves
+goodput ~1.8x over PipeSwitch at 180.  PipeSwitch fits 100 instances
+warm; DeepPlan fits 124 (embeddings stay host-side), so its cold-starts
+begin later.
+"""
+
+from conftest import full_scale, run_once
+
+from repro.analysis import format_series
+from repro.hw.machine import Machine
+from repro.hw.specs import p3_8xlarge
+from repro.models import build_model
+from repro.serving import InferenceServer, PoissonWorkload, ServerConfig
+from repro.simkit import Simulator
+from repro.units import MS
+
+STRATEGIES = ("pipeswitch", "dha", "pt+dha")
+CONCURRENCIES = (100, 120, 140, 160, 180, 200)
+RATE = 100.0
+SLO = 100 * MS
+
+
+def _serve(planner, strategy, concurrency, num_requests, seed=11):
+    machine = Machine(Simulator(), p3_8xlarge())
+    server = InferenceServer(machine, planner,
+                             ServerConfig(strategy=strategy, slo=SLO))
+    server.deploy([(build_model("bert-base"), concurrency)])
+    workload = PoissonWorkload(list(server.instances), rate=RATE,
+                               num_requests=num_requests, seed=seed)
+    return server.run(workload.generate())
+
+
+def test_fig13_serving_concurrency_sweep(benchmark, planner_v100, emit):
+    num_requests = 5000 if full_scale() else 1000
+
+    def run():
+        return {
+            (strategy, concurrency): _serve(planner_v100, strategy,
+                                            concurrency, num_requests)
+            for strategy in STRATEGIES
+            for concurrency in CONCURRENCIES
+        }
+
+    reports = run_once(benchmark, run)
+
+    p99 = {s: [reports[s, c].metrics.p99_latency / MS
+               for c in CONCURRENCIES] for s in STRATEGIES}
+    goodput = {s: [reports[s, c].metrics.goodput for c in CONCURRENCIES]
+               for s in STRATEGIES}
+    cold = {s: [reports[s, c].metrics.cold_start_rate
+                for c in CONCURRENCIES] for s in STRATEGIES}
+
+    text = "\n\n".join([
+        format_series("instances", list(CONCURRENCIES), p99,
+                      title="Figure 13 (top) — 99% latency (ms), "
+                            "BERT-Base @ 100 req/s", value_format="{:.1f}"),
+        format_series("instances", list(CONCURRENCIES), goodput,
+                      title="Figure 13 (middle) — goodput (SLO 100 ms)"),
+        format_series("instances", list(CONCURRENCIES), cold,
+                      title="Figure 13 (bottom) — cold-start rate"),
+    ])
+    emit("fig13_serving_concurrency", text)
+
+    by = {s: dict(zip(CONCURRENCIES, p99[s])) for s in STRATEGIES}
+    # All strategies comfortable while everything fits warm.
+    assert by["pipeswitch"][100] < SLO / MS
+    # PipeSwitch violates the SLO once memory pressure begins (>=120).
+    assert by["pipeswitch"][140] > SLO / MS
+    # DHA holds until ~160; PT+DHA until ~180 (paper's claim).
+    assert by["dha"][160] < SLO / MS
+    assert by["pt+dha"][180] < SLO / MS
+    # Warm capacity: 100 for PipeSwitch, 124 for DeepPlan.
+    assert reports["pipeswitch", 140].prewarmed == 100
+    assert reports["pt+dha", 140].prewarmed == 124
+    # Goodput advantage at 180 (paper: 1.84x).
+    ratio = (reports["pt+dha", 180].metrics.goodput
+             / reports["pipeswitch", 180].metrics.goodput)
+    assert ratio > 1.4

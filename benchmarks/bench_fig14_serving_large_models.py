@@ -1,0 +1,75 @@
+"""Figure 14: 99% latency vs concurrency for BERT-Large (30 req/s) and
+GPT-2 (90 req/s).
+
+Paper's claims: DeepPlan significantly improves tail latency over
+PipeSwitch for both; for GPT-2 the gap between DHA and PT+DHA is small
+(PT+DHA's single-inference lead over DHA is narrow for GPT-2).
+"""
+
+from conftest import full_scale, run_once
+
+from repro.analysis import format_series
+from repro.hw.machine import Machine
+from repro.hw.specs import p3_8xlarge
+from repro.models import build_model
+from repro.serving import InferenceServer, PoissonWorkload, ServerConfig
+from repro.simkit import Simulator
+from repro.units import MS
+
+STRATEGIES = ("pipeswitch", "dha", "pt+dha")
+SETUPS = {
+    # model: (requests/s, concurrency sweep) — rates from the paper.
+    "bert-large": (30.0, (28, 32, 36, 40)),
+    "gpt2": (90.0, (80, 100, 120, 140)),
+}
+
+
+def _serve(planner, model_name, strategy, concurrency, rate, num_requests):
+    machine = Machine(Simulator(), p3_8xlarge())
+    server = InferenceServer(machine, planner, ServerConfig(strategy=strategy))
+    server.deploy([(build_model(model_name), concurrency)])
+    workload = PoissonWorkload(list(server.instances), rate=rate,
+                               num_requests=num_requests, seed=23)
+    return server.run(workload.generate())
+
+
+def test_fig14_large_model_serving(benchmark, planner_v100, emit):
+    num_requests = 3000 if full_scale() else 800
+
+    def run():
+        results = {}
+        for model_name, (rate, sweep) in SETUPS.items():
+            for strategy in STRATEGIES:
+                for concurrency in sweep:
+                    report = _serve(planner_v100, model_name, strategy,
+                                    concurrency, rate, num_requests)
+                    results[model_name, strategy, concurrency] = report
+        return results
+
+    results = run_once(benchmark, run)
+
+    blocks = []
+    for model_name, (rate, sweep) in SETUPS.items():
+        series = {s: [results[model_name, s, c].metrics.p99_latency / MS
+                      for c in sweep] for s in STRATEGIES}
+        blocks.append(format_series(
+            "instances", list(sweep), series,
+            title=f"Figure 14 [{model_name}] — 99% latency (ms) "
+                  f"@ {rate:.0f} req/s", value_format="{:.1f}"))
+    emit("fig14_large_models", "\n\n".join(blocks))
+
+    for model_name, (rate, sweep) in SETUPS.items():
+        # Under memory pressure DeepPlan's tail beats PipeSwitch's.
+        stressed = sweep[-1]
+        ps = results[model_name, "pipeswitch", stressed].metrics.p99_latency
+        dha = results[model_name, "dha", stressed].metrics.p99_latency
+        ptdha = results[model_name, "pt+dha", stressed].metrics.p99_latency
+        assert dha < ps, model_name
+        assert ptdha < ps, model_name
+
+    # GPT-2: DHA and PT+DHA are close (paper: "the latency gap ... is
+    # not noticeable").
+    for concurrency in SETUPS["gpt2"][1]:
+        dha = results["gpt2", "dha", concurrency].metrics.p99_latency
+        ptdha = results["gpt2", "pt+dha", concurrency].metrics.p99_latency
+        assert abs(dha - ptdha) < 0.35 * dha

@@ -1,0 +1,59 @@
+"""Figure 16: single-inference speedups on a different system — two RTX
+A5000 GPUs with NVLink on PCIe 4.0.
+
+Paper's claim: DeepPlan's plan generation transfers to new hardware; the
+improvement trend of Figure 11 holds even though PCIe 4.0 shrinks the
+absolute stall times.
+"""
+
+from conftest import run_once
+
+from repro.analysis import format_series, normalize
+from repro.core import Strategy
+from repro.engine import run_single_inference
+from repro.hw.specs import a5000x2, p3_8xlarge
+from repro.models import MODEL_NAMES, build_model
+
+
+STRATEGIES = (Strategy.BASELINE, Strategy.PIPESWITCH, Strategy.DHA,
+              Strategy.PT, Strategy.PT_DHA)
+
+
+def test_fig16_pcie4_speedups(benchmark, planner_a5000, planner_v100, emit):
+    spec = a5000x2()
+
+    def run():
+        table = {}
+        for name in MODEL_NAMES:
+            model = build_model(name)
+            for strategy in STRATEGIES:
+                result = run_single_inference(spec, model, strategy,
+                                              planner=planner_a5000)
+                table[name, strategy] = result.latency
+        return table
+
+    latencies = run_once(benchmark, run)
+
+    series = {s.value: [] for s in STRATEGIES}
+    for name in MODEL_NAMES:
+        base = latencies[name, Strategy.BASELINE]
+        for strategy, speedup in zip(
+                STRATEGIES,
+                normalize([latencies[name, s] for s in STRATEGIES], base)):
+            series[strategy.value].append(speedup)
+    emit("fig16_pcie4", format_series(
+        "model", list(MODEL_NAMES), series,
+        title="Figure 16 — speedup over Baseline on 2x RTX A5000 "
+              "(PCIe 4.0), batch 1", value_format="{:.2f}"))
+
+    for name in MODEL_NAMES:
+        ps = latencies[name, Strategy.PIPESWITCH]
+        # The Figure 11 trend holds on the new platform.
+        assert latencies[name, Strategy.DHA] <= ps * 1.01, name
+        assert latencies[name, Strategy.PT_DHA] <= \
+            latencies[name, Strategy.DHA] * 1.01, name
+        # PCIe 4.0 makes cold starts absolutely faster than on PCIe 3.0.
+        v100 = run_single_inference(p3_8xlarge(), build_model(name),
+                                    Strategy.PIPESWITCH,
+                                    planner=planner_v100)
+        assert ps < v100.latency

@@ -1,0 +1,49 @@
+"""Table 1: number of PCIe read transactions (PCIeRdCur events) when a
+layer is loaded vs executed by direct-host-access.
+
+Paper's numbers are measured with Intel PCM hardware counters; our model
+derives them from the traffic descriptors (64 B payload per event) and
+matches within ~4%.
+"""
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.hw.specs import p3_8xlarge
+from repro.models import CostModel
+from repro.models.zoo import microbench_layers
+from repro.units import MB
+
+PAPER = {
+    "embedding-medium": (24_580, 18_267),
+    "embedding-large": (1_465_112, 18_459),
+    "conv-medium": (36_869, 65_891),
+    "conv-large": (147_465, 273_487),
+    "fc-small": (36_920, 446_276),
+    "fc-large": (147_660, 1_765_787),
+}
+
+
+def test_table1_pcie_events(benchmark, emit):
+    cost_model = CostModel(p3_8xlarge())
+    layers = microbench_layers()
+
+    def run():
+        rows = []
+        for key, (paper_load, paper_dha) in PAPER.items():
+            layer = layers[key]
+            load = cost_model.pcie_read_events(layer, 1, "load")
+            dha = cost_model.pcie_read_events(layer, 1, "dha")
+            rows.append([key, layer.param_bytes / MB, load, paper_load,
+                         dha, paper_dha])
+        return rows
+
+    rows = run_once(benchmark, run)
+    emit("table1_pcie_events", format_table(
+        ["layer", "size (MiB)", "load events", "paper", "dha events",
+         "paper "],
+        rows, title="Table 1 — PCIe read events: load vs direct-host-access"))
+
+    for key, _, load, paper_load, dha, paper_dha in rows:
+        assert abs(load - paper_load) / paper_load < 0.04, key
+        assert abs(dha - paper_dha) / paper_dha < 0.04, key

@@ -1,0 +1,49 @@
+"""Table 5: time spent profiling models (10 iterations per layer).
+
+Paper's claims: profiling is a one-time, seconds-scale cost that grows
+with model size and execution time; the DHA pre-run dominates.
+"""
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.core import LayerProfiler
+from repro.models import build_model
+
+MODELS = ("resnet50", "bert-base", "roberta-large", "gpt2-medium")
+
+PAPER_TOTAL_S = {  # Table 5 "Total" column
+    "resnet50": 3.92,
+    "bert-base": 12.40,
+    "roberta-large": 75.87,
+    "gpt2-medium": 40.81,
+}
+
+
+def test_table5_profiling_cost(benchmark, planner_v100, emit):
+    profiler = LayerProfiler(planner_v100.cost_model, iterations=10,
+                             noise=0.0)
+
+    def run():
+        rows = []
+        for name in MODELS:
+            report = profiler.profile(build_model(name))
+            rows.append([name, report.time_dha, report.time_inmem,
+                         report.time_load, report.total_time,
+                         PAPER_TOTAL_S[name]])
+        return rows
+
+    rows = run_once(benchmark, run)
+    emit("table5_profiling_cost", format_table(
+        ["model", "DHA (s)", "in-memory (s)", "layer load (s)", "total (s)",
+         "paper total (s)"],
+        rows, title="Table 5 — profiling cost with 10 iterations"))
+
+    totals = {row[0]: row[4] for row in rows}
+    # Shape: one-time cost in seconds, ordered by model weight/exec time.
+    assert totals["resnet50"] < totals["bert-base"]
+    assert totals["bert-base"] < totals["gpt2-medium"]
+    for name in MODELS:
+        assert 1.0 < totals[name] < 120.0
+    for name, time_dha, time_inmem, time_load, *_ in rows:
+        assert time_dha > time_inmem, name

@@ -1,0 +1,62 @@
+"""Shared fixtures for the paper-reproduction benchmark harness.
+
+Every ``bench_*`` module regenerates one table or figure of the paper
+(see DESIGN.md's experiment index).  Each benchmark prints the same
+rows/series the paper reports and also writes them to
+``benchmarks/results/<experiment>.txt`` for later inspection.
+
+Scale knob: serving benchmarks default to scaled-down request counts and
+trace durations so the whole harness finishes in minutes; set
+``REPRO_FULL=1`` to run the paper-sized versions (e.g., the full 3-hour
+MAF trace of Figure 15).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.core import DeepPlan
+from repro.hw.specs import a5000x2, p3_8xlarge
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def full_scale() -> bool:
+    """True when REPRO_FULL=1 asks for paper-sized experiments."""
+    return os.environ.get("REPRO_FULL") == "1"
+
+
+@pytest.fixture(scope="session")
+def planner_v100() -> DeepPlan:
+    """The paper's main platform: 4x V100, PCIe 3.0, NVLink."""
+    return DeepPlan(p3_8xlarge(), noise=0.0)
+
+
+@pytest.fixture(scope="session")
+def planner_a5000() -> DeepPlan:
+    """The PCIe 4.0 validation platform of Section 5.4."""
+    return DeepPlan(a5000x2(), noise=0.0)
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print a result block and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        print(f"\n{text}")
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _emit
+
+
+def run_once(benchmark, func):
+    """Run *func* exactly once under pytest-benchmark timing.
+
+    These are simulations: the meaningful output is the *simulated*
+    metrics they print, not wall time, so one round suffices.
+    """
+    return benchmark.pedantic(func, rounds=1, iterations=1)

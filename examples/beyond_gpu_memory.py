@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Beyond one GPU's memory: DHA as the overflow mechanism, and MoE.
+
+The paper's future-work section (Section 7) sketches two extensions this
+library implements:
+
+1. Serving a model whose parameters exceed the GPU memory budget by
+   pinning the overflow host-side and executing it with
+   direct-host-access — sweeping the budget shows the warm-latency price
+   of each megabyte shed.
+2. Mixture-of-experts provisioning: once the routed experts of a forward
+   pass are identified, only those need transmission.
+
+Run:  python examples/beyond_gpu_memory.py
+"""
+
+from repro import DeepPlan, Strategy, build_model, p3_8xlarge
+from repro.analysis import format_table
+from repro.core.large_model import plan_within_budget, warm_latency
+from repro.models.moe import (
+    build_moe_transformer,
+    routed_submodel,
+    uniform_routing,
+)
+from repro.units import MB, MS
+
+
+def memory_budget_sweep() -> None:
+    model = build_model("gpt2-medium")
+    planner = DeepPlan(p3_8xlarge())
+    cost_model = planner.cost_model
+    print(f"=== {model.name}: {model.param_bytes / MB:.0f} MiB of "
+          f"parameters ===")
+    rows = []
+    for budget_mb in (1400, 1160, 896, 640, 384):
+        plan = plan_within_budget(cost_model, model, int(budget_mb * MB))
+        rows.append([budget_mb, plan.gpu_resident_bytes / MB,
+                     plan.host_resident_bytes / MB,
+                     warm_latency(cost_model, plan) / MS])
+    print(format_table(
+        ["GPU budget (MiB)", "resident (MiB)", "host-side (MiB)",
+         "warm latency (ms)"],
+        rows, title="Serving under a memory budget (layers shed "
+                    "cheapest-per-byte first)"))
+
+
+def moe_provisioning() -> None:
+    moe = build_moe_transformer(num_layers=12, num_experts=8, top_k=2)
+    routing = uniform_routing(moe, top_k=2, seed=0)
+    routed = routed_submodel(moe, routing)
+    planner = DeepPlan(p3_8xlarge())
+    print(f"\n=== {moe.name}: {moe.param_bytes / MB:.0f} MiB, "
+          f"8 experts/block, top-2 routing ===")
+    rows = []
+    for label, spec, strategy in (
+            ("full model, pipeswitch", moe, Strategy.PIPESWITCH),
+            ("routed experts, pipeswitch", routed, Strategy.PIPESWITCH),
+            ("routed experts, pt+dha", routed, Strategy.PT_DHA)):
+        plan = planner.plan(spec, strategy)
+        rows.append([label, spec.param_bytes / MB,
+                     plan.predicted_latency / MS])
+    print(format_table(
+        ["configuration", "transmitted (MiB)", "predicted cold-start (ms)"],
+        rows, title="MoE cold-start: transmit only what the pass needs"))
+
+
+def main() -> None:
+    memory_budget_sweep()
+    moe_provisioning()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Bringing your own model: plan a custom architecture with DeepPlan.
+
+The model zoo covers the paper's eight benchmarks, but DeepPlan plans any
+:class:`~repro.models.graph.ModelSpec`.  This example builds a
+retrieval-style two-tower ranker — a huge embedding front (the kind of
+layer DHA loves) followed by dense interaction layers (the kind it
+avoids) — and shows how the planner splits it between host and GPU.
+
+Run:  python examples/custom_model.py
+"""
+
+from repro import DeepPlan, ExecMethod, Strategy, p3_8xlarge
+from repro.analysis import format_table
+from repro.models.graph import ModelSpec
+from repro.models.layers import activation, embedding, layernorm, linear
+from repro.units import MB, MS
+
+
+def build_two_tower_ranker() -> ModelSpec:
+    """A recommendation-style ranker: big embeddings, small MLP."""
+    hidden = 512
+    tokens = 64  # items scored per request
+    layers = [
+        embedding("user.id_table", 2_000_000, 64, 1),
+        embedding("item.id_table", 5_000_000, 64, tokens),
+        embedding("item.category_table", 10_000, 64, tokens),
+        layernorm("features.ln", 192, tokens),
+        linear("interact.fc1", 192, hidden, tokens),
+        activation("interact.relu1", tokens * hidden),
+        linear("interact.fc2", hidden, hidden, tokens),
+        activation("interact.relu2", tokens * hidden),
+        linear("interact.fc3", hidden, 1, tokens),
+    ]
+    return ModelSpec(name="two-tower-ranker", layers=tuple(layers),
+                     seq_len=tokens, family="custom")
+
+
+def main() -> None:
+    model = build_two_tower_ranker()
+    print(model.summary())
+    print()
+
+    planner = DeepPlan(p3_8xlarge())
+    rows = []
+    for strategy in (Strategy.PIPESWITCH, Strategy.DHA, Strategy.PT_DHA):
+        plan = planner.plan(model, strategy)
+        rows.append([
+            strategy.value,
+            plan.predicted_latency / MS,
+            plan.gpu_resident_bytes / MB,
+            plan.host_resident_bytes / MB,
+        ])
+    print(format_table(
+        ["strategy", "predicted cold-start (ms)", "GPU-resident (MiB)",
+         "host-resident (MiB)"],
+        rows, title="Plans for the custom ranker on p3.8xlarge"))
+    print()
+
+    plan = planner.plan(model, Strategy.DHA)
+    decision_rows = [
+        [layer.name, layer.kind.value, layer.param_bytes / MB,
+         "direct-host-access" if plan.method(i) is ExecMethod.DHA
+         else "load"]
+        for i, layer in enumerate(model.layers) if layer.loadable
+    ]
+    print(format_table(["layer", "kind", "MiB", "decision"], decision_rows,
+                       title="Per-layer decisions (DHA plan)"))
+    print()
+    print("The ~1.7 GB of embedding tables never cross PCIe on a cold "
+          "start —\nonly the rows a request touches do.")
+
+
+if __name__ == "__main__":
+    main()

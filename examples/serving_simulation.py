@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Serving under memory pressure: PipeSwitch vs DeepPlan.
+
+Deploys 160 BERT-Base tenants on a 4x-V100 server (only ~100-124 fit in
+GPU memory at once), drives 100 req/s of Poisson traffic at them, and
+compares tail latency, goodput and cold-start behaviour across
+provisioning strategies — the scenario of the paper's Figure 13.
+
+Run:  python examples/serving_simulation.py
+"""
+
+from repro import (
+    DeepPlan,
+    InferenceServer,
+    Machine,
+    PoissonWorkload,
+    ServerConfig,
+    Simulator,
+    build_model,
+    p3_8xlarge,
+)
+from repro.analysis import format_table
+from repro.units import MS
+
+INSTANCES = 160
+RATE = 100.0
+REQUESTS = 1500
+SLO_MS = 100.0
+
+
+def serve(planner: DeepPlan, strategy: str):
+    machine = Machine(Simulator(), p3_8xlarge())
+    server = InferenceServer(machine, planner, ServerConfig(
+        strategy=strategy, slo=SLO_MS * MS))
+    server.deploy([(build_model("bert-base"), INSTANCES)])
+    workload = PoissonWorkload(list(server.instances), rate=RATE,
+                               num_requests=REQUESTS, seed=42)
+    return server.run(workload.generate())
+
+
+def main() -> None:
+    planner = DeepPlan(p3_8xlarge())
+    rows = []
+    for strategy in ("baseline", "pipeswitch", "dha", "pt+dha"):
+        report = serve(planner, strategy)
+        metrics = report.metrics
+        rows.append([
+            strategy,
+            report.prewarmed,
+            metrics.p50_latency / MS,
+            metrics.p99_latency / MS,
+            f"{metrics.goodput:.1%}",
+            f"{metrics.cold_start_rate:.1%}",
+            report.evictions,
+        ])
+    print(format_table(
+        ["strategy", "warm capacity", "p50 (ms)", "p99 (ms)", "goodput",
+         "cold starts", "evictions"],
+        rows,
+        title=f"{INSTANCES} BERT-Base tenants on 4x V100, {RATE:.0f} req/s, "
+              f"SLO {SLO_MS:.0f} ms"))
+    print()
+    print("DeepPlan keeps 24 more tenants warm (embeddings live in host "
+          "memory) and\nprovisions the rest ~2x faster, so its tail stays "
+          "inside the SLO where\nPipeSwitch's does not.")
+
+
+if __name__ == "__main__":
+    main()

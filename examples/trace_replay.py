@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Replaying a production-like trace (the paper's Figure 15 scenario).
+
+Synthesizes a Microsoft-Azure-Functions-like invocation trace (heavy
+sustained functions, diurnal fluctuation, spikes, a long tail of rare
+functions), maps functions onto BERT-Base / RoBERTa-Base / GPT-2
+instances in the paper's 4:4:1 ratio, and replays it against the serving
+system, printing a per-minute report.
+
+Run:  python examples/trace_replay.py [duration-seconds]
+"""
+
+import sys
+
+from repro import (
+    DeepPlan,
+    InferenceServer,
+    MAFTraceConfig,
+    Machine,
+    ServerConfig,
+    Simulator,
+    TraceWorkload,
+    build_model,
+    p3_8xlarge,
+    synthesize_maf_trace,
+)
+from repro.analysis import format_table
+from repro.units import MS
+
+
+def main() -> None:
+    duration = float(sys.argv[1]) if len(sys.argv) > 1 else 600.0
+    planner = DeepPlan(p3_8xlarge())
+
+    machine = Machine(Simulator(), p3_8xlarge())
+    server = InferenceServer(machine, planner,
+                             ServerConfig(strategy="pt+dha"))
+    server.deploy([(build_model("bert-base"), 64),
+                   (build_model("roberta-base"), 64),
+                   (build_model("gpt2"), 16)])
+
+    config = MAFTraceConfig(duration=duration, target_rps=150.0, seed=1)
+    trace = synthesize_maf_trace(list(server.instances), config)
+    print(f"trace: {trace.num_requests} requests over {duration:.0f}s "
+          f"({trace.mean_rps:.1f} req/s mean)")
+    class_counts = {}
+    for klass in trace.instance_classes.values():
+        class_counts[klass] = class_counts.get(klass, 0) + 1
+    print(f"instance behaviour classes: {class_counts}")
+    print()
+
+    report = server.run(TraceWorkload(trace.arrivals).generate())
+
+    rows = [[int(w.window_start // 60), w.num_requests, w.p99_latency / MS,
+             f"{w.goodput:.1%}", f"{w.cold_start_rate:.1%}"]
+            for w in report.metrics.windows(60.0)]
+    print(format_table(
+        ["minute", "requests", "p99 (ms)", "goodput", "cold starts"],
+        rows, title="Per-minute serving report (DeepPlan PT+DHA)"))
+    print()
+    summary = report.metrics.summary()
+    print(f"whole trace: p99 {summary['p99_ms']:.1f} ms, goodput "
+          f"{summary['goodput']:.1%}, cold-start rate "
+          f"{summary['cold_start_rate']:.1%}, "
+          f"{report.evictions} evictions")
+
+
+if __name__ == "__main__":
+    main()

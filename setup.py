@@ -1,0 +1,8 @@
+"""Setup shim: enables legacy editable installs where `wheel` is absent.
+
+Mirrors pyproject.toml's entry point so `setup.py develop` (the offline
+install path) also creates the `deepplan` console script.
+"""
+from setuptools import setup
+
+setup(entry_points={"console_scripts": ["deepplan=repro.cli:main"]})

@@ -1,0 +1,119 @@
+"""DeepPlan reproduction: fast model serving with direct-host-access.
+
+A faithful, simulation-based reproduction of *"Fast and Efficient Model
+Serving Using Multi-GPUs with Direct-Host-Access"* (EuroSys '23): the
+DeepPlan profiler/planner (Algorithm 1), parallel model transmission over
+PCIe+NVLink, the five execution strategies of the paper's evaluation, and
+a Clockwork-style serving system — all running on a calibrated
+discrete-event model of the paper's 4x-V100 testbed.
+
+Quickstart::
+
+    from repro import DeepPlan, build_model, p3_8xlarge, run_single_inference
+
+    planner = DeepPlan(p3_8xlarge())
+    plan = planner.plan(build_model("bert-base"), "pt+dha")
+    print(plan.summary())
+
+    result = run_single_inference(p3_8xlarge(), build_model("bert-base"),
+                                  "pt+dha")
+    print(f"cold-start latency: {result.latency * 1e3:.2f} ms")
+
+See ``examples/`` for end-to-end scenarios and ``benchmarks/`` for the
+reproduction of every table and figure in the paper.
+"""
+
+from repro.core import (
+    DeepPlan,
+    ExecMethod,
+    ExecutionPlan,
+    LayerExecutionPlanner,
+    LayerProfiler,
+    Partition,
+    ProfileReport,
+    Strategy,
+)
+from repro.engine import (
+    ExecutionResult,
+    execute_plan,
+    execute_warm,
+    run_concurrent_cold_starts,
+    run_single_inference,
+    transmit_model,
+)
+from repro.errors import (
+    OutOfGPUMemoryError,
+    PlanError,
+    ReproError,
+    TopologyError,
+    WorkloadError,
+)
+from repro.hw import GPU, Machine, MachineSpec, a5000x2, p3_8xlarge
+from repro.models import (
+    MODEL_NAMES,
+    CostModel,
+    LayerKind,
+    LayerSpec,
+    ModelSpec,
+    build_model,
+)
+from repro.serving import (
+    InferenceServer,
+    MAFTraceConfig,
+    MetricsCollector,
+    ModelInstance,
+    PoissonWorkload,
+    Request,
+    ServerConfig,
+    ServingReport,
+    TraceWorkload,
+    synthesize_maf_trace,
+)
+from repro.simkit import Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CostModel",
+    "DeepPlan",
+    "ExecMethod",
+    "ExecutionPlan",
+    "ExecutionResult",
+    "GPU",
+    "InferenceServer",
+    "LayerExecutionPlanner",
+    "LayerKind",
+    "LayerProfiler",
+    "LayerSpec",
+    "MAFTraceConfig",
+    "MODEL_NAMES",
+    "Machine",
+    "MachineSpec",
+    "MetricsCollector",
+    "ModelInstance",
+    "ModelSpec",
+    "OutOfGPUMemoryError",
+    "Partition",
+    "PlanError",
+    "PoissonWorkload",
+    "ProfileReport",
+    "ReproError",
+    "Request",
+    "ServerConfig",
+    "ServingReport",
+    "Simulator",
+    "Strategy",
+    "TopologyError",
+    "TraceWorkload",
+    "WorkloadError",
+    "a5000x2",
+    "build_model",
+    "execute_plan",
+    "execute_warm",
+    "p3_8xlarge",
+    "run_concurrent_cold_starts",
+    "run_single_inference",
+    "synthesize_maf_trace",
+    "transmit_model",
+    "__version__",
+]

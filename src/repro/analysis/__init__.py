@@ -1,0 +1,15 @@
+"""Reporting helpers: render experiment results as the paper does.
+
+The benchmark harness uses these to print, for every table and figure of
+the paper, the same rows/series the paper reports — ASCII tables for
+Tables 1-5, labelled series for the figures — so a run's output can be
+compared against the published artifact side by side.
+"""
+
+from repro.analysis.tables import format_table
+from repro.analysis.figures import format_series, normalize
+from repro.analysis.stats import SeedSummary, compare, summarize
+from repro.analysis.gantt import render_gantt
+
+__all__ = ["SeedSummary", "compare", "format_series", "format_table",
+           "normalize", "render_gantt", "summarize"]

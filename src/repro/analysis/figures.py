@@ -1,0 +1,46 @@
+"""Series rendering for figure-style benchmark output."""
+
+from __future__ import annotations
+
+import typing
+
+__all__ = ["format_series", "normalize"]
+
+
+def normalize(values: typing.Sequence[float],
+              reference: float) -> list[float]:
+    """Speedups relative to *reference* (the paper normalizes to Baseline)."""
+    if reference <= 0:
+        raise ValueError(f"reference must be positive, got {reference}")
+    return [reference / v for v in values]
+
+
+def format_series(x_label: str, x_values: typing.Sequence[object],
+                  series: dict[str, typing.Sequence[float]],
+                  title: str = "", value_format: str = "{:.3f}") -> str:
+    """Render multiple named series against a shared x-axis.
+
+    Output shape mirrors a figure's underlying data table::
+
+        x      seriesA   seriesB
+        1      0.911     1.000
+        ...
+    """
+    for name, values in series.items():
+        if len(values) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(values)} values for "
+                f"{len(x_values)} x points")
+    headers = [x_label] + list(series)
+    width = {h: max(len(h), 10) for h in headers}
+    out = []
+    if title:
+        out.append(title)
+    out.append("  ".join(h.ljust(width[h]) for h in headers).rstrip())
+    out.append("  ".join("-" * width[h] for h in headers))
+    for i, x in enumerate(x_values):
+        cells = [str(x).ljust(width[x_label])]
+        for name, values in series.items():
+            cells.append(value_format.format(values[i]).rjust(width[name]))
+        out.append("  ".join(cells).rstrip())
+    return "\n".join(out)

@@ -1,0 +1,72 @@
+"""ASCII timeline view of an executed plan.
+
+Renders what the paper's Figures 7-9 sketch: the execution stream's
+busy/stall alternation and each PCIe lane's transfer window, on a shared
+time axis — handy for eyeballing *where* a plan stalls and what DHA or
+parallel transmission changed.
+
+Requires a result produced with ``detailed_traces=True`` (the default
+for single inferences).
+"""
+
+from __future__ import annotations
+
+from repro.core.plan import ExecMethod
+from repro.engine.executor import ExecutionResult
+from repro.units import MS
+
+__all__ = ["render_gantt"]
+
+BUSY = "#"
+STALL = "."
+DHA = "x"
+TRANSFER = "="
+IDLE = " "
+
+
+def render_gantt(result: ExecutionResult, width: int = 72) -> str:
+    """Render one execution as aligned per-lane timelines."""
+    if width < 16:
+        raise ValueError(f"width must be >= 16, got {width}")
+    if not result.layer_traces:
+        raise ValueError(
+            "gantt rendering needs per-layer traces; execute the plan "
+            "with detailed_traces=True")
+    span = result.finished_at - result.started_at
+    if span <= 0:
+        raise ValueError("result covers no time")
+
+    def column(t: float) -> int:
+        fraction = (t - result.started_at) / span
+        return min(width - 1, max(0, int(fraction * width)))
+
+    lanes: dict[str, list[str]] = {}
+
+    exec_lane = [IDLE] * width
+    for trace in result.layer_traces:
+        if trace.stall > 0:
+            for c in range(column(trace.start - trace.stall),
+                           column(trace.start) + 1):
+                exec_lane[c] = STALL
+        mark = DHA if (trace.method is ExecMethod.DHA
+                       and result.plan.model.layers[trace.index].loadable) \
+            else BUSY
+        for c in range(column(trace.start), column(trace.end) + 1):
+            exec_lane[c] = mark
+    lanes[f"exec gpu{result.primary_gpu}"] = exec_lane
+
+    for gpu_index in sorted(result.lane_span):
+        start, end = result.lane_span[gpu_index]
+        lane = [IDLE] * width
+        for c in range(column(start), column(end) + 1):
+            lane[c] = TRANSFER
+        lanes[f"pcie gpu{gpu_index}"] = lane
+
+    label_width = max(len(label) for label in lanes)
+    lines = [
+        f"timeline: 0.00 .. {span / MS:.2f} ms "
+        f"({BUSY} exec, {DHA} dha exec, {STALL} stall, {TRANSFER} transfer)",
+    ]
+    for label, lane in lanes.items():
+        lines.append(f"{label.ljust(label_width)} |{''.join(lane)}|")
+    return "\n".join(lines)

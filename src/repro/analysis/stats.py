@@ -1,0 +1,69 @@
+"""Small statistics helpers for multi-seed experiment summaries.
+
+Serving results are stochastic (Poisson arrivals, random instance
+targeting); when a claim is close, run the experiment across seeds and
+report mean +/- spread instead of a single draw.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import typing
+
+__all__ = ["SeedSummary", "summarize", "compare"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SeedSummary:
+    """Aggregate of one metric across seeds."""
+
+    samples: tuple[float, ...]
+    mean: float
+    stddev: float
+    minimum: float
+    maximum: float
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def stderr(self) -> float:
+        return self.stddev / math.sqrt(len(self.samples))
+
+    def __str__(self) -> str:
+        return (f"{self.mean:.4g} +/- {self.stddev:.2g} "
+                f"(n={self.count}, range [{self.minimum:.4g}, "
+                f"{self.maximum:.4g}])")
+
+
+def summarize(samples: typing.Iterable[float]) -> SeedSummary:
+    """Mean/stddev/min/max of a sample list (sample stddev, n-1)."""
+    values = tuple(float(s) for s in samples)
+    if not values:
+        raise ValueError("no samples to summarize")
+    mean = sum(values) / len(values)
+    if len(values) > 1:
+        variance = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+    else:
+        variance = 0.0
+    return SeedSummary(samples=values, mean=mean, stddev=math.sqrt(variance),
+                       minimum=min(values), maximum=max(values))
+
+
+def compare(a: typing.Iterable[float], b: typing.Iterable[float],
+            margin_stderrs: float = 2.0) -> int:
+    """Crude separation test between two sample sets.
+
+    Returns -1 if ``a``'s mean is below ``b``'s by more than
+    ``margin_stderrs`` combined standard errors, +1 for the reverse, and
+    0 when the difference is within noise.
+    """
+    sa, sb = summarize(a), summarize(b)
+    margin = margin_stderrs * math.sqrt(sa.stderr ** 2 + sb.stderr ** 2)
+    if sa.mean < sb.mean - margin:
+        return -1
+    if sa.mean > sb.mean + margin:
+        return 1
+    return 0

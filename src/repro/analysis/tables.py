@@ -1,0 +1,64 @@
+"""Plain-text table rendering for benchmark output."""
+
+from __future__ import annotations
+
+import typing
+
+__all__ = ["format_table"]
+
+
+def format_table(headers: typing.Sequence[str],
+                 rows: typing.Sequence[typing.Sequence[object]],
+                 title: str = "") -> str:
+    """Render an aligned ASCII table.
+
+    Numbers are right-aligned and formatted to a sensible precision;
+    everything else is left-aligned.
+    """
+    rendered_rows = [[_cell(value) for value in row] for row in rows]
+    columns = len(headers)
+    for row in rendered_rows:
+        if len(row) != columns:
+            raise ValueError(f"row {row} has {len(row)} cells; "
+                             f"expected {columns}")
+    widths = [max(len(headers[c]), *(len(r[c]) for r in rendered_rows))
+              if rendered_rows else len(headers[c])
+              for c in range(columns)]
+    numeric = [all(_is_numeric(row[c]) for row in rows) if rows else False
+               for c in range(columns)]
+
+    def line(cells: typing.Sequence[str]) -> str:
+        parts = []
+        for c, cell in enumerate(cells):
+            parts.append(cell.rjust(widths[c]) if numeric[c]
+                         else cell.ljust(widths[c]))
+        return "  ".join(parts).rstrip()
+
+    separator = "  ".join("-" * w for w in widths)
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append(separator)
+    out.extend(line(row) for row in rendered_rows)
+    return "\n".join(out)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return f"{value:,}"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.2f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def _is_numeric(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)

@@ -1,0 +1,206 @@
+"""The ``deepplan`` command-line tool.
+
+Mirrors the paper's standalone planner tool plus a few inspection and
+simulation commands::
+
+    deepplan models                       # list the model zoo
+    deepplan topo --machine p3.8xlarge    # show the machine topology
+    deepplan plan --model bert-base --strategy pt+dha
+    deepplan infer --model bert-base      # simulate one cold-start
+    deepplan serve --model bert-base --instances 140 --rate 100
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import typing
+
+from repro.analysis import format_table
+from repro.core import DeepPlan, ExecMethod, Strategy
+from repro.engine import run_single_inference
+from repro.hw.machine import Machine
+from repro.hw.specs import machine_presets
+from repro.models import MODEL_NAMES, build_model
+from repro.serving import InferenceServer, PoissonWorkload, ServerConfig
+from repro.simkit import Simulator
+from repro.units import MB, MS
+
+__all__ = ["main"]
+
+
+def _add_machine_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--machine", default="p3.8xlarge",
+                        choices=sorted(machine_presets()),
+                        help="machine preset (default: the paper's testbed)")
+
+
+def _add_model_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--model", default="bert-base", choices=MODEL_NAMES,
+                        help="model from the paper's zoo")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="deepplan",
+        description="DeepPlan (EuroSys '23) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="list the model zoo")
+
+    topo = sub.add_parser("topo", help="show a machine preset's topology")
+    _add_machine_arg(topo)
+
+    plan = sub.add_parser("plan", help="generate an execution plan")
+    _add_machine_arg(plan)
+    _add_model_arg(plan)
+    plan.add_argument("--strategy", default="pt+dha",
+                      choices=[s.value for s in Strategy])
+    plan.add_argument("--batch", type=int, default=1)
+    plan.add_argument("--show-layers", type=int, default=0, metavar="N",
+                      help="also print the first N per-layer decisions")
+    plan.add_argument("--output", metavar="FILE",
+                      help="save the deployable plan as JSON")
+
+    infer = sub.add_parser("infer", help="simulate a cold-start inference")
+    _add_machine_arg(infer)
+    _add_model_arg(infer)
+    infer.add_argument("--strategy", default=None,
+                       choices=[s.value for s in Strategy],
+                       help="default: compare all five strategies")
+    infer.add_argument("--batch", type=int, default=1)
+    infer.add_argument("--gantt", action="store_true",
+                       help="render an ASCII timeline per strategy")
+
+    serve = sub.add_parser("serve", help="simulate a serving scenario")
+    _add_machine_arg(serve)
+    _add_model_arg(serve)
+    serve.add_argument("--strategy", default="pt+dha",
+                       choices=[s.value for s in Strategy])
+    serve.add_argument("--instances", type=int, default=120)
+    serve.add_argument("--rate", type=float, default=100.0,
+                       help="aggregate request rate (req/s)")
+    serve.add_argument("--requests", type=int, default=1000)
+    serve.add_argument("--slo-ms", type=float, default=100.0)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--eviction", default="lru",
+                       choices=("lru", "lfu", "fifo", "random"))
+    serve.add_argument("--homing", default="round-robin",
+                       choices=("round-robin", "least-loaded"))
+    return parser
+
+
+def main(argv: typing.Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    command = typing.cast(str, args.command)
+    handler = {
+        "models": _cmd_models,
+        "topo": _cmd_topo,
+        "plan": _cmd_plan,
+        "infer": _cmd_infer,
+        "serve": _cmd_serve,
+    }[command]
+    try:
+        return handler(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early — not an error.
+        import os
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+def _cmd_models(args: argparse.Namespace) -> int:
+    rows = []
+    for name in MODEL_NAMES:
+        model = build_model(name)
+        rows.append([name, model.family, len(model.layers),
+                     model.param_count / 1e6, model.param_bytes / MB,
+                     model.seq_len])
+    print(format_table(
+        ["model", "family", "layers", "params (M)", "size (MiB)", "seq"],
+        rows, title="Model zoo (paper Section 5.1)"))
+    return 0
+
+
+def _cmd_topo(args: argparse.Namespace) -> int:
+    spec = machine_presets()[args.machine]()
+    machine = Machine(Simulator(), spec)
+    print(machine.describe())
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    spec = machine_presets()[args.machine]()
+    planner = DeepPlan(spec)
+    model = build_model(args.model)
+    plan = planner.plan(model, args.strategy, batch_size=args.batch)
+    print(plan.summary())
+    if args.output:
+        from repro.core.serialization import save_plan
+        save_plan(plan, args.output)
+        print(f"\nsaved deployable plan to {args.output}")
+    if args.show_layers:
+        indices = model.loadable_indices()[:args.show_layers]
+        rows = [[model.layers[i].name, model.layers[i].kind.value,
+                 model.layers[i].param_bytes / MB,
+                 "load" if plan.method(i) is ExecMethod.LOAD else "dha"]
+                for i in indices]
+        print()
+        print(format_table(["layer", "kind", "size (MiB)", "method"], rows))
+    return 0
+
+
+def _cmd_infer(args: argparse.Namespace) -> int:
+    spec = machine_presets()[args.machine]()
+    planner = DeepPlan(spec)
+    model = build_model(args.model)
+    strategies = ([Strategy.parse(args.strategy)] if args.strategy
+                  else list(Strategy))
+    rows = []
+    baseline_ms = None
+    gantts = []
+    for strategy in strategies:
+        result = run_single_inference(spec, model, strategy,
+                                      batch_size=args.batch, planner=planner)
+        latency_ms = result.latency / MS
+        if strategy is Strategy.BASELINE:
+            baseline_ms = latency_ms
+        speedup = baseline_ms / latency_ms if baseline_ms else float("nan")
+        rows.append([strategy.value, latency_ms, result.total_stall / MS,
+                     speedup])
+        if args.gantt:
+            from repro.analysis.gantt import render_gantt
+            gantts.append(f"[{strategy.value}]\n{render_gantt(result)}")
+    for block in gantts:
+        print(block)
+        print()
+    print(format_table(
+        ["strategy", "latency (ms)", "stall (ms)", "speedup vs baseline"],
+        rows, title=f"{args.model} cold-start on {args.machine} "
+                    f"(batch {args.batch})"))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    spec = machine_presets()[args.machine]()
+    planner = DeepPlan(spec)
+    model = build_model(args.model)
+    machine = Machine(Simulator(), spec)
+    server = InferenceServer(machine, planner, ServerConfig(
+        strategy=args.strategy, slo=args.slo_ms * MS,
+        eviction_policy=args.eviction, homing=args.homing))
+    server.deploy([(model, args.instances)])
+    workload = PoissonWorkload(list(server.instances), rate=args.rate,
+                               num_requests=args.requests, seed=args.seed)
+    report = server.run(workload.generate())
+    summary = report.summary()
+    rows = [[key, value] for key, value in summary.items()]
+    print(format_table(
+        ["metric", "value"], rows,
+        title=f"{args.instances}x {args.model} @ {args.rate} req/s "
+              f"({args.strategy}, SLO {args.slo_ms:.0f} ms)"))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

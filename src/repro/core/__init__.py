@@ -1,0 +1,49 @@
+"""DeepPlan: the paper's primary contribution.
+
+Pipeline (paper Figure 10):
+
+1. :class:`~repro.core.profiler.LayerProfiler` measures per-layer load
+   time and execution time under both methods (in-memory vs DHA) with
+   repeated pre-runs — a one-time step per model and machine.
+2. :class:`~repro.core.planner.LayerExecutionPlanner` runs **Algorithm 1**
+   over the profile, converting layers to direct-host-access where that
+   removes pipeline stalls.
+3. :mod:`~repro.core.partitioner` splits the model across GPUs for
+   parallel transmission, respecting PCIe-switch topology and NVLink
+   reachability, and overrides partitions >= 2 to plain loads.
+4. The resulting :class:`~repro.core.plan.ExecutionPlan` is consumed by
+   :mod:`repro.engine` at serving time.
+
+:class:`~repro.core.deepplan.DeepPlan` is the user-facing facade tying
+the steps together.
+"""
+
+from repro.core.plan import ExecMethod, ExecutionPlan, Partition
+from repro.core.serialization import load_plan, save_plan
+from repro.core.profiler import LayerProfiler, ProfileReport
+from repro.core.stall import LayerTiming, Timeline, baseline_latency
+from repro.core.planner import LayerExecutionPlanner, initial_approach
+from repro.core.partitioner import choose_secondary_gpus, partition_model
+from repro.core.deepplan import DeepPlan, Strategy
+from repro.core.validate import PlanValidationError, validate_plan_on_machine
+
+__all__ = [
+    "DeepPlan",
+    "ExecMethod",
+    "ExecutionPlan",
+    "LayerExecutionPlanner",
+    "LayerProfiler",
+    "LayerTiming",
+    "Partition",
+    "PlanValidationError",
+    "ProfileReport",
+    "Strategy",
+    "Timeline",
+    "baseline_latency",
+    "choose_secondary_gpus",
+    "initial_approach",
+    "load_plan",
+    "partition_model",
+    "save_plan",
+    "validate_plan_on_machine",
+]

@@ -1,0 +1,175 @@
+"""The DeepPlan facade: profile -> plan -> deployable artifact.
+
+This is the tool of paper Figure 10.  Give it a machine preset and a
+model, pick one of the five execution strategies the paper evaluates
+(Section 5.1), and it returns an :class:`~repro.core.plan.ExecutionPlan`
+ready for :mod:`repro.engine`:
+
+* ``baseline`` — load the whole model, then execute (Figure 1b);
+* ``pipeswitch`` — layer-pipelined loading, everything loaded (Figure 1c,
+  the state of the art the paper compares against);
+* ``dha`` — pipelined loading with Algorithm 1's direct-host-access
+  conversions (Figure 1d);
+* ``pt`` — parallel transmission across GPUs, everything loaded
+  (Figure 1e);
+* ``pt+dha`` — both combined (the paper's headline configuration).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.core.partitioner import (
+    choose_secondary_gpus,
+    max_partitions,
+    partition_model,
+)
+from repro.core.plan import ExecutionPlan, Partition
+from repro.core.planner import LayerExecutionPlanner
+from repro.core.profiler import LayerProfiler, ProfileReport
+from repro.core.stall import baseline_latency, compute_timeline
+from repro.errors import PlanError
+from repro.hw.machine import Machine
+from repro.hw.specs import MachineSpec
+from repro.models.costs import CostModel
+from repro.models.graph import ModelSpec
+from repro.simkit import Simulator
+
+__all__ = ["DeepPlan", "Strategy"]
+
+
+class Strategy(enum.Enum):
+    """The five execution options of the paper's evaluation."""
+
+    BASELINE = "baseline"
+    PIPESWITCH = "pipeswitch"
+    DHA = "dha"
+    PT = "pt"
+    PT_DHA = "pt+dha"
+
+    @classmethod
+    def parse(cls, value: "Strategy | str") -> "Strategy":
+        if isinstance(value, Strategy):
+            return value
+        try:
+            return cls(value.lower())
+        except ValueError:
+            options = ", ".join(s.value for s in cls)
+            raise PlanError(
+                f"unknown strategy {value!r}; options: {options}") from None
+
+    @property
+    def uses_dha(self) -> bool:
+        return self in (Strategy.DHA, Strategy.PT_DHA)
+
+    @property
+    def uses_parallel_transmission(self) -> bool:
+        return self in (Strategy.PT, Strategy.PT_DHA)
+
+
+class DeepPlan:
+    """Generates execution plans for one machine preset."""
+
+    def __init__(self, machine_spec: MachineSpec, iterations: int = 10,
+                 noise: float = 0.01, seed: int = 0) -> None:
+        self.machine_spec = machine_spec
+        self.cost_model = CostModel(machine_spec)
+        self.profiler = LayerProfiler(self.cost_model, iterations=iterations,
+                                      noise=noise, seed=seed)
+        # A throwaway machine instance answers topology questions; plans
+        # are machine-shape-specific, not simulator-instance-specific.
+        self._topology = Machine(Simulator(), machine_spec)
+        self._profiles: dict[tuple[str, int], ProfileReport] = {}
+
+    # -- profiling ---------------------------------------------------------------
+
+    def profile(self, model: ModelSpec, batch_size: int = 1) -> ProfileReport:
+        """Profile (or fetch the cached profile of) *model*."""
+        key = (model.name, batch_size)
+        if key not in self._profiles:
+            self._profiles[key] = self.profiler.profile(model, batch_size)
+        return self._profiles[key]
+
+    # -- planning ------------------------------------------------------------------
+
+    def plan(self, model: ModelSpec, strategy: "Strategy | str" = Strategy.PT_DHA,
+             batch_size: int = 1, num_gpus: int | None = None) -> ExecutionPlan:
+        """Generate the execution plan for *model* under *strategy*.
+
+        ``num_gpus`` is the number of GPUs participating in parallel
+        transmission (primary included); it defaults to what the machine
+        topology supports, capped at 2 as the paper does on p3.8xlarge.
+        """
+        strategy = Strategy.parse(strategy)
+        profile = self.profile(model, batch_size)
+        costs = profile.layers
+
+        if strategy.uses_parallel_transmission:
+            partitions = partition_model(model, self._partition_count(num_gpus))
+        else:
+            partitions = (Partition(index=0, start=0, stop=len(model.layers)),)
+
+        nvlink_time = self.cost_model.nvlink_time
+        planner = LayerExecutionPlanner(costs, partitions, nvlink_time)
+        if strategy.uses_dha:
+            decisions = planner.plan()
+        else:
+            decisions = planner.all_loaded()
+
+        if strategy is Strategy.BASELINE:
+            predicted = baseline_latency(costs)
+        else:
+            predicted = compute_timeline(costs, decisions, partitions,
+                                         nvlink_time).total_latency
+
+        return ExecutionPlan(
+            model=model,
+            batch_size=batch_size,
+            decisions=tuple(decisions),
+            partitions=partitions,
+            strategy=strategy.value,
+            machine_name=self.machine_spec.name,
+            predicted_latency=predicted,
+        )
+
+    def best_plan(self, model: ModelSpec, batch_size: int = 1) -> ExecutionPlan:
+        """The plan with the lowest predicted cold-start latency.
+
+        The paper's tool "automatically generates an inference execution
+        plan ... minimizing the inference latency"; this compares every
+        non-baseline strategy the machine supports and returns the
+        winner (usually PT+DHA, but e.g. pure DHA for embedding-dominated
+        models where parallel transmission's NVLink hop only adds cost).
+        """
+        candidates = [Strategy.PIPESWITCH, Strategy.DHA]
+        if max_partitions(self._topology) > 1:
+            candidates += [Strategy.PT, Strategy.PT_DHA]
+        plans = [self.plan(model, strategy, batch_size=batch_size)
+                 for strategy in candidates]
+        return min(plans, key=lambda plan: plan.predicted_latency)
+
+    def _partition_count(self, num_gpus: int | None) -> int:
+        supported = max_partitions(self._topology)
+        if num_gpus is None:
+            return min(2, supported)
+        if num_gpus < 2:
+            raise PlanError(
+                f"parallel transmission needs >= 2 GPUs, got {num_gpus}")
+        if num_gpus > supported:
+            raise PlanError(
+                f"machine {self.machine_spec.name} supports at most "
+                f"{supported} GPUs for parallel transmission "
+                f"(PCIe-switch and NVLink constraints); got {num_gpus}")
+        return num_gpus
+
+    # -- deployment helpers ---------------------------------------------------------
+
+    def secondary_gpus(self, primary: int, plan: ExecutionPlan) -> list[int]:
+        """Which GPUs carry the plan's secondary partitions from *primary*."""
+        needed = plan.num_partitions - 1
+        chosen = choose_secondary_gpus(self._topology, primary, needed)
+        if len(chosen) < needed:
+            raise PlanError(
+                f"no eligible secondary GPUs from gpu{primary} for "
+                f"{plan.num_partitions}-way parallel transmission")
+        return chosen

@@ -1,0 +1,90 @@
+"""Serving models larger than GPU memory (paper Section 7, future work).
+
+The paper closes by observing that DeepPlan "can allow inferences to
+models which are not fit in single GPU memory": instead of pipeline
+parallelism across GPUs, keep the overflow layers in pinned host memory
+and execute them by direct-host-access — "a cost-effective alternative
+for such large models".
+
+:func:`plan_within_budget` implements that: given a GPU memory budget,
+it chooses the set of layers to leave host-side so the resident
+footprint fits, minimizing the *recurring* warm-inference penalty.  The
+greedy criterion is the DHA penalty per byte saved — embeddings (huge,
+nearly free to serve host-side) go first, dense GEMM weights last —
+which is optimal for this knapsack-like relaxation in the common regime
+where penalties scale with traffic.
+"""
+
+from __future__ import annotations
+
+from repro.core.plan import ExecMethod, ExecutionPlan, Partition
+from repro.errors import PlanError
+from repro.models.costs import CostModel
+from repro.models.graph import ModelSpec
+
+__all__ = ["plan_within_budget", "warm_latency"]
+
+
+def plan_within_budget(cost_model: CostModel, model: ModelSpec,
+                       memory_budget: int, batch_size: int = 1,
+                       strategy_name: str = "dha-budget") -> ExecutionPlan:
+    """Plan *model* so its resident footprint fits *memory_budget* bytes.
+
+    Layers move host-side cheapest-penalty-per-byte first.  Raises
+    :class:`PlanError` if even an all-DHA plan exceeds the budget (the
+    model's parameter-free working set is out of scope here).
+    """
+    if memory_budget < 0:
+        raise PlanError(f"memory budget must be >= 0, got {memory_budget}")
+
+    decisions = [ExecMethod.LOAD if layer.loadable else ExecMethod.DHA
+                 for layer in model.layers]
+    resident = model.param_bytes
+
+    if resident > memory_budget:
+        candidates = sorted(
+            model.loadable_indices(),
+            key=lambda i: _penalty_per_byte(cost_model, model, i, batch_size))
+        for i in candidates:
+            if resident <= memory_budget:
+                break
+            decisions[i] = ExecMethod.DHA
+            resident -= model.layers[i].param_bytes
+        if resident > memory_budget:
+            raise PlanError(
+                f"{model.name} cannot fit {memory_budget} bytes even with "
+                f"every layer host-side")
+
+    plan = ExecutionPlan(
+        model=model,
+        batch_size=batch_size,
+        decisions=tuple(decisions),
+        partitions=(Partition(index=0, start=0, stop=len(model.layers)),),
+        strategy=strategy_name,
+        machine_name=cost_model.machine_spec.name,
+    )
+    return plan
+
+
+def warm_latency(cost_model: CostModel, plan: ExecutionPlan) -> float:
+    """Steady-state inference latency of a (possibly budgeted) plan.
+
+    Loaded layers execute from HBM; host-side layers pay their DHA cost
+    on every inference.
+    """
+    total = 0.0
+    for i, layer in enumerate(plan.model.layers):
+        if layer.loadable and plan.method(i) is ExecMethod.DHA:
+            total += cost_model.exec_dha(layer, plan.batch_size)
+        else:
+            total += cost_model.exec_inmem(layer, plan.batch_size)
+    return total
+
+
+def _penalty_per_byte(cost_model: CostModel, model: ModelSpec, index: int,
+                      batch_size: int) -> float:
+    """Warm-latency cost of moving layer *index* host-side, per byte."""
+    layer = model.layers[index]
+    penalty = (cost_model.exec_dha(layer, batch_size)
+               - cost_model.exec_inmem(layer, batch_size))
+    return penalty / layer.param_bytes

@@ -1,0 +1,103 @@
+"""Model transmission planning: partitioning and GPU selection.
+
+Paper Section 4.3.3: for parallel transmission the model is split into
+*size-balanced contiguous* partitions, one per participating GPU; the
+secondary GPUs must (1) sit on a different PCIe switch than the primary —
+two GPUs behind one switch halve each other's host bandwidth (Table 2) —
+and (2) be NVLink-connected to the primary so partitions can be merged.
+On the paper's p3.8xlarge (two switches, two GPUs each) this caps
+parallel transmission at two GPUs per model.
+"""
+
+from __future__ import annotations
+
+from repro.core.plan import Partition
+from repro.errors import PlanError
+from repro.hw.machine import Machine
+from repro.models.graph import ModelSpec
+
+__all__ = ["partition_model", "choose_secondary_gpus", "max_partitions"]
+
+
+def partition_model(model: ModelSpec, num_partitions: int) -> tuple[Partition, ...]:
+    """Split *model* into contiguous partitions balanced by byte size.
+
+    The boundary after partition ``p`` is placed at the first layer where
+    the cumulative parameter size reaches ``(p+1)/k`` of the total — the
+    "divide evenly in terms of size" rule from Section 3.2.
+    """
+    n = len(model.layers)
+    if num_partitions < 1:
+        raise PlanError(f"need at least one partition, got {num_partitions}")
+    if num_partitions > n:
+        raise PlanError(
+            f"cannot split {n} layers into {num_partitions} partitions")
+    if num_partitions == 1:
+        return (Partition(index=0, start=0, stop=n),)
+
+    total = model.param_bytes
+    if total == 0:
+        raise PlanError(f"model {model.name} has no parameters to partition")
+
+    boundaries = [0]
+    cumulative = 0
+    target_index = 1
+    for i, layer in enumerate(model.layers):
+        cumulative += layer.param_bytes
+        threshold = total * target_index / num_partitions
+        if cumulative >= threshold and target_index < num_partitions:
+            # Keep at least one layer per remaining partition.
+            stop = min(i + 1, n - (num_partitions - target_index))
+            stop = max(stop, boundaries[-1] + 1)
+            boundaries.append(stop)
+            target_index += 1
+    while len(boundaries) < num_partitions:
+        boundaries.append(boundaries[-1] + 1)
+    boundaries.append(n)
+
+    return tuple(Partition(index=p, start=boundaries[p], stop=boundaries[p + 1])
+                 for p in range(num_partitions))
+
+
+def choose_secondary_gpus(machine: Machine, primary: int,
+                          max_secondaries: int) -> list[int]:
+    """Pick secondary GPUs for parallel transmission from *primary*.
+
+    Only GPUs on other PCIe switches with an NVLink path qualify; at most
+    one secondary per other switch is used, since two secondaries behind
+    one switch would contend with each other.  Among a switch's GPUs, the
+    one sharing the primary's within-switch rank is preferred, so the
+    pairing is collision-free fleet-wide (on p3.8xlarge: 0<->2, 1<->3 —
+    two simultaneous parallel transmissions never borrow the same lane).
+    """
+    if max_secondaries < 0:
+        raise PlanError(f"max_secondaries must be >= 0, got {max_secondaries}")
+    if max_secondaries == 0:
+        return []
+    primary_rank = _switch_rank(machine, primary)
+    candidates = sorted(
+        machine.parallel_transmission_peers(primary),
+        key=lambda g: (_switch_rank(machine, g) != primary_rank, g))
+    chosen: list[int] = []
+    used_switches = {machine.switch_of(primary)}
+    for candidate in candidates:
+        switch = machine.switch_of(candidate)
+        if switch in used_switches:
+            continue
+        chosen.append(candidate)
+        used_switches.add(switch)
+        if len(chosen) >= max_secondaries:
+            break
+    return chosen
+
+
+def _switch_rank(machine: Machine, gpu: int) -> int:
+    """Position of *gpu* within its PCIe switch group."""
+    group = machine.spec.pcie_switch_groups[machine.switch_of(gpu)]
+    return group.index(gpu)
+
+
+def max_partitions(machine: Machine, primary: int = 0) -> int:
+    """How many partitions parallel transmission supports on *machine*."""
+    return 1 + len(choose_secondary_gpus(machine, primary,
+                                         max_secondaries=machine.gpu_count))

@@ -1,0 +1,195 @@
+"""Execution plans: per-layer method decisions plus partitioning.
+
+An :class:`ExecutionPlan` is DeepPlan's output artifact (paper Figure 10,
+step 4): for every layer, whether to **load** it into GPU memory or
+execute it by **direct-host-access**; and, when parallel transmission is
+enabled, which contiguous partition (and therefore which GPU's PCIe lane)
+carries it.
+
+Plan invariants enforced here mirror the paper's design:
+
+* parameter-free layers have nothing to load — they are always DHA
+  (marked "X" in the paper's Table 3);
+* DHA only ever applies to the *first* partition: parallel transmission
+  overrides later partitions to loads (Section 4.3.3);
+* partitions are contiguous, ordered, and cover the whole model.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import typing
+
+from repro.errors import PlanError
+from repro.models.graph import ModelSpec
+from repro.units import MB
+
+__all__ = ["ExecMethod", "Partition", "ExecutionPlan"]
+
+
+class ExecMethod(enum.Enum):
+    """How one layer's parameters reach its kernels."""
+
+    #: Copy parameters to GPU memory, then execute ("O" in Table 3).
+    LOAD = "load"
+    #: Execute reading pinned host memory over PCIe ("X" in Table 3).
+    DHA = "dha"
+
+
+@dataclasses.dataclass(frozen=True)
+class Partition:
+    """A contiguous slice of layers transmitted over one GPU's PCIe lane."""
+
+    #: Position in the transmission order; 0 is the primary partition.
+    index: int
+    #: Layer index range [start, stop).
+    start: int
+    stop: int
+
+    def __contains__(self, layer_index: int) -> bool:
+        return self.start <= layer_index < self.stop
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+    @property
+    def is_primary(self) -> bool:
+        return self.index == 0
+
+
+@dataclasses.dataclass(frozen=True)
+class ExecutionPlan:
+    """DeepPlan's deployable artifact for one (model, machine) pair."""
+
+    model: ModelSpec
+    batch_size: int
+    decisions: tuple[ExecMethod, ...]
+    partitions: tuple[Partition, ...]
+    #: Human-readable strategy tag ("baseline", "pipeswitch", "dha", ...).
+    strategy: str
+    #: Machine preset the plan was generated for.
+    machine_name: str
+    #: Planner-predicted cold-start latency (contention-free), seconds.
+    predicted_latency: float = 0.0
+
+    def __post_init__(self) -> None:
+        self._validate()
+
+    def _validate(self) -> None:
+        if len(self.decisions) != len(self.model.layers):
+            raise PlanError(
+                f"plan for {self.model.name} has {len(self.decisions)} "
+                f"decisions for {len(self.model.layers)} layers")
+        if not self.partitions:
+            raise PlanError("plan needs at least one partition")
+        expected_start = 0
+        for index, partition in enumerate(self.partitions):
+            if partition.index != index:
+                raise PlanError(f"partition {partition} out of order")
+            if partition.start != expected_start or len(partition) <= 0:
+                raise PlanError(
+                    f"partitions must be contiguous and non-empty; "
+                    f"partition {index} spans [{partition.start}, "
+                    f"{partition.stop})")
+            expected_start = partition.stop
+        if expected_start != len(self.model.layers):
+            raise PlanError(
+                f"partitions cover {expected_start} of "
+                f"{len(self.model.layers)} layers")
+        for i, (layer, method) in enumerate(zip(self.model.layers,
+                                                self.decisions)):
+            if not layer.loadable and method is not ExecMethod.DHA:
+                raise PlanError(
+                    f"layer {layer.name} has no parameters and cannot be "
+                    f"loaded")
+            if (method is ExecMethod.DHA and layer.loadable
+                    and self.partition_of(i) != 0):
+                raise PlanError(
+                    f"layer {layer.name} uses DHA in partition "
+                    f"{self.partition_of(i)}; DHA is only valid in the "
+                    f"first partition")
+
+    # -- lookups ----------------------------------------------------------------
+
+    def method(self, layer_index: int) -> ExecMethod:
+        return self.decisions[layer_index]
+
+    def partition_of(self, layer_index: int) -> int:
+        for partition in self.partitions:
+            if layer_index in partition:
+                return partition.index
+        raise PlanError(f"layer index {layer_index} outside all partitions")
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self.partitions)
+
+    @property
+    def uses_parallel_transmission(self) -> bool:
+        return len(self.partitions) > 1
+
+    def loaded_indices(self) -> list[int]:
+        """Layers whose parameters are copied to the GPU."""
+        return [i for i, (layer, method)
+                in enumerate(zip(self.model.layers, self.decisions))
+                if layer.loadable and method is ExecMethod.LOAD]
+
+    def dha_indices(self) -> list[int]:
+        """Layers with parameters left host-resident for DHA."""
+        return [i for i, (layer, method)
+                in enumerate(zip(self.model.layers, self.decisions))
+                if layer.loadable and method is ExecMethod.DHA]
+
+    def loaded_indices_in(self, partition_index: int) -> list[int]:
+        partition = self.partitions[partition_index]
+        return [i for i in self.loaded_indices() if i in partition]
+
+    # -- footprints --------------------------------------------------------------
+
+    @property
+    def gpu_resident_bytes(self) -> int:
+        """GPU memory the provisioned model occupies (loaded layers only).
+
+        DHA layers stay in host memory — this is why DeepPlan packs more
+        instances per GPU than PipeSwitch (paper Figure 13: 124 vs 100
+        BERT-Base instances across four V100s).
+        """
+        return sum(self.model.layers[i].param_bytes
+                   for i in self.loaded_indices())
+
+    @property
+    def host_resident_bytes(self) -> int:
+        """Parameter bytes served from pinned host memory (DHA layers)."""
+        return sum(self.model.layers[i].param_bytes
+                   for i in self.dha_indices())
+
+    def partition_load_bytes(self, partition_index: int) -> int:
+        """Bytes transmitted over the lane serving ``partition_index``."""
+        return sum(self.model.layers[i].param_bytes
+                   for i in self.loaded_indices_in(partition_index))
+
+    # -- reporting ---------------------------------------------------------------
+
+    def table3_row(self, layer_indices: typing.Sequence[int]) -> str:
+        """Render decisions as the paper's Table 3 does (O: load, X: DHA)."""
+        marks = ["O" if self.decisions[i] is ExecMethod.LOAD else "X"
+                 for i in layer_indices]
+        return " ".join(marks)
+
+    def summary(self) -> str:
+        loaded = self.loaded_indices()
+        dha = self.dha_indices()
+        lines = [
+            f"plan[{self.strategy}] for {self.model.name} on "
+            f"{self.machine_name} (batch {self.batch_size})",
+            f"  partitions: {self.num_partitions} "
+            + " ".join(f"[{p.start}:{p.stop})" for p in self.partitions),
+            f"  loaded layers: {len(loaded)} "
+            f"({self.gpu_resident_bytes / MB:.1f} MiB)",
+            f"  dha layers: {len(dha)} "
+            f"({self.host_resident_bytes / MB:.1f} MiB stay host-side)",
+            f"  predicted cold-start latency: "
+            f"{self.predicted_latency * 1e3:.2f} ms",
+        ]
+        return "\n".join(lines)

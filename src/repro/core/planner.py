@@ -1,0 +1,124 @@
+"""Layer execution planning: the paper's Algorithm 1.
+
+Starting from the pure pipeline (every parameterized layer loaded), the
+planner walks the layers in order and, wherever the pipeline stalls,
+converts *earlier* layers to direct-host-access — cheapest conversions
+first (smallest ``PerfDiff = Exe(DHA) - Exe(InMem)``) — because removing
+a layer's load from the load stream lets every subsequent load start
+earlier (paper Figures 7 and 8).
+
+The paper's Step 4 ("UpdatePipelineExecutionFrom") re-profiles the
+pipeline once a stall is eliminated; this implementation recomputes the
+full timeline from the decision vector before examining each layer,
+which is the same fixed point computed more simply.
+
+:func:`initial_approach` implements the strawman the paper contrasts in
+Table 3: per-layer comparison of the two methods with no pipeline
+awareness.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.core.plan import ExecMethod, Partition
+from repro.core.stall import Timeline, compute_timeline
+from repro.models.costs import LayerCosts
+
+__all__ = ["LayerExecutionPlanner", "initial_approach"]
+
+
+def initial_approach(costs: typing.Sequence[LayerCosts]) -> list[ExecMethod]:
+    """Naive per-layer choice: DHA wherever it beats load-then-execute.
+
+    This ignores that a load's latency may be *hidden* by pipelining —
+    the flaw Algorithm 1 fixes (e.g., ResNet-101's mid-network convs in
+    the paper's Table 3a are DHA here but loaded by DeepPlan).
+    """
+    decisions = []
+    for cost in costs:
+        if cost.load_pcie_bytes == 0:
+            decisions.append(ExecMethod.DHA)
+        elif cost.exec_dha < cost.load_time + cost.exec_inmem:
+            decisions.append(ExecMethod.DHA)
+        else:
+            decisions.append(ExecMethod.LOAD)
+    return decisions
+
+
+class LayerExecutionPlanner:
+    """Algorithm 1 over a profile report.
+
+    Parameters
+    ----------
+    costs:
+        Per-layer profile (load time, both execution times).
+    partitions:
+        Partition layout when planning on top of parallel transmission.
+        Only partition 0 is eligible for DHA conversion; later partitions
+        arrive over NVLink and stay loads (paper Section 4.3.3).
+    nvlink_time:
+        Transfer-time function for the NVLink hop (required with more
+        than one partition).
+    """
+
+    def __init__(self, costs: typing.Sequence[LayerCosts],
+                 partitions: typing.Sequence[Partition] = (),
+                 nvlink_time: typing.Callable[[int], float] | None = None) -> None:
+        self.costs = list(costs)
+        self.partitions = tuple(partitions) or (
+            Partition(index=0, start=0, stop=len(self.costs)),)
+        self.nvlink_time = nvlink_time
+        self._primary = self.partitions[0]
+
+    # -- the algorithm -----------------------------------------------------------
+
+    def plan(self) -> list[ExecMethod]:
+        """Run Algorithm 1 and return the final decision vector."""
+        decisions = self.all_loaded()
+        for i in range(len(self.costs)):
+            timeline = self._timeline(decisions)
+            stall = timeline.stall_of(i)
+            if stall <= 0:
+                continue
+            self._reduce_stall(i, stall, decisions)
+        return decisions
+
+    def _reduce_stall(self, i: int, stall: float,
+                      decisions: list[ExecMethod]) -> None:
+        """Steps 1-4 of Algorithm 1 for one stalled layer ``L_i``."""
+        # Step 1: candidate layers L_1..L_i not yet converted, sorted by
+        # PerfDiff ascending (cheapest conversions first).
+        candidates = sorted(
+            (j for j in range(self._primary.start, min(i, self._primary.stop - 1) + 1)
+             if decisions[j] is ExecMethod.LOAD
+             and self.costs[j].load_pcie_bytes > 0),
+            key=lambda j: self.costs[j].perf_diff)
+        for j in candidates:
+            perf_diff = self.costs[j].perf_diff
+            # Step 2: a conversion only helps while its execution-time
+            # penalty is smaller than the stall left to remove.
+            if stall < perf_diff:
+                break
+            # Step 3: convert L_j and credit its removed load time.
+            decisions[j] = ExecMethod.DHA
+            stall -= self.costs[j].load_time + perf_diff
+            # Step 4: stall eliminated; the timeline is recomputed before
+            # the next layer is examined.
+            if stall <= 0:
+                break
+
+    # -- helpers ----------------------------------------------------------------------
+
+    def all_loaded(self) -> list[ExecMethod]:
+        return [ExecMethod.LOAD if cost.load_pcie_bytes > 0 else ExecMethod.DHA
+                for cost in self.costs]
+
+    def _timeline(self, decisions: typing.Sequence[ExecMethod]) -> Timeline:
+        return compute_timeline(self.costs, decisions, self.partitions,
+                                self.nvlink_time)
+
+    def predicted_timeline(
+            self, decisions: typing.Sequence[ExecMethod]) -> Timeline:
+        """Public timeline view for a finished decision vector."""
+        return self._timeline(decisions)

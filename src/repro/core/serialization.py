@@ -1,0 +1,126 @@
+"""Plan serialization: save and load deployable execution plans.
+
+The paper's DeepPlan emits an inference execution plan that is "ready to
+be deployed into the serving systems" (Figure 10, step 4).  This module
+makes that artifact durable: an :class:`~repro.core.plan.ExecutionPlan`
+round-trips through JSON, including the model specification it was
+generated for, so a serving fleet can consume plans produced by an
+offline planning job.
+
+The format is versioned and self-describing; loading validates layer
+integrity (the plan refuses to attach to a model whose layers changed).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import typing
+
+from repro.core.plan import ExecMethod, ExecutionPlan, Partition
+from repro.errors import PlanError
+from repro.models.graph import ModelSpec
+from repro.models.layers import LayerKind, LayerSpec
+
+__all__ = ["plan_to_dict", "plan_from_dict", "save_plan", "load_plan"]
+
+FORMAT_VERSION = 1
+
+
+def _layer_to_dict(layer: LayerSpec) -> dict[str, object]:
+    return {
+        "name": layer.name,
+        "kind": layer.kind.value,
+        "param_bytes": layer.param_bytes,
+        "flops_per_item": layer.flops_per_item,
+        "act_bytes_per_item": layer.act_bytes_per_item,
+        "dha_min_bytes": layer.dha_min_bytes,
+        "dha_bytes_per_item": layer.dha_bytes_per_item,
+        "gather": layer.gather,
+    }
+
+
+def _layer_from_dict(data: dict[str, object]) -> LayerSpec:
+    try:
+        return LayerSpec(
+            name=typing.cast(str, data["name"]),
+            kind=LayerKind(data["kind"]),
+            param_bytes=typing.cast(int, data["param_bytes"]),
+            flops_per_item=typing.cast(float, data["flops_per_item"]),
+            act_bytes_per_item=typing.cast(int, data["act_bytes_per_item"]),
+            dha_min_bytes=typing.cast(int, data["dha_min_bytes"]),
+            dha_bytes_per_item=typing.cast(int, data["dha_bytes_per_item"]),
+            gather=typing.cast(bool, data.get("gather", False)),
+        )
+    except (KeyError, ValueError) as error:
+        raise PlanError(f"malformed layer record: {error}") from error
+
+
+def plan_to_dict(plan: ExecutionPlan) -> dict[str, object]:
+    """The JSON-ready representation of a plan (and its model)."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "strategy": plan.strategy,
+        "machine": plan.machine_name,
+        "batch_size": plan.batch_size,
+        "predicted_latency": plan.predicted_latency,
+        "model": {
+            "name": plan.model.name,
+            "family": plan.model.family,
+            "seq_len": plan.model.seq_len,
+            "layers": [_layer_to_dict(layer) for layer in plan.model.layers],
+        },
+        "decisions": [method.value for method in plan.decisions],
+        "partitions": [{"index": p.index, "start": p.start, "stop": p.stop}
+                       for p in plan.partitions],
+    }
+
+
+def plan_from_dict(data: dict[str, object]) -> ExecutionPlan:
+    """Reconstruct a plan (and its model) from :func:`plan_to_dict` output."""
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise PlanError(f"unsupported plan format version {version!r} "
+                        f"(expected {FORMAT_VERSION})")
+    try:
+        model_data = typing.cast(dict, data["model"])
+        model = ModelSpec(
+            name=model_data["name"],
+            layers=tuple(_layer_from_dict(layer)
+                         for layer in model_data["layers"]),
+            seq_len=model_data["seq_len"],
+            family=model_data["family"],
+        )
+        decisions = tuple(ExecMethod(value)
+                          for value in typing.cast(list, data["decisions"]))
+        partitions = tuple(
+            Partition(index=p["index"], start=p["start"], stop=p["stop"])
+            for p in typing.cast(list, data["partitions"]))
+        return ExecutionPlan(
+            model=model,
+            batch_size=typing.cast(int, data["batch_size"]),
+            decisions=decisions,
+            partitions=partitions,
+            strategy=typing.cast(str, data["strategy"]),
+            machine_name=typing.cast(str, data["machine"]),
+            predicted_latency=typing.cast(float,
+                                          data.get("predicted_latency", 0.0)),
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise PlanError(f"malformed plan record: {error}") from error
+
+
+def save_plan(plan: ExecutionPlan, path: "str | pathlib.Path") -> None:
+    """Write a plan to *path* as JSON."""
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(plan_to_dict(plan), indent=2) + "\n")
+
+
+def load_plan(path: "str | pathlib.Path") -> ExecutionPlan:
+    """Read a plan previously written by :func:`save_plan`."""
+    path = pathlib.Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as error:
+        raise PlanError(f"{path} is not valid JSON: {error}") from error
+    return plan_from_dict(data)

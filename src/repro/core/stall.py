@@ -1,0 +1,158 @@
+"""Pipeline timeline analysis: where do stalls come from?
+
+This is the analytical model of pipelined provisioning shared by the
+profiler (reporting per-layer stalls, paper Figure 2), Algorithm 1 (which
+needs ``Stall_Li`` for every layer under the current decisions), and the
+plan's predicted latency.
+
+The recurrence (contention-free, matching paper Figures 7-9):
+
+* the *load stream* copies loaded layers in order, so layer ``i`` of
+  partition 0 becomes ready at ``ready_{prev} + load_i``;
+* each secondary partition loads through its own PCIe lane in parallel
+  and a per-GPU *migration stream* forwards each layer over NVLink as
+  soon as it lands (parallel-pipeline, Section 3.2), so a partition-``p``
+  layer is ready on the primary GPU when its NVLink hop completes;
+* the *execution stream* runs layers in order: a loaded layer starts at
+  ``max(end_{i-1}, ready_i)`` (paying a small event-sync check), a DHA or
+  parameter-free layer starts at ``end_{i-1}`` immediately;
+* ``stall_i = max(0, ready_i - end_{i-1})`` — the quantity DeepPlan
+  exists to eliminate.
+
+The discrete-event executor in :mod:`repro.engine` implements the same
+semantics with real resource contention; tests cross-validate the two.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.core.plan import ExecMethod, Partition
+from repro.models.costs import EVENT_SYNC_OVERHEAD, LayerCosts
+
+__all__ = ["LayerTiming", "Timeline", "compute_timeline", "baseline_latency"]
+
+
+@dataclasses.dataclass(frozen=True)
+class LayerTiming:
+    """When one layer's parameters arrived and when it executed."""
+
+    index: int
+    method: ExecMethod
+    #: When parameters became available on the primary GPU (0 for DHA and
+    #: parameter-free layers — they never wait on a transfer).
+    ready: float
+    start: float
+    end: float
+    stall: float
+
+
+class Timeline:
+    """Per-layer timings plus aggregate latency decomposition."""
+
+    def __init__(self, timings: list[LayerTiming]) -> None:
+        if not timings:
+            raise ValueError("timeline needs at least one layer")
+        self.timings = timings
+
+    @property
+    def total_latency(self) -> float:
+        return self.timings[-1].end
+
+    @property
+    def total_stall(self) -> float:
+        """Summed pipeline stalls (the dark bars of paper Figure 2)."""
+        return sum(t.stall for t in self.timings)
+
+    @property
+    def total_execution(self) -> float:
+        """GPU busy time: latency minus stalls."""
+        return self.total_latency - self.total_stall
+
+    @property
+    def stall_fraction(self) -> float:
+        return self.total_stall / self.total_latency
+
+    def stall_of(self, layer_index: int) -> float:
+        return self.timings[layer_index].stall
+
+    def __iter__(self) -> typing.Iterator[LayerTiming]:
+        return iter(self.timings)
+
+    def __len__(self) -> int:
+        return len(self.timings)
+
+
+def compute_timeline(
+    costs: typing.Sequence[LayerCosts],
+    decisions: typing.Sequence[ExecMethod],
+    partitions: typing.Sequence[Partition] = (),
+    nvlink_time: typing.Callable[[int], float] | None = None,
+) -> Timeline:
+    """Predict the pipelined execution timeline for a decision vector.
+
+    ``partitions`` and ``nvlink_time`` describe parallel transmission;
+    with a single partition (or none given) the model is the plain
+    single-GPU pipeline.
+    """
+    n = len(costs)
+    if len(decisions) != n:
+        raise ValueError(f"{len(decisions)} decisions for {n} layers")
+    if not partitions:
+        partitions = (Partition(index=0, start=0, stop=n),)
+    if len(partitions) > 1 and nvlink_time is None:
+        raise ValueError("parallel transmission requires nvlink_time")
+
+    ready = _param_ready_times(costs, decisions, partitions, nvlink_time)
+
+    timings: list[LayerTiming] = []
+    end_prev = 0.0
+    for i, cost in enumerate(costs):
+        method = decisions[i]
+        loaded = cost.load_pcie_bytes > 0 and method is ExecMethod.LOAD
+        if loaded:
+            stall = max(0.0, ready[i] - end_prev)
+            start = max(end_prev, ready[i])
+            duration = cost.exec_inmem + EVENT_SYNC_OVERHEAD
+        else:
+            stall = 0.0
+            start = end_prev
+            duration = cost.exec_dha
+        end = start + duration
+        timings.append(LayerTiming(index=i, method=method, ready=ready[i],
+                                   start=start, end=end, stall=stall))
+        end_prev = end
+    return Timeline(timings)
+
+
+def _param_ready_times(
+    costs: typing.Sequence[LayerCosts],
+    decisions: typing.Sequence[ExecMethod],
+    partitions: typing.Sequence[Partition],
+    nvlink_time: typing.Callable[[int], float] | None,
+) -> list[float]:
+    """When each layer's parameters are available on the primary GPU."""
+    ready = [0.0] * len(costs)
+    for partition in partitions:
+        lane_clock = 0.0  # this partition's PCIe lane (primary or secondary)
+        migration_clock = 0.0  # the secondary GPU's NVLink stream
+        for i in range(partition.start, partition.stop):
+            cost = costs[i]
+            if decisions[i] is not ExecMethod.LOAD or cost.load_pcie_bytes == 0:
+                continue
+            lane_clock += cost.load_time
+            if partition.is_primary:
+                ready[i] = lane_clock
+            else:
+                assert nvlink_time is not None
+                migration_clock = (max(migration_clock, lane_clock)
+                                   + nvlink_time(cost.load_pcie_bytes))
+                ready[i] = migration_clock
+    return ready
+
+
+def baseline_latency(costs: typing.Sequence[LayerCosts]) -> float:
+    """Non-pipelined provisioning: load everything, then execute."""
+    return (sum(c.load_time for c in costs)
+            + sum(c.exec_inmem for c in costs))

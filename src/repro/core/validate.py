@@ -1,0 +1,98 @@
+"""Deployment-time validation of execution plans against a machine.
+
+An :class:`~repro.core.plan.ExecutionPlan` validates its own internal
+invariants on construction; this module checks the *external* ones — the
+plan has to be executable on a concrete machine:
+
+* the resident footprint must fit a GPU's usable memory;
+* every secondary partition must fit the staging area (workspace) of a
+  secondary GPU;
+* the partition count must not exceed what the machine's PCIe/NVLink
+  topology supports;
+* a parallel-transmission plan needs an eligible cross-switch secondary
+  for every primary it may be homed on.
+
+The serving system runs these checks at ``deploy()`` so misconfiguration
+surfaces immediately instead of as a mid-trace failure.
+"""
+
+from __future__ import annotations
+
+from repro.core.partitioner import choose_secondary_gpus, max_partitions
+from repro.core.plan import ExecutionPlan
+from repro.errors import PlanError
+from repro.hw.machine import Machine
+from repro.units import MB
+
+__all__ = ["validate_plan_on_machine", "PlanValidationError"]
+
+
+class PlanValidationError(PlanError):
+    """A plan cannot be deployed on the given machine."""
+
+
+def validate_plan_on_machine(plan: ExecutionPlan, machine: Machine,
+                             primaries: "list[int] | None" = None) -> None:
+    """Raise :class:`PlanValidationError` if *plan* cannot run on *machine*.
+
+    ``primaries`` restricts the check to the home GPUs the plan will be
+    used from (default: every GPU).
+    """
+    if primaries is None:
+        primaries = [gpu.index for gpu in machine.gpus]
+    for primary in primaries:
+        machine.gpu(primary)
+
+    _check_resident_footprint(plan, machine, primaries)
+    _check_partition_support(plan, machine, primaries)
+    _check_staging(plan, machine, primaries)
+
+
+def _check_resident_footprint(plan: ExecutionPlan, machine: Machine,
+                              primaries: list[int]) -> None:
+    for primary in primaries:
+        memory = machine.gpu(primary).memory
+        usable = memory.capacity_bytes - memory.workspace_bytes
+        if plan.gpu_resident_bytes > usable:
+            raise PlanValidationError(
+                f"plan for {plan.model.name} needs "
+                f"{plan.gpu_resident_bytes / MB:.0f} MiB resident but "
+                f"gpu{primary} offers {usable / MB:.0f} MiB; consider "
+                f"repro.core.large_model.plan_within_budget")
+
+
+def _check_partition_support(plan: ExecutionPlan, machine: Machine,
+                             primaries: list[int]) -> None:
+    if not plan.uses_parallel_transmission:
+        return
+    for primary in primaries:
+        supported = max_partitions(machine, primary)
+        if plan.num_partitions > supported:
+            raise PlanValidationError(
+                f"plan uses {plan.num_partitions}-way parallel transmission "
+                f"but gpu{primary} on {machine.spec.name} supports at most "
+                f"{supported} (cross-switch NVLink peers)")
+        secondaries = choose_secondary_gpus(machine, primary,
+                                            plan.num_partitions - 1)
+        if len(secondaries) < plan.num_partitions - 1:
+            raise PlanValidationError(
+                f"gpu{primary} lacks {plan.num_partitions - 1} eligible "
+                f"secondary GPUs for {plan.model.name}")
+
+
+def _check_staging(plan: ExecutionPlan, machine: Machine,
+                   primaries: list[int]) -> None:
+    if not plan.uses_parallel_transmission:
+        return
+    largest_secondary = max(plan.partition_load_bytes(p)
+                            for p in range(1, plan.num_partitions))
+    for primary in primaries:
+        for secondary in choose_secondary_gpus(machine, primary,
+                                               plan.num_partitions - 1):
+            workspace = machine.gpu(secondary).memory.workspace_bytes
+            if largest_secondary > workspace:
+                raise PlanValidationError(
+                    f"partition of {largest_secondary / MB:.0f} MiB exceeds "
+                    f"gpu{secondary}'s {workspace / MB:.0f} MiB staging "
+                    f"area; reduce partition size or increase the "
+                    f"workspace carve-out")

@@ -1,0 +1,39 @@
+"""Execution engine: runs execution plans on the simulated machine.
+
+Where :mod:`repro.core.stall` *predicts* timings analytically, this
+package *executes* plans as discrete-event processes on a
+:class:`~repro.hw.machine.Machine` — load streams issue real transfers on
+the PCIe links, migration streams on NVLink, DHA kernels put their
+zero-copy traffic on the primary GPU's lane — so contention between
+concurrent cold-starts (paper Table 4) and between serving traffic and
+provisioning emerges from link sharing.
+
+Entry points:
+
+* :func:`~repro.engine.executor.execute_plan` — one cold-start inference
+  (the provisioning path).
+* :func:`~repro.engine.executor.execute_warm` — one inference on an
+  already-provisioned instance (DHA layers still read host memory).
+* :func:`~repro.engine.transmission.transmit_model` — transmission-only
+  experiments (paper Figure 6 / Table 2).
+* :mod:`repro.engine.strategies` — convenience one-shot runners used by
+  the benchmarks.
+"""
+
+from repro.engine.executor import ExecutionResult, LayerTrace, execute_plan, execute_warm
+from repro.engine.transmission import TransmissionResult, transmit_model
+from repro.engine.strategies import (
+    run_concurrent_cold_starts,
+    run_single_inference,
+)
+
+__all__ = [
+    "ExecutionResult",
+    "LayerTrace",
+    "TransmissionResult",
+    "execute_plan",
+    "execute_warm",
+    "run_concurrent_cold_starts",
+    "run_single_inference",
+    "transmit_model",
+]

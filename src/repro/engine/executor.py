@@ -1,0 +1,431 @@
+"""The plan executor: load, migration, and execution streams.
+
+Mirrors the paper's engine design (Section 4.3.4): a *load stream* copies
+loaded layers host->GPU in plan order; with parallel transmission each
+secondary GPU runs its own load stream plus a *migration stream*
+forwarding layers to the primary over NVLink as they land; the
+*execution stream* runs layers in order, waiting on a per-layer CUDA
+event for loaded layers and skipping the dependency check for DHA layers.
+
+Everything is a :mod:`repro.simkit` process issuing real transfers on the
+machine's links, so two concurrent cold-starts contend exactly where the
+hardware would make them contend.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import typing
+
+from repro.core.plan import ExecMethod, ExecutionPlan
+from repro.hw.machine import Machine
+from repro.models.costs import (
+    DHA_KERNEL_PENALTY,
+    EVENT_SYNC_OVERHEAD,
+    KIND_TIME_FLOOR,
+    CostModel,
+)
+from repro.simkit import Event, Process, all_of
+
+__all__ = ["ExecutionResult", "LayerTrace", "execute_plan", "execute_warm"]
+
+#: DMA priority of secondary-partition copies relative to a lane's own
+#: traffic.  Parallel transmission *borrows* another GPU's PCIe lane; its
+#: copies are issued at lower queue priority so a concurrent cold-start
+#: on that GPU keeps most of its own bandwidth — this is why the paper
+#: finds PT interference mild (Table 4: each of two simultaneous PT+DHA
+#: cold-starts still beats PipeSwitch).
+SECONDARY_LOAD_WEIGHT = 0.4
+
+
+@dataclasses.dataclass(frozen=True)
+class LayerTrace:
+    """Observed timing of one layer during a simulated execution."""
+
+    index: int
+    name: str
+    method: ExecMethod
+    ready: float
+    start: float
+    end: float
+    stall: float
+
+
+@dataclasses.dataclass
+class ExecutionResult:
+    """Outcome of one cold-start execution."""
+
+    plan: ExecutionPlan
+    primary_gpu: int
+    secondary_gpus: tuple[int, ...]
+    started_at: float
+    finished_at: float
+    #: Per-layer timings (empty when the run was executed in the
+    #: coalesced fast path used by the serving system).
+    layer_traces: list[LayerTrace]
+    #: Summed pipeline stalls (always recorded, traces or not).
+    total_stall: float
+    #: Bytes loaded over each participating PCIe lane, with the lane's
+    #: busy window — enough to compute the paper's Table 2 bandwidths.
+    lane_bytes: dict[int, int]
+    lane_span: dict[int, tuple[float, float]]
+
+    @property
+    def latency(self) -> float:
+        return self.finished_at - self.started_at
+
+    @property
+    def execution_time(self) -> float:
+        """GPU busy time (latency minus stalls), as in paper Figure 2."""
+        return self.latency - self.total_stall
+
+    def lane_bandwidth(self, gpu_index: int) -> float:
+        """Average achieved PCIe bandwidth on one lane, bytes/second."""
+        start, end = self.lane_span[gpu_index]
+        if end <= start:
+            return 0.0
+        return self.lane_bytes[gpu_index] / (end - start)
+
+
+def execute_plan(machine: Machine, cost_model: CostModel,
+                 plan: ExecutionPlan, primary: int,
+                 secondaries: typing.Sequence[int] = (),
+                 detailed_traces: bool = True) -> Process:
+    """Start a cold-start execution of *plan*; returns its process.
+
+    The process's return value is an :class:`ExecutionResult`.  The
+    caller is responsible for GPU memory accounting and for holding the
+    primary GPU's compute resource if exclusivity is required (the
+    serving system does both).
+
+    ``detailed_traces=False`` selects the coalesced execution-stream fast
+    path (consecutive non-waiting layers become one timeout, satisfied
+    waits are skipped): identical timing, per-layer traces omitted — the
+    serving system's hot path.
+    """
+    secondaries = tuple(secondaries)
+    needed = plan.num_partitions - 1
+    if len(secondaries) != needed:
+        raise ValueError(
+            f"plan has {plan.num_partitions} partitions; expected {needed} "
+            f"secondary GPUs, got {len(secondaries)}")
+    runner = _PlanRunner(machine, cost_model, plan, primary, secondaries,
+                         detailed_traces=detailed_traces)
+    return machine.sim.process(runner.run(), name=f"exec:{plan.model.name}")
+
+
+def execute_warm(machine: Machine, cost_model: CostModel,
+                 plan: ExecutionPlan, gpu: int) -> Process:
+    """Execute one inference on an already-provisioned instance.
+
+    Loaded layers run from GPU memory; layers the plan left host-side
+    keep paying their DHA traffic on the GPU's PCIe lane *every*
+    inference — the recurring cost of DeepPlan's memory savings.
+    """
+    runner = _PlanRunner(machine, cost_model, plan, gpu, ())
+    return machine.sim.process(runner.run_warm(),
+                               name=f"warm:{plan.model.name}")
+
+
+class _PlanRunner:
+    """One execution of one plan; holds the per-run event plumbing."""
+
+    def __init__(self, machine: Machine, cost_model: CostModel,
+                 plan: ExecutionPlan, primary: int,
+                 secondaries: tuple[int, ...],
+                 detailed_traces: bool = True) -> None:
+        self.machine = machine
+        self.sim = machine.sim
+        self.costs = cost_model
+        self.plan = plan
+        self.primary = primary
+        self.secondaries = secondaries
+        self.batch = plan.batch_size
+        self.detailed_traces = detailed_traces
+        self._ready: dict[int, Event] = {}
+        self._lane_bytes: dict[int, int] = {}
+        self._lane_span: dict[int, tuple[float, float]] = {}
+
+    # -- top-level ----------------------------------------------------------------
+
+    def run(self) -> typing.Generator[Event, object, ExecutionResult]:
+        started_at = self.sim.now
+        plan = self.plan
+        for i in plan.loaded_indices():
+            self._ready[i] = self.sim.event(name=f"ready:{i}")
+
+        self.sim.process(self._primary_load_stream(), name="load-stream")
+        for partition_index, secondary in enumerate(self.secondaries, start=1):
+            self.sim.process(
+                self._secondary_pipeline(partition_index, secondary),
+                name=f"secondary-{secondary}")
+
+        pipelined = plan.strategy != "baseline"
+        if not pipelined and self._ready:
+            yield all_of(self.sim, list(self._ready.values()))
+
+        if self.detailed_traces:
+            traces = yield from self._execution_stream()
+            total_stall = sum(trace.stall for trace in traces)
+        else:
+            traces = []
+            total_stall = yield from self._execution_stream_coalesced()
+        return ExecutionResult(
+            plan=plan,
+            primary_gpu=self.primary,
+            secondary_gpus=self.secondaries,
+            started_at=started_at,
+            finished_at=self.sim.now,
+            layer_traces=traces,
+            total_stall=total_stall,
+            lane_bytes=dict(self._lane_bytes),
+            lane_span=dict(self._lane_span),
+        )
+
+    def run_warm(self) -> typing.Generator[Event, object, ExecutionResult]:
+        """Warm inference: consecutive in-memory layers are coalesced into
+        single timeouts (their durations just add), so a warm request
+        costs a handful of simulator events instead of one per layer —
+        the hot path of every serving experiment.  DHA layers still issue
+        their real PCIe flows."""
+        started_at = self.sim.now
+        for kind, value in _warm_segments(self.plan, self.costs):
+            if kind == "exec":
+                yield self.sim.timeout(typing.cast(float, value))
+            else:
+                yield from self._run_dha_layer(typing.cast(int, value))
+        return ExecutionResult(
+            plan=self.plan, primary_gpu=self.primary, secondary_gpus=(),
+            started_at=started_at, finished_at=self.sim.now,
+            layer_traces=[], total_stall=0.0, lane_bytes={}, lane_span={})
+
+    # -- transfer streams -------------------------------------------------------------
+
+    def _account_lane(self, gpu: int, nbytes: int, start: float) -> None:
+        self._lane_bytes[gpu] = self._lane_bytes.get(gpu, 0) + nbytes
+        first, _ = self._lane_span.get(gpu, (start, start))
+        self._lane_span[gpu] = (min(first, start), self.sim.now)
+
+    def _launch_load_flow(self, gpu: int, indices: list[int],
+                          weight: float) -> list[Event]:
+        """Start one bulk PCIe flow covering a run of layer copies.
+
+        Per-copy DMA setup overhead is folded in as equivalent wire bytes
+        (identical timing to back-to-back copies on an uncontended lane),
+        and a milestone event marks each layer boundary — so a whole
+        partition costs one flow instead of one per layer.
+        """
+        spec = self.machine.spec
+        overhead_bytes = spec.pcie_copy_overhead * spec.pcie_lane_bandwidth
+        offsets = []
+        total = 0.0
+        for i in indices:
+            total += overhead_bytes + self.plan.model.layers[i].param_bytes
+            offsets.append(total)
+        _, milestones = self.machine.network.transfer_with_milestones(
+            self.machine.pcie_path(gpu), total, offsets, weight=weight)
+        return milestones
+
+    def _primary_load_stream(self) -> typing.Generator[Event, object, None]:
+        """The load stream: partition 0's layers, in order, one flow."""
+        indices = self.plan.loaded_indices_in(0)
+        if not indices:
+            return
+        start = self.sim.now
+        milestones = self._launch_load_flow(self.primary, indices, 1.0)
+        for i, landed in zip(indices, milestones):
+            yield landed
+            self._ready[i].succeed(self.sim.now)
+        self._account_lane(self.primary,
+                           self.plan.partition_load_bytes(0), start)
+
+    def _secondary_pipeline(self, partition_index: int,
+                            secondary: int) -> typing.Generator[Event, object, None]:
+        """Load partition ``partition_index`` on *secondary*, forwarding
+        layers to the primary over NVLink as they land.
+
+        The migration stream forwards the *run* of layers that landed
+        since it last woke as one NVLink copy — per-layer forwarding when
+        it keeps up (NVLink is ~4x faster than the lane), naturally
+        batching when it falls behind.
+        """
+        indices = self.plan.loaded_indices_in(partition_index)
+        if not indices:
+            return
+        start = self.sim.now
+        milestones = self._launch_load_flow(secondary, indices,
+                                            SECONDARY_LOAD_WEIGHT)
+        staging_bytes = self.plan.partition_load_bytes(partition_index)
+        staging_tag = f"staging:{self.plan.model.name}:{id(self)}:{partition_index}"
+        memory = self.machine.gpu(secondary).memory
+        memory.reserve_staging(staging_tag, staging_bytes)
+        try:
+            position = 0
+            while position < len(indices):
+                yield milestones[position]
+                run_end = position + 1
+                while (run_end < len(indices)
+                       and milestones[run_end].triggered):
+                    run_end += 1
+                nbytes = sum(self.plan.model.layers[i].param_bytes
+                             for i in indices[position:run_end])
+                yield self.machine.device_to_device(secondary, self.primary,
+                                                    nbytes)
+                for i in indices[position:run_end]:
+                    self._ready[i].succeed(self.sim.now)
+                position = run_end
+            self._account_lane(secondary, staging_bytes, start)
+        finally:
+            memory.release_staging(staging_tag)
+
+    # -- execution stream ----------------------------------------------------------------
+
+    def _execution_stream(self) -> typing.Generator[
+            Event, object, list[LayerTrace]]:
+        traces: list[LayerTrace] = []
+        for i, layer in enumerate(self.plan.model.layers):
+            method = self.plan.method(i)
+            wait_start = self.sim.now
+            if layer.loadable and method is ExecMethod.LOAD:
+                yield self._ready[i]
+                ready_at = typing.cast(float, self._ready[i].value)
+                stall = self.sim.now - wait_start
+                start = self.sim.now
+                yield self.sim.timeout(
+                    self.costs.exec_inmem(layer, self.batch)
+                    + EVENT_SYNC_OVERHEAD)
+            elif layer.loadable:
+                ready_at, stall, start = 0.0, 0.0, self.sim.now
+                yield from self._run_dha_layer(i)
+            else:
+                ready_at, stall, start = 0.0, 0.0, self.sim.now
+                yield self.sim.timeout(self.costs.exec_inmem(layer, self.batch))
+            traces.append(LayerTrace(
+                index=i, name=layer.name, method=method, ready=ready_at,
+                start=start, end=self.sim.now, stall=stall))
+        return traces
+
+    def _execution_stream_coalesced(self) -> typing.Generator[
+            Event, object, float]:
+        """Fast-path execution stream: identical timing, no traces.
+
+        Runs of layers that never wait (parameter-free, plus the
+        in-memory execution following each loaded layer) collapse into a
+        single timeout; per-layer waits are skipped when the parameter
+        landed before the execution stream got there.  Returns the summed
+        stall time.
+        """
+        total_stall = 0.0
+        for kind, value in _cold_exec_segments(self.plan, self.costs):
+            if kind == "exec":
+                yield self.sim.timeout(typing.cast(float, value))
+            elif kind == "dha":
+                yield from self._run_dha_layer(typing.cast(int, value))
+            else:
+                ready = self._ready[typing.cast(int, value)]
+                if not ready.triggered:
+                    wait_start = self.sim.now
+                    yield ready
+                    total_stall += self.sim.now - wait_start
+        return total_stall
+
+    def _run_dha_layer(self, i: int) -> typing.Generator[Event, object, None]:
+        """Execute layer *i* by direct-host-access.
+
+        The kernel's zero-copy reads become a real flow on the primary
+        GPU's PCIe lane (capped at the layer's effective DHA bandwidth),
+        overlapped with the compute roofline; so DHA execution both
+        suffers from and causes PCIe contention.
+        """
+        layer = self.plan.model.layers[i]
+        traffic = layer.dha_pcie_bytes(self.batch)
+        compute = max(KIND_TIME_FLOOR[layer.kind],
+                      self.costs.compute_time(layer, self.batch))
+        waits = [self.sim.timeout(compute)]
+        if traffic > 0:
+            waits.append(self.machine.network.transfer(
+                self.machine.pcie_path(self.primary), traffic,
+                max_rate=self.costs.dha_bandwidth(layer)))
+        yield all_of(self.sim, waits)
+        act_time = (layer.act_bytes_per_item * self.batch
+                    / self.costs.gpu.hbm_bandwidth)
+        yield self.sim.timeout(DHA_KERNEL_PENALTY + act_time)
+
+
+# Segment schedules are cached by *identity* of (plan, cost model): the
+# serving system reuses one plan object across thousands of requests, and
+# hashing a whole frozen ExecutionPlan (hundreds of layer specs) per
+# request would dominate the simulation.  Values keep strong references
+# to their keys so ids cannot be recycled while an entry is live.
+_SEGMENT_CACHE: dict[tuple[str, int, int],
+                     tuple[object, object, tuple]] = {}
+
+
+def _cached_segments(kind: str, plan: ExecutionPlan, costs: CostModel,
+                     builder) -> tuple[tuple[str, object], ...]:
+    key = (kind, id(plan), id(costs))
+    hit = _SEGMENT_CACHE.get(key)
+    if hit is not None:
+        return typing.cast(tuple, hit[2])
+    segments = builder(plan, costs)
+    _SEGMENT_CACHE[key] = (plan, costs, segments)
+    return segments
+
+
+def _cold_exec_segments(plan: ExecutionPlan, costs: CostModel
+                        ) -> tuple[tuple[str, object], ...]:
+    """Cold-start execution schedule with non-waiting runs coalesced.
+
+    Segment kinds: ``("wait", i)`` — block until layer *i*'s parameters
+    are ready; ``("exec", seconds)`` — run for that long; ``("dha", i)``
+    — execute layer *i* by direct-host-access.
+    """
+    return _cached_segments("cold", plan, costs, _build_cold_segments)
+
+
+def _build_cold_segments(plan: ExecutionPlan, costs: CostModel
+                         ) -> tuple[tuple[str, object], ...]:
+    segments: list[tuple[str, object]] = []
+    accumulated = 0.0
+    for i, layer in enumerate(plan.model.layers):
+        if layer.loadable and plan.method(i) is ExecMethod.LOAD:
+            if accumulated:
+                segments.append(("exec", accumulated))
+                accumulated = 0.0
+            segments.append(("wait", i))
+            accumulated += (costs.exec_inmem(layer, plan.batch_size)
+                            + EVENT_SYNC_OVERHEAD)
+        elif layer.loadable:
+            if accumulated:
+                segments.append(("exec", accumulated))
+                accumulated = 0.0
+            segments.append(("dha", i))
+        else:
+            accumulated += costs.exec_inmem(layer, plan.batch_size)
+    if accumulated:
+        segments.append(("exec", accumulated))
+    return tuple(segments)
+
+
+def _warm_segments(plan: ExecutionPlan, costs: CostModel
+                   ) -> tuple[tuple[str, object], ...]:
+    """Warm-execution schedule: runs of in-memory layers coalesced."""
+    return _cached_segments("warm", plan, costs, _build_warm_segments)
+
+
+def _build_warm_segments(plan: ExecutionPlan, costs: CostModel
+                         ) -> tuple[tuple[str, object], ...]:
+    segments: list[tuple[str, object]] = []
+    accumulated = 0.0
+    for i, layer in enumerate(plan.model.layers):
+        if layer.loadable and plan.method(i) is ExecMethod.DHA:
+            if accumulated:
+                segments.append(("exec", accumulated))
+                accumulated = 0.0
+            segments.append(("dha", i))
+        else:
+            accumulated += costs.exec_inmem(layer, plan.batch_size)
+    if accumulated:
+        segments.append(("exec", accumulated))
+    return tuple(segments)

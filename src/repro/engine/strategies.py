@@ -1,0 +1,70 @@
+"""One-shot runners: plan a model and execute it on a fresh machine.
+
+These helpers wrap the plan-then-execute cycle the single-inference
+benchmarks repeat (paper Figures 11, 12, 16 and Table 4): build a
+simulator and machine from a preset, generate the plan for a strategy,
+run the cold-start, and return the observed result(s).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.core.deepplan import DeepPlan, Strategy
+from repro.engine.executor import ExecutionResult, execute_plan
+from repro.hw.machine import Machine
+from repro.hw.specs import MachineSpec
+from repro.models.graph import ModelSpec
+from repro.simkit import Simulator
+
+__all__ = ["run_single_inference", "run_concurrent_cold_starts"]
+
+
+def _secondaries_for(machine: Machine, planner: DeepPlan, plan, primary: int
+                     ) -> list[int]:
+    if plan.num_partitions == 1:
+        return []
+    return planner.secondary_gpus(primary, plan)
+
+
+def run_single_inference(machine_spec: MachineSpec, model: ModelSpec,
+                         strategy: "Strategy | str",
+                         batch_size: int = 1,
+                         planner: DeepPlan | None = None) -> ExecutionResult:
+    """Cold-start *model* once under *strategy* on an idle machine."""
+    planner = planner or DeepPlan(machine_spec, noise=0.0)
+    plan = planner.plan(model, strategy, batch_size=batch_size)
+    sim = Simulator()
+    machine = Machine(sim, machine_spec)
+    primary = 0
+    secondaries = _secondaries_for(machine, planner, plan, primary)
+    process = execute_plan(machine, planner.cost_model, plan, primary,
+                           secondaries)
+    return typing.cast(ExecutionResult, sim.run(process.done))
+
+
+def run_concurrent_cold_starts(machine_spec: MachineSpec, model: ModelSpec,
+                               strategy: "Strategy | str",
+                               primaries: typing.Sequence[int],
+                               batch_size: int = 1,
+                               planner: DeepPlan | None = None
+                               ) -> list[ExecutionResult]:
+    """Cold-start the same model on several primary GPUs simultaneously.
+
+    This is the paper's Table 4 interference experiment: with parallel
+    transmission, each primary borrows its cross-switch partner's PCIe
+    lane, so two simultaneous cold-starts contend on every lane involved.
+    """
+    planner = planner or DeepPlan(machine_spec, noise=0.0)
+    plan = planner.plan(model, strategy, batch_size=batch_size)
+    sim = Simulator()
+    machine = Machine(sim, machine_spec)
+    processes = []
+    for primary in primaries:
+        secondaries = _secondaries_for(machine, planner, plan, primary)
+        processes.append(execute_plan(machine, planner.cost_model, plan,
+                                      primary, secondaries))
+    results = []
+    for process in processes:
+        results.append(typing.cast(ExecutionResult, sim.run(process.done)))
+    return results

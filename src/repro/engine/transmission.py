@@ -1,0 +1,166 @@
+"""Transmission-only experiments: serial vs parallel model loading.
+
+Implements the three transmission modes of paper Section 3.2 (Figure 6
+and Table 2), independent of inference:
+
+* ``serial`` — the whole model over the target GPU's own PCIe lane;
+* ``parallel`` — partitions loaded to several GPUs concurrently, each
+  secondary partition forwarded to the target over NVLink *after it
+  fully lands*;
+* ``parallel-pipeline`` — as above, but each layer is forwarded as soon
+  as it lands (the mode DeepPlan's PT builds on).
+
+GPU selection spreads across PCIe switches first; with four GPUs on the
+paper's two-switch p3.8xlarge, switch-uplink sharing halves the per-lane
+bandwidth — the contention effect Table 2 measures.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.core.partitioner import partition_model
+from repro.errors import TopologyError
+from repro.hw.machine import Machine
+from repro.models.graph import ModelSpec
+from repro.simkit import Event, Process
+
+__all__ = ["TransmissionResult", "transmit_model", "spread_gpus"]
+
+MODES = ("serial", "parallel", "parallel-pipeline")
+
+
+@dataclasses.dataclass
+class TransmissionResult:
+    """Outcome of loading one model onto the target GPU."""
+
+    model_name: str
+    mode: str
+    gpus: tuple[int, ...]
+    started_at: float
+    finished_at: float
+    lane_bytes: dict[int, int]
+    lane_busy: dict[int, float]
+
+    @property
+    def load_time(self) -> float:
+        return self.finished_at - self.started_at
+
+    @property
+    def average_pcie_bandwidth(self) -> float:
+        """Mean per-lane achieved bandwidth, bytes/s (paper Table 2)."""
+        rates = [self.lane_bytes[g] / self.lane_busy[g]
+                 for g in self.lane_bytes if self.lane_busy[g] > 0]
+        return sum(rates) / len(rates) if rates else 0.0
+
+
+def spread_gpus(machine: Machine, target: int, count: int) -> list[int]:
+    """Pick *count* GPUs (target first), spreading across PCIe switches.
+
+    NVLink connectivity to the target is required for every secondary.
+    """
+    if count < 1 or count > machine.gpu_count:
+        raise TopologyError(
+            f"cannot use {count} GPUs on a {machine.gpu_count}-GPU machine")
+    chosen = [target]
+    candidates = {g.index for g in machine.gpus
+                  if g.index != target and machine.has_nvlink(target, g.index)}
+    while len(chosen) < count:
+        if not candidates:
+            raise TopologyError(
+                f"only {len(chosen)} NVLink-reachable GPUs from gpu{target}")
+        used_switches = {machine.switch_of(g) for g in chosen}
+        # Greedily prefer a still-uncontended switch, lowest index first.
+        best = min(candidates,
+                   key=lambda g: (machine.switch_of(g) in used_switches, g))
+        chosen.append(best)
+        candidates.remove(best)
+    return chosen
+
+
+def transmit_model(machine: Machine, model: ModelSpec, target: int = 0,
+                   mode: str = "serial", num_gpus: int = 1) -> Process:
+    """Start a transmission of *model* onto GPU *target*.
+
+    Returns a process whose value is a :class:`TransmissionResult`.
+    """
+    if mode not in MODES:
+        raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+    if mode == "serial":
+        num_gpus = 1
+    gpus = spread_gpus(machine, target, num_gpus)
+    runner = _Transmitter(machine, model, mode, gpus)
+    return machine.sim.process(runner.run(), name=f"transmit:{model.name}")
+
+
+class _Transmitter:
+    def __init__(self, machine: Machine, model: ModelSpec, mode: str,
+                 gpus: list[int]) -> None:
+        self.machine = machine
+        self.sim = machine.sim
+        self.model = model
+        self.mode = mode
+        self.gpus = gpus
+        self.lane_bytes: dict[int, int] = {g: 0 for g in gpus}
+        self.lane_busy: dict[int, float] = {g: 0.0 for g in gpus}
+
+    def run(self) -> typing.Generator[Event, object, TransmissionResult]:
+        started_at = self.sim.now
+        partitions = partition_model(self.model, len(self.gpus))
+        workers = []
+        for partition, gpu in zip(partitions, self.gpus):
+            indices = [i for i in range(partition.start, partition.stop)
+                       if self.model.layers[i].loadable]
+            if gpu == self.gpus[0]:
+                worker = self._load_only(gpu, indices)
+            elif self.mode == "parallel":
+                worker = self._load_then_forward(gpu, indices)
+            else:
+                worker = self._load_and_pipeline(gpu, indices)
+            workers.append(self.sim.process(worker, name=f"lane-{gpu}"))
+        for worker in workers:
+            yield worker.done
+        return TransmissionResult(
+            model_name=self.model.name, mode=self.mode, gpus=tuple(self.gpus),
+            started_at=started_at, finished_at=self.sim.now,
+            lane_bytes=dict(self.lane_bytes), lane_busy=dict(self.lane_busy))
+
+    def _load_layer(self, gpu: int, index: int) -> typing.Generator[Event, object, None]:
+        nbytes = self.model.layers[index].param_bytes
+        start = self.sim.now
+        yield self.machine.host_to_device(gpu, nbytes)
+        self.lane_bytes[gpu] += nbytes
+        self.lane_busy[gpu] += self.sim.now - start
+
+    def _load_only(self, gpu: int,
+                   indices: list[int]) -> typing.Generator[Event, object, None]:
+        for i in indices:
+            yield from self._load_layer(gpu, i)
+
+    def _load_then_forward(self, gpu: int, indices: list[int]
+                           ) -> typing.Generator[Event, object, None]:
+        """'parallel' mode: forward the partition once it fully landed."""
+        total = 0
+        for i in indices:
+            yield from self._load_layer(gpu, i)
+            total += self.model.layers[i].param_bytes
+        if total:
+            yield self.machine.device_to_device(gpu, self.gpus[0], total)
+
+    def _load_and_pipeline(self, gpu: int, indices: list[int]
+                           ) -> typing.Generator[Event, object, None]:
+        """'parallel-pipeline' mode: forward each layer as it lands."""
+        landed = {i: self.sim.event() for i in indices}
+
+        def loader() -> typing.Generator[Event, object, None]:
+            for i in indices:
+                yield from self._load_layer(gpu, i)
+                landed[i].succeed()
+
+        load_process = self.sim.process(loader(), name=f"loader-{gpu}")
+        for i in indices:
+            yield landed[i]
+            yield self.machine.device_to_device(
+                gpu, self.gpus[0], self.model.layers[i].param_bytes)
+        yield load_process.done

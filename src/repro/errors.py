@@ -1,0 +1,39 @@
+"""Exception hierarchy for the DeepPlan reproduction."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "OutOfGPUMemoryError",
+    "PlanError",
+    "TopologyError",
+    "WorkloadError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class OutOfGPUMemoryError(ReproError):
+    """A GPU memory allocation exceeded the device's capacity."""
+
+    def __init__(self, requested: int, available: int, device: str) -> None:
+        super().__init__(
+            f"cannot allocate {requested} bytes on {device}: "
+            f"only {available} bytes available")
+        self.requested = requested
+        self.available = available
+        self.device = device
+
+
+class PlanError(ReproError):
+    """An execution plan is invalid or cannot be generated."""
+
+
+class TopologyError(ReproError):
+    """The requested GPUs or links do not exist in the machine topology."""
+
+
+class WorkloadError(ReproError):
+    """A workload description is malformed."""

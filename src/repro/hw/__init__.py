@@ -1,0 +1,36 @@
+"""Hardware model: GPUs, PCIe/NVLink topology, and machine presets.
+
+The paper's testbeds are reproduced as :class:`~repro.hw.machine.Machine`
+instances built from :class:`~repro.hw.specs.MachineSpec` presets:
+
+* :func:`~repro.hw.specs.p3_8xlarge` — the AWS instance used for the main
+  evaluation: four V100-16GB GPUs, two PCIe 3.0 switches with two GPUs
+  each, NVLink between all pairs.
+* :func:`~repro.hw.specs.a5000x2` — the PCIe 4.0 system from Section 5.4:
+  two RTX A5000 GPUs with an NVLink bridge.
+
+Bandwidth numbers are calibrated against the paper's own measurements
+(Table 2: ~11.5 GB/s effective per PCIe 3.0 lane, ~6 GB/s when two GPUs
+share a switch).
+"""
+
+from repro.hw.specs import (
+    GPUSpec,
+    MachineSpec,
+    a5000x2,
+    machine_presets,
+    p3_8xlarge,
+)
+from repro.hw.memory import GPUMemory
+from repro.hw.machine import GPU, Machine
+
+__all__ = [
+    "GPU",
+    "GPUMemory",
+    "GPUSpec",
+    "Machine",
+    "MachineSpec",
+    "a5000x2",
+    "machine_presets",
+    "p3_8xlarge",
+]

@@ -1,0 +1,87 @@
+"""Host (CPU) memory accounting for pinned model storage.
+
+Every deployed model instance keeps its parameters in *pinned* host
+memory — that is what makes both fast DMA loads and direct-host-access
+possible (``cudaHostAlloc``, paper Section 4.3.4).  Pinned memory is a
+finite resource: the paper's p3.8xlarge has 244 GB of host RAM, which
+bounds how many instances a server can host regardless of GPU memory.
+
+:class:`HostMemory` mirrors :class:`~repro.hw.memory.GPUMemory`'s
+reservation interface for the host side, with a headroom carve-out for
+the OS and the serving process itself.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.units import GB
+
+__all__ = ["HostMemory", "OutOfHostMemoryError"]
+
+#: Host memory withheld from pinning: OS, page tables, serving runtime.
+DEFAULT_HOST_HEADROOM_BYTES = int(16 * GB)
+
+
+class OutOfHostMemoryError(ReproError):
+    """A pinned-host-memory reservation exceeded the host's capacity."""
+
+    def __init__(self, requested: int, available: int) -> None:
+        super().__init__(
+            f"cannot pin {requested} bytes in host memory: only "
+            f"{available} bytes available")
+        self.requested = requested
+        self.available = available
+
+
+class HostMemory:
+    """Named pinned-memory reservations against host RAM."""
+
+    def __init__(self, capacity_bytes: int,
+                 headroom_bytes: int = DEFAULT_HOST_HEADROOM_BYTES) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_bytes}")
+        if headroom_bytes < 0 or headroom_bytes >= capacity_bytes:
+            raise ValueError(
+                f"headroom {headroom_bytes} must be in [0, {capacity_bytes})")
+        self.capacity_bytes = int(capacity_bytes)
+        self.headroom_bytes = int(headroom_bytes)
+        self._pinned: dict[str, int] = {}
+        self._used = 0
+
+    @property
+    def pinned_bytes(self) -> int:
+        return self._used
+
+    @property
+    def available_bytes(self) -> int:
+        return self.capacity_bytes - self.headroom_bytes - self._used
+
+    def fits(self, nbytes: int) -> bool:
+        return nbytes <= self.available_bytes
+
+    def holds(self, tag: str) -> bool:
+        return tag in self._pinned
+
+    def pin(self, tag: str, nbytes: int) -> None:
+        """Pin *nbytes* under *tag*; raises if the host cannot hold it."""
+        if nbytes < 0:
+            raise ValueError(f"cannot pin negative bytes: {nbytes}")
+        if tag in self._pinned:
+            raise ValueError(f"tag {tag!r} already pinned")
+        if not self.fits(nbytes):
+            raise OutOfHostMemoryError(nbytes, self.available_bytes)
+        self._pinned[tag] = int(nbytes)
+        self._used += int(nbytes)
+
+    def unpin(self, tag: str) -> int:
+        try:
+            nbytes = self._pinned.pop(tag)
+        except KeyError:
+            raise KeyError(f"nothing pinned under {tag!r}") from None
+        self._used -= nbytes
+        return nbytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<HostMemory {self._used / GB:.1f}"
+                f"/{(self.capacity_bytes - self.headroom_bytes) / GB:.1f} GB "
+                f"pinned>")

@@ -1,0 +1,123 @@
+"""GPU memory accounting.
+
+The serving system (Section 5.3 of the paper) packs as many model
+instances as fit into each GPU's memory and evicts the least recently
+used instance when a new one must be provisioned.  This module provides
+the byte-level bookkeeping: named reservations against a fixed capacity,
+with a configurable *workspace* carve-out for activations and the staging
+buffers that parallel transmission requires on secondary GPUs.
+"""
+
+from __future__ import annotations
+
+from repro.errors import OutOfGPUMemoryError
+from repro.units import GB
+
+__all__ = ["GPUMemory"]
+
+#: Memory held back on every GPU for the CUDA context, the serving
+#: engine's static activation/workspace pool (PipeSwitch-style engines
+#: pre-reserve it per worker), and the parallel-transmission staging area
+#: (paper Section 4.2 reserves "a small amount of memory for storing
+#: layers temporarily").  Calibrated so a 16 GB V100 packs 25 BERT-Base
+#: instances under PipeSwitch and 31 under DeepPlan — the paper's
+#: Figure 13 capacities (100 vs 124 instances across four GPUs).
+DEFAULT_WORKSPACE_BYTES = int(5.8 * GB)
+
+
+class GPUMemory:
+    """Named reservations against a fixed-capacity device memory."""
+
+    def __init__(self, capacity_bytes: int, device: str = "gpu",
+                 workspace_bytes: int = DEFAULT_WORKSPACE_BYTES) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_bytes}")
+        if workspace_bytes < 0 or workspace_bytes >= capacity_bytes:
+            raise ValueError(
+                f"workspace {workspace_bytes} must be in [0, {capacity_bytes})")
+        self.device = device
+        self.capacity_bytes = int(capacity_bytes)
+        self.workspace_bytes = int(workspace_bytes)
+        self._reservations: dict[str, int] = {}
+        self._used = 0
+        self._staging: dict[str, int] = {}
+        self._staging_used = 0
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently reserved (excluding the workspace carve-out)."""
+        return self._used
+
+    @property
+    def available_bytes(self) -> int:
+        return self.capacity_bytes - self.workspace_bytes - self._used
+
+    def fits(self, nbytes: int) -> bool:
+        return nbytes <= self.available_bytes
+
+    def holds(self, tag: str) -> bool:
+        return tag in self._reservations
+
+    def reservation_size(self, tag: str) -> int:
+        return self._reservations[tag]
+
+    def reserve(self, tag: str, nbytes: int) -> None:
+        """Reserve *nbytes* under *tag*; raises if it does not fit."""
+        if nbytes < 0:
+            raise ValueError(f"cannot reserve negative bytes: {nbytes}")
+        if tag in self._reservations:
+            raise ValueError(f"tag {tag!r} already reserved on {self.device}")
+        if not self.fits(nbytes):
+            raise OutOfGPUMemoryError(nbytes, self.available_bytes, self.device)
+        self._reservations[tag] = int(nbytes)
+        self._used += int(nbytes)
+
+    def release(self, tag: str) -> int:
+        """Release the reservation under *tag*; returns its size."""
+        try:
+            nbytes = self._reservations.pop(tag)
+        except KeyError:
+            raise KeyError(f"no reservation {tag!r} on {self.device}") from None
+        self._used -= nbytes
+        return nbytes
+
+    def tags(self) -> tuple[str, ...]:
+        return tuple(self._reservations)
+
+    # -- staging pool (inside the workspace carve-out) ---------------------
+
+    def reserve_staging(self, tag: str, nbytes: int) -> None:
+        """Reserve transient parallel-transmission staging space.
+
+        Staging buffers live inside the workspace carve-out, so secondary
+        GPUs can relay partitions even when fully packed with instances.
+        A partition larger than the workspace cannot be staged.
+        """
+        if nbytes < 0:
+            raise ValueError(f"cannot stage negative bytes: {nbytes}")
+        if tag in self._staging:
+            raise ValueError(f"staging tag {tag!r} already reserved")
+        available = self.workspace_bytes - self._staging_used
+        if nbytes > available:
+            raise OutOfGPUMemoryError(nbytes, available,
+                                      f"{self.device}.staging")
+        self._staging[tag] = int(nbytes)
+        self._staging_used += int(nbytes)
+
+    def release_staging(self, tag: str) -> int:
+        try:
+            nbytes = self._staging.pop(tag)
+        except KeyError:
+            raise KeyError(f"no staging reservation {tag!r} on "
+                           f"{self.device}") from None
+        self._staging_used -= nbytes
+        return nbytes
+
+    @property
+    def staging_used_bytes(self) -> int:
+        return self._staging_used
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<GPUMemory {self.device}: {self._used / GB:.2f}"
+                f"/{(self.capacity_bytes - self.workspace_bytes) / GB:.2f} GB used, "
+                f"{len(self._reservations)} reservations>")

@@ -1,0 +1,198 @@
+"""Hardware specifications and machine presets.
+
+The constants below are the calibration surface of the reproduction.
+They come from public datasheets (peak FLOPs, HBM bandwidth, link widths)
+and from the paper's own measurements where the paper reports them:
+
+* Table 2 of the paper measures 10.9–11.5 GB/s effective host-to-device
+  bandwidth on a single PCIe 3.0 x16 lane and ~5.9–6.0 GB/s per GPU when
+  two GPUs load through the same PCIe switch.  We model each GPU with a
+  12.6 GB/s lane behind a 12.6 GB/s switch uplink shared by the GPUs on
+  that switch, plus a fixed per-copy setup overhead; large models then
+  sustain ~11.5 GB/s and two sharers get ~6.3 GB/s each.
+* The paper quotes 9.35 ms for an in-memory BERT-Base batch-1 inference
+  and ~40 ms to load its 417 MB from pinned host memory on a V100 —
+  both are reproduced by these constants together with the layer cost
+  model in :mod:`repro.models.costs`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.units import GB, GBPS, US
+
+__all__ = [
+    "GPUSpec",
+    "MachineSpec",
+    "p3_8xlarge",
+    "a5000x2",
+    "machine_presets",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class GPUSpec:
+    """Performance-relevant parameters of one GPU model."""
+
+    name: str
+    #: Usable device memory in bytes.
+    memory_bytes: int
+    #: Peak single-precision throughput, FLOP/s.
+    peak_flops: float
+    #: Device (HBM) memory bandwidth, bytes/s.
+    hbm_bandwidth: float
+    #: Fraction of peak FLOPs sustained by batch-1 GEMM-shaped kernels
+    #: (linear, attention).  Folds tensor shapes and occupancy into one
+    #: calibrated number.
+    gemm_efficiency: float
+    #: Fraction of peak FLOPs sustained by batch-1 convolution kernels;
+    #: much lower than GEMMs at inference batch sizes.
+    conv_efficiency: float
+    #: Effective fraction of PCIe bandwidth achieved by zero-copy
+    #: (direct-host-access) *streaming* reads issued from kernels.
+    dha_stream_efficiency: float
+    #: Effective fraction of PCIe bandwidth achieved by zero-copy
+    #: *scattered* reads (embedding gathers): short, latency-bound bursts.
+    dha_gather_efficiency: float
+
+
+V100 = GPUSpec(
+    name="V100-SXM2-16GB",
+    memory_bytes=16 * GB,
+    peak_flops=15.7e12,
+    hbm_bandwidth=900 * GBPS,
+    gemm_efficiency=0.55,
+    conv_efficiency=0.13,
+    dha_stream_efficiency=0.82,
+    dha_gather_efficiency=0.70,
+)
+
+A5000 = GPUSpec(
+    name="RTX-A5000-24GB",
+    memory_bytes=24 * GB,
+    peak_flops=27.8e12,
+    hbm_bandwidth=768 * GBPS,
+    gemm_efficiency=0.50,
+    conv_efficiency=0.12,
+    dha_stream_efficiency=0.82,
+    dha_gather_efficiency=0.70,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class MachineSpec:
+    """A whole-server description sufficient to instantiate a Machine."""
+
+    name: str
+    gpu: GPUSpec
+    gpu_count: int
+    #: GPUs grouped by the PCIe switch they hang off, e.g. ((0, 1), (2, 3)).
+    pcie_switch_groups: tuple[tuple[int, ...], ...]
+    #: Effective bandwidth of one GPU's PCIe lane, bytes/s.
+    pcie_lane_bandwidth: float
+    #: Effective bandwidth of one switch's uplink to the host, bytes/s.
+    pcie_uplink_bandwidth: float
+    #: Fixed setup overhead per host-to-device copy, seconds.
+    pcie_copy_overhead: float
+    #: GPU pairs directly connected by NVLink ("full" mesh presets list
+    #: every pair).  Pairs are unordered.
+    nvlink_pairs: tuple[tuple[int, int], ...]
+    #: Effective per-direction NVLink bandwidth between a connected pair.
+    nvlink_bandwidth: float
+    #: Fixed setup overhead per device-to-device copy, seconds.
+    nvlink_copy_overhead: float
+    #: Host RAM available for pinning model parameters, bytes.
+    host_memory_bytes: int = 244 * GB  # the paper's p3.8xlarge
+
+    def __post_init__(self) -> None:
+        covered = sorted(g for group in self.pcie_switch_groups for g in group)
+        if covered != list(range(self.gpu_count)):
+            raise ValueError(
+                f"switch groups {self.pcie_switch_groups} do not cover GPUs "
+                f"0..{self.gpu_count - 1} exactly once")
+        for a, b in self.nvlink_pairs:
+            if not (0 <= a < self.gpu_count and 0 <= b < self.gpu_count) or a == b:
+                raise ValueError(f"invalid NVLink pair ({a}, {b})")
+
+
+def _full_mesh(n: int) -> tuple[tuple[int, int], ...]:
+    return tuple((a, b) for a in range(n) for b in range(a + 1, n))
+
+
+def p3_8xlarge() -> MachineSpec:
+    """AWS p3.8xlarge: 4x V100, two PCIe 3.0 switches, NVLink mesh.
+
+    This is the paper's main evaluation platform (Section 5.1).
+    """
+    return MachineSpec(
+        name="p3.8xlarge",
+        gpu=V100,
+        gpu_count=4,
+        pcie_switch_groups=((0, 1), (2, 3)),
+        pcie_lane_bandwidth=12.0 * GBPS,
+        pcie_uplink_bandwidth=12.0 * GBPS,
+        pcie_copy_overhead=28 * US,
+        nvlink_pairs=_full_mesh(4),
+        nvlink_bandwidth=40 * GBPS,
+        nvlink_copy_overhead=10 * US,
+        host_memory_bytes=244 * GB,
+    )
+
+
+def a5000x2() -> MachineSpec:
+    """Two RTX A5000 GPUs on PCIe 4.0 with an NVLink bridge (Section 5.4)."""
+    return MachineSpec(
+        name="a5000x2",
+        gpu=A5000,
+        gpu_count=2,
+        pcie_switch_groups=((0,), (1,)),
+        pcie_lane_bandwidth=23.0 * GBPS,
+        pcie_uplink_bandwidth=23.0 * GBPS,
+        pcie_copy_overhead=18 * US,
+        nvlink_pairs=((0, 1),),
+        nvlink_bandwidth=50 * GBPS,
+        nvlink_copy_overhead=10 * US,
+        host_memory_bytes=128 * GB,
+    )
+
+
+def dgx1_v100() -> MachineSpec:
+    """NVIDIA DGX-1 (V100): 8 GPUs, four PCIe switches, NVLink cube mesh.
+
+    The paper's Section 3.2 points at this class of server ("in modern
+    multi-GPU servers, there are eight GPUs, and every two GPUs share the
+    same PCIe switch").  The NVLink topology is the DGX-1 hybrid
+    cube-mesh: each GPU reaches four peers directly, so parallel
+    transmission can recruit up to two cross-switch secondaries (three
+    partitions) from any primary.
+    """
+    cube_mesh = (
+        (0, 1), (0, 2), (0, 3), (0, 4),
+        (1, 2), (1, 3), (1, 5),
+        (2, 3), (2, 6),
+        (3, 7),
+        (4, 5), (4, 6), (4, 7),
+        (5, 6), (5, 7),
+        (6, 7),
+    )
+    return MachineSpec(
+        name="dgx1-v100",
+        gpu=V100,
+        gpu_count=8,
+        pcie_switch_groups=((0, 1), (2, 3), (4, 5), (6, 7)),
+        pcie_lane_bandwidth=12.0 * GBPS,
+        pcie_uplink_bandwidth=12.0 * GBPS,
+        pcie_copy_overhead=28 * US,
+        nvlink_pairs=cube_mesh,
+        nvlink_bandwidth=40 * GBPS,
+        nvlink_copy_overhead=10 * US,
+        host_memory_bytes=512 * GB,
+    )
+
+
+def machine_presets() -> dict[str, typing.Callable[[], MachineSpec]]:
+    """Registry of named machine presets."""
+    return {"p3.8xlarge": p3_8xlarge, "a5000x2": a5000x2,
+            "dgx1-v100": dgx1_v100}

@@ -1,0 +1,32 @@
+"""Model zoo and layer cost model.
+
+The paper evaluates eight pre-trained models (Section 5.1): ResNet-50 and
+ResNet-101 from TorchVision, and BERT-Base/Large, RoBERTa-Base/Large,
+GPT-2 and GPT-2 Medium from HuggingFace Transformers.  This package
+rebuilds their exact architectures as sequences of
+:class:`~repro.models.layers.LayerSpec` objects — parameter byte sizes,
+FLOP counts, and memory-traffic descriptors — which is everything the
+cold-start behaviour under study depends on (weight *values* are
+irrelevant to provisioning latency).
+
+:mod:`repro.models.costs` turns a layer spec plus a GPU spec into
+execution times for the two execution methods the paper compares
+(load-then-execute vs direct-host-access), calibrated against the paper's
+measured PCIe event counts (Table 1) and latencies (Table 4).
+"""
+
+from repro.models.layers import LayerKind, LayerSpec
+from repro.models.graph import ModelSpec
+from repro.models.costs import CostModel, LayerCosts
+from repro.models.zoo import MODEL_NAMES, build_model, model_registry
+
+__all__ = [
+    "CostModel",
+    "LayerCosts",
+    "LayerKind",
+    "LayerSpec",
+    "MODEL_NAMES",
+    "ModelSpec",
+    "build_model",
+    "model_registry",
+]

@@ -1,0 +1,83 @@
+"""Model specifications: an ordered sequence of layers.
+
+The provisioning problem treats a DNN as a *sequence* of layers executed
+in order (the view PipeSwitch and DeepPlan share): layer ``i`` may only
+execute after layer ``i-1`` finished and after its own parameters are
+available (resident on the GPU, or host-pinned for DHA layers).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.models.layers import LayerKind, LayerSpec
+from repro.units import MB
+
+__all__ = ["ModelSpec"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ModelSpec:
+    """An ordered layer sequence plus the input shape it was built for."""
+
+    name: str
+    layers: tuple[LayerSpec, ...]
+    #: Tokens per batch item (sequence length for NLP, 1 for vision).
+    seq_len: int
+    #: Free-form family tag ("resnet", "bert", "roberta", "gpt2").
+    family: str
+
+    def __post_init__(self) -> None:
+        if not self.layers:
+            raise ValueError(f"model {self.name} has no layers")
+        names = [layer.name for layer in self.layers]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(f"model {self.name} has duplicate layers: {dupes}")
+
+    # -- size queries --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __iter__(self) -> typing.Iterator[LayerSpec]:
+        return iter(self.layers)
+
+    @property
+    def param_bytes(self) -> int:
+        """Total parameter footprint (what the baseline must transfer)."""
+        return sum(layer.param_bytes for layer in self.layers)
+
+    @property
+    def param_count(self) -> int:
+        return self.param_bytes // 4
+
+    def loadable_indices(self) -> list[int]:
+        """Indices of layers with parameters (candidates for load/DHA)."""
+        return [i for i, layer in enumerate(self.layers) if layer.loadable]
+
+    def layer_index(self, name: str) -> int:
+        for i, layer in enumerate(self.layers):
+            if layer.name == name:
+                return i
+        raise KeyError(f"model {self.name} has no layer {name!r}")
+
+    def layers_of_kind(self, kind: LayerKind) -> list[LayerSpec]:
+        return [layer for layer in self.layers if layer.kind is kind]
+
+    # -- reporting --------------------------------------------------------------
+
+    def summary(self) -> str:
+        kinds: dict[str, int] = {}
+        for layer in self.layers:
+            kinds[layer.kind.value] = kinds.get(layer.kind.value, 0) + 1
+        breakdown = ", ".join(f"{count} {kind}" for kind, count in
+                              sorted(kinds.items()))
+        return (f"{self.name}: {len(self.layers)} layers "
+                f"({breakdown}), {self.param_bytes / MB:.1f} MB parameters, "
+                f"seq_len={self.seq_len}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<ModelSpec {self.name}: {len(self.layers)} layers, "
+                f"{self.param_bytes / MB:.1f} MB>")

@@ -1,0 +1,269 @@
+"""Layer specifications and their memory-traffic descriptors.
+
+A :class:`LayerSpec` captures what the cold-start study needs to know
+about one layer:
+
+* ``param_bytes`` — how much must cross PCIe to *load* the layer;
+* ``flops_per_item`` / ``act_bytes_per_item`` — the roofline inputs for
+  in-memory execution;
+* ``dha_min_bytes`` / ``dha_bytes_per_item`` — how many bytes the layer's
+  kernels pull across PCIe when executed by **direct-host-access**
+  instead.
+
+The DHA traffic descriptors encode the reuse behaviour the paper measures
+with PCIe performance counters (Table 1):
+
+* *embedding* gathers touch only the rows a request uses — ~18.4 K cache
+  lines for a 384-token sequence regardless of table size;
+* *convolution* re-streams its weights ≈1.8× (tiling spills past L2);
+* *fully-connected* re-reads weights once per ~32-token output tile, i.e.
+  ≈12× at sequence length 384;
+* *LayerNorm* re-reads its (tiny) parameters per token, *BatchNorm* reads
+  them once — which is why the paper finds DHA wins for BatchNorm but
+  loses for LayerNorm (Section 3.1, "Other layers").
+
+Builder helpers (:func:`conv2d`, :func:`linear`, :func:`embedding`, ...)
+derive all descriptors from natural layer shapes so the zoo stays
+readable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import math
+
+__all__ = [
+    "LayerKind",
+    "LayerSpec",
+    "activation",
+    "attention",
+    "batchnorm2d",
+    "conv2d",
+    "elementwise",
+    "embedding",
+    "layernorm",
+    "linear",
+    "pooling",
+]
+
+BYTES_PER_PARAM = 4  # fp32, matching the paper's PyTorch v1.9 deployment
+
+#: Weight re-stream factor for convolutions under DHA.  Paper Table 1:
+#: 65,891 / 36,869 = 1.79 (medium conv), 273,487 / 147,465 = 1.85 (large).
+CONV_DHA_RESTREAM = 1.8
+
+#: Output-tile height for GEMM weight re-reads under DHA.  Paper Table 1:
+#: FC layers show ~12x the load traffic at sequence length 384, i.e. one
+#: weight pass per 384/12 = 32 rows of output.
+GEMM_TILE_ROWS = 32
+
+
+class LayerKind(enum.Enum):
+    """Layer taxonomy used by the planner and the cost model."""
+
+    EMBEDDING = "embedding"
+    CONV = "conv"
+    LINEAR = "linear"
+    BATCHNORM = "batchnorm"
+    LAYERNORM = "layernorm"
+    ATTENTION = "attention"
+    ACTIVATION = "activation"
+    POOLING = "pooling"
+    ELEMENTWISE = "elementwise"
+
+
+@dataclasses.dataclass(frozen=True)
+class LayerSpec:
+    """One layer of a model, as seen by the provisioning system."""
+
+    name: str
+    kind: LayerKind
+    #: Parameter footprint; 0 for parameter-free layers (ReLU, softmax...).
+    param_bytes: int
+    #: FLOPs to execute the layer for one batch item.
+    flops_per_item: float
+    #: HBM bytes read+written for activations, per batch item.
+    act_bytes_per_item: int
+    #: PCIe bytes under direct-host-access: ``max(dha_min_bytes,
+    #: batch * dha_bytes_per_item)``.
+    dha_min_bytes: int
+    dha_bytes_per_item: int
+    #: True when DHA traffic is scattered (embedding row gathers) rather
+    #: than streamed; scattered reads achieve lower PCIe efficiency.
+    gather: bool = False
+
+    def __post_init__(self) -> None:
+        if self.param_bytes < 0:
+            raise ValueError(f"{self.name}: negative param_bytes")
+        if self.param_bytes == 0 and (self.dha_min_bytes or self.dha_bytes_per_item):
+            raise ValueError(
+                f"{self.name}: parameter-free layer cannot have DHA traffic")
+
+    @property
+    def loadable(self) -> bool:
+        """Whether there is anything to load (or to leave host-side)."""
+        return self.param_bytes > 0
+
+    def dha_pcie_bytes(self, batch_size: int) -> int:
+        """PCIe bytes the layer's kernels read under DHA at *batch_size*."""
+        return max(self.dha_min_bytes, batch_size * self.dha_bytes_per_item)
+
+    def __str__(self) -> str:
+        return f"{self.name}[{self.kind.value}, {self.param_bytes}B]"
+
+
+# ---------------------------------------------------------------------------
+# Builder helpers
+# ---------------------------------------------------------------------------
+
+
+def embedding(name: str, vocab_size: int, width: int,
+              tokens_per_item: int) -> LayerSpec:
+    """A lookup-table embedding gathering *tokens_per_item* rows."""
+    param_bytes = vocab_size * width * BYTES_PER_PARAM
+    row_bytes = width * BYTES_PER_PARAM
+    gathered = tokens_per_item * row_bytes
+    return LayerSpec(
+        name=name,
+        kind=LayerKind.EMBEDDING,
+        param_bytes=param_bytes,
+        flops_per_item=float(tokens_per_item * width),
+        act_bytes_per_item=2 * gathered,  # gather read + output write
+        dha_min_bytes=0,
+        dha_bytes_per_item=gathered,
+        gather=True,
+    )
+
+
+def conv2d(name: str, in_channels: int, out_channels: int, kernel: int,
+           out_hw: int, stride: int = 1, bias: bool = False) -> LayerSpec:
+    """A 2-D convolution producing an ``out_hw x out_hw`` feature map."""
+    del stride  # captured by out_hw; kept for readable call sites
+    params = in_channels * out_channels * kernel * kernel
+    if bias:
+        params += out_channels
+    param_bytes = params * BYTES_PER_PARAM
+    out_elems = out_channels * out_hw * out_hw
+    in_elems = in_channels * (out_hw * out_hw)  # approximate pre-stride map
+    flops = 2.0 * kernel * kernel * in_channels * out_elems
+    return LayerSpec(
+        name=name,
+        kind=LayerKind.CONV,
+        param_bytes=param_bytes,
+        flops_per_item=flops,
+        act_bytes_per_item=(in_elems + out_elems) * BYTES_PER_PARAM,
+        dha_min_bytes=int(CONV_DHA_RESTREAM * param_bytes),
+        dha_bytes_per_item=0,
+    )
+
+
+def linear(name: str, in_features: int, out_features: int,
+           tokens_per_item: int = 1, bias: bool = True) -> LayerSpec:
+    """A fully-connected layer applied to *tokens_per_item* tokens."""
+    params = in_features * out_features + (out_features if bias else 0)
+    param_bytes = params * BYTES_PER_PARAM
+    flops = 2.0 * in_features * out_features * tokens_per_item
+    act = tokens_per_item * (in_features + out_features) * BYTES_PER_PARAM
+    tiles_per_item = tokens_per_item / GEMM_TILE_ROWS
+    return LayerSpec(
+        name=name,
+        kind=LayerKind.LINEAR,
+        param_bytes=param_bytes,
+        flops_per_item=flops,
+        act_bytes_per_item=act,
+        dha_min_bytes=param_bytes,
+        dha_bytes_per_item=int(math.ceil(tiles_per_item * param_bytes)),
+    )
+
+
+def batchnorm2d(name: str, channels: int, hw: int) -> LayerSpec:
+    """BatchNorm2d: per-channel affine, parameters read once per pass."""
+    param_bytes = 4 * channels * BYTES_PER_PARAM  # weight, bias, mean, var
+    elems = channels * hw * hw
+    return LayerSpec(
+        name=name,
+        kind=LayerKind.BATCHNORM,
+        param_bytes=param_bytes,
+        flops_per_item=4.0 * elems,
+        act_bytes_per_item=2 * elems * BYTES_PER_PARAM,
+        dha_min_bytes=param_bytes,
+        dha_bytes_per_item=0,
+    )
+
+
+def layernorm(name: str, width: int, tokens_per_item: int) -> LayerSpec:
+    """LayerNorm: parameters re-read for every token's normalization."""
+    param_bytes = 2 * width * BYTES_PER_PARAM
+    elems = tokens_per_item * width
+    return LayerSpec(
+        name=name,
+        kind=LayerKind.LAYERNORM,
+        param_bytes=param_bytes,
+        flops_per_item=8.0 * elems,
+        act_bytes_per_item=2 * elems * BYTES_PER_PARAM,
+        dha_min_bytes=param_bytes,
+        dha_bytes_per_item=tokens_per_item * param_bytes,
+    )
+
+
+def attention(name: str, width: int, heads: int,
+              tokens_per_item: int) -> LayerSpec:
+    """Scaled-dot-product attention compute (parameter-free).
+
+    Projections are separate :func:`linear` layers; this covers the
+    ``QK^T``, softmax and ``AV`` kernels, whose cost grows with the
+    square of the sequence length.
+    """
+    del heads  # head split does not change total FLOPs
+    flops = 2.0 * 2.0 * tokens_per_item * tokens_per_item * width
+    act = (2 * tokens_per_item * width + tokens_per_item * tokens_per_item) \
+        * BYTES_PER_PARAM
+    return LayerSpec(
+        name=name,
+        kind=LayerKind.ATTENTION,
+        param_bytes=0,
+        flops_per_item=flops,
+        act_bytes_per_item=act,
+        dha_min_bytes=0,
+        dha_bytes_per_item=0,
+    )
+
+
+def activation(name: str, elems_per_item: int) -> LayerSpec:
+    """A pointwise activation (ReLU, GELU, softmax...)."""
+    return LayerSpec(
+        name=name,
+        kind=LayerKind.ACTIVATION,
+        param_bytes=0,
+        flops_per_item=4.0 * elems_per_item,
+        act_bytes_per_item=2 * elems_per_item * BYTES_PER_PARAM,
+        dha_min_bytes=0,
+        dha_bytes_per_item=0,
+    )
+
+
+def pooling(name: str, elems_per_item: int) -> LayerSpec:
+    """A pooling layer (max/avg)."""
+    return LayerSpec(
+        name=name,
+        kind=LayerKind.POOLING,
+        param_bytes=0,
+        flops_per_item=2.0 * elems_per_item,
+        act_bytes_per_item=2 * elems_per_item * BYTES_PER_PARAM,
+        dha_min_bytes=0,
+        dha_bytes_per_item=0,
+    )
+
+
+def elementwise(name: str, elems_per_item: int) -> LayerSpec:
+    """A residual add or similar parameter-free elementwise op."""
+    return LayerSpec(
+        name=name,
+        kind=LayerKind.ELEMENTWISE,
+        param_bytes=0,
+        flops_per_item=float(elems_per_item),
+        act_bytes_per_item=3 * elems_per_item * BYTES_PER_PARAM,
+        dha_min_bytes=0,
+        dha_bytes_per_item=0,
+    )

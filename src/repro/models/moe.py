@@ -1,0 +1,140 @@
+"""Mixture-of-experts models (paper Section 7, future work).
+
+The paper anticipates extending DeepPlan to MoE models: "all the layers
+of the model are not required for a given input because each input needs
+to take an expert.  Once we are able to identify the required expert for
+a given forward pass, DeepPlan could effectively reduce the time spent
+of transferring models."
+
+This module provides:
+
+* :func:`build_moe_transformer` — a GPT-2-style decoder whose FFN is a
+  sparsely-gated expert bank (Shazeer et al.'s layout): a small router
+  plus ``num_experts`` independent FFNs of which ``top_k`` fire per pass;
+* :func:`routed_submodel` — the layer sequence an *identified* forward
+  pass actually needs (router + chosen experts only), which existing
+  DeepPlan planning/execution machinery consumes unchanged — provisioning
+  the submodel instead of the full model is exactly the optimization the
+  paper sketches;
+* :func:`uniform_routing` — a seeded expert choice for experiments.
+"""
+
+from __future__ import annotations
+
+import re
+import typing
+
+import numpy
+
+from repro.errors import PlanError
+from repro.models.graph import ModelSpec
+from repro.models.layers import (
+    LayerSpec,
+    activation,
+    attention,
+    elementwise,
+    embedding,
+    layernorm,
+    linear,
+)
+
+__all__ = ["build_moe_transformer", "routed_submodel", "uniform_routing",
+           "expert_structure"]
+
+_EXPERT_PATTERN = re.compile(r"^h\.(\d+)\.moe\.expert(\d+)\.")
+
+
+def build_moe_transformer(name: str = "moe-gpt", hidden: int = 768,
+                          num_layers: int = 12, heads: int = 12,
+                          num_experts: int = 8, top_k: int = 2,
+                          vocab_size: int = 50257, seq_len: int = 1024
+                          ) -> ModelSpec:
+    """A decoder whose per-block FFN is a bank of ``num_experts`` FFNs."""
+    if not 1 <= top_k <= num_experts:
+        raise PlanError(f"top_k={top_k} must be in [1, {num_experts}]")
+    intermediate = hidden * 4
+    layers: list[LayerSpec] = [
+        embedding("wte", vocab_size, hidden, seq_len),
+        embedding("wpe", 1024, hidden, seq_len),
+    ]
+    for i in range(num_layers):
+        prefix = f"h.{i}"
+        layers.append(layernorm(f"{prefix}.ln_1", hidden, seq_len))
+        layers.append(linear(f"{prefix}.attn.c_attn", hidden, 3 * hidden,
+                             seq_len))
+        layers.append(attention(f"{prefix}.attn.sdpa", hidden, heads,
+                                seq_len))
+        layers.append(linear(f"{prefix}.attn.c_proj", hidden, hidden,
+                             seq_len))
+        layers.append(elementwise(f"{prefix}.attn.add", seq_len * hidden))
+        layers.append(layernorm(f"{prefix}.ln_2", hidden, seq_len))
+        layers.append(linear(f"{prefix}.moe.router", hidden, num_experts,
+                             seq_len))
+        expert_tokens = max(1, seq_len * top_k // num_experts)
+        for e in range(num_experts):
+            layers.append(linear(f"{prefix}.moe.expert{e}.fc1", hidden,
+                                 intermediate, expert_tokens))
+            layers.append(activation(f"{prefix}.moe.expert{e}.gelu",
+                                     expert_tokens * intermediate))
+            layers.append(linear(f"{prefix}.moe.expert{e}.fc2", intermediate,
+                                 hidden, expert_tokens))
+        layers.append(elementwise(f"{prefix}.moe.add", seq_len * hidden))
+    layers.append(layernorm("ln_f", hidden, seq_len))
+    return ModelSpec(name=name, layers=tuple(layers), seq_len=seq_len,
+                     family="moe")
+
+
+def expert_structure(model: ModelSpec) -> dict[int, set[int]]:
+    """Map block index -> expert ids present in *model*."""
+    structure: dict[int, set[int]] = {}
+    for layer in model.layers:
+        match = _EXPERT_PATTERN.match(layer.name)
+        if match:
+            structure.setdefault(int(match.group(1)),
+                                 set()).add(int(match.group(2)))
+    return structure
+
+
+def uniform_routing(model: ModelSpec, top_k: int,
+                    seed: int = 0) -> dict[int, frozenset[int]]:
+    """Pick ``top_k`` experts per block, uniformly at random (seeded)."""
+    rng = numpy.random.default_rng(seed)
+    routing = {}
+    for block, experts in sorted(expert_structure(model).items()):
+        if top_k > len(experts):
+            raise PlanError(f"block {block} has {len(experts)} experts; "
+                            f"cannot route top_k={top_k}")
+        chosen = rng.choice(sorted(experts), size=top_k, replace=False)
+        routing[block] = frozenset(int(e) for e in chosen)
+    return routing
+
+
+def routed_submodel(model: ModelSpec,
+                    routing: typing.Mapping[int, frozenset[int]]
+                    ) -> ModelSpec:
+    """The layers one identified forward pass needs.
+
+    Drops every expert layer not selected by *routing*; everything else
+    (embeddings, attention, routers) is kept in order.  The result is a
+    plain :class:`ModelSpec`, so DeepPlan plans and executes it with no
+    special-casing — provisioning it instead of the full model is the
+    MoE optimization of the paper's Section 7.
+    """
+    structure = expert_structure(model)
+    if not structure:
+        raise PlanError(f"{model.name} has no MoE expert layers")
+    unknown = set(routing) - set(structure)
+    if unknown:
+        raise PlanError(f"routing names unknown blocks: {sorted(unknown)}")
+
+    kept = []
+    for layer in model.layers:
+        match = _EXPERT_PATTERN.match(layer.name)
+        if match:
+            block, expert = int(match.group(1)), int(match.group(2))
+            chosen = routing.get(block, frozenset())
+            if expert not in chosen:
+                continue
+        kept.append(layer)
+    return ModelSpec(name=f"{model.name}@routed", layers=tuple(kept),
+                     seq_len=model.seq_len, family=model.family)

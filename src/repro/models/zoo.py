@@ -1,0 +1,221 @@
+"""Builders for the eight models evaluated in the paper (Section 5.1).
+
+Architectures and parameter shapes follow the reference implementations
+the paper loads (TorchVision ResNets, HuggingFace BERT/RoBERTa/GPT-2);
+tests assert the resulting parameter counts match the published ones
+(e.g., BERT-Base ~110 M parameters = 417 MiB fp32, of which the word
+embedding is 89.42 MiB — the exact figure in the paper's Table 1).
+
+Sequence lengths default to the paper's benchmark inputs: 384 tokens for
+BERT/RoBERTa, 1024 for GPT-2, 224x224 RGB images for ResNet.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.models.graph import ModelSpec
+from repro.models.layers import (
+    LayerSpec,
+    activation,
+    attention,
+    batchnorm2d,
+    conv2d,
+    elementwise,
+    embedding,
+    layernorm,
+    linear,
+    pooling,
+)
+
+__all__ = ["MODEL_NAMES", "build_model", "model_registry",
+           "build_resnet", "build_bert", "build_gpt2", "microbench_layers"]
+
+
+# ---------------------------------------------------------------------------
+# ResNet (TorchVision resnet50 / resnet101)
+# ---------------------------------------------------------------------------
+
+
+def _bottleneck(layers: list[LayerSpec], prefix: str, in_ch: int, mid_ch: int,
+                out_ch: int, hw: int, downsample: bool) -> None:
+    """One TorchVision Bottleneck block: 1x1 -> 3x3 -> 1x1 (+ shortcut)."""
+    layers.append(conv2d(f"{prefix}.conv1", in_ch, mid_ch, 1, hw))
+    layers.append(batchnorm2d(f"{prefix}.bn1", mid_ch, hw))
+    layers.append(activation(f"{prefix}.relu1", mid_ch * hw * hw))
+    layers.append(conv2d(f"{prefix}.conv2", mid_ch, mid_ch, 3, hw))
+    layers.append(batchnorm2d(f"{prefix}.bn2", mid_ch, hw))
+    layers.append(activation(f"{prefix}.relu2", mid_ch * hw * hw))
+    layers.append(conv2d(f"{prefix}.conv3", mid_ch, out_ch, 1, hw))
+    layers.append(batchnorm2d(f"{prefix}.bn3", out_ch, hw))
+    if downsample:
+        layers.append(conv2d(f"{prefix}.downsample.conv", in_ch, out_ch, 1, hw))
+        layers.append(batchnorm2d(f"{prefix}.downsample.bn", out_ch, hw))
+    layers.append(elementwise(f"{prefix}.add", out_ch * hw * hw))
+    layers.append(activation(f"{prefix}.relu3", out_ch * hw * hw))
+
+
+def build_resnet(name: str, blocks_per_stage: typing.Sequence[int]) -> ModelSpec:
+    """A TorchVision-style ResNet with Bottleneck blocks."""
+    layers: list[LayerSpec] = []
+    layers.append(conv2d("conv1", 3, 64, 7, 112))
+    layers.append(batchnorm2d("bn1", 64, 112))
+    layers.append(activation("relu1", 64 * 112 * 112))
+    layers.append(pooling("maxpool", 64 * 56 * 56))
+
+    stage_hw = (56, 28, 14, 7)
+    stage_mid = (64, 128, 256, 512)
+    in_ch = 64
+    for stage, n_blocks in enumerate(blocks_per_stage):
+        mid = stage_mid[stage]
+        out_ch = mid * 4
+        hw = stage_hw[stage]
+        for block in range(n_blocks):
+            prefix = f"layer{stage + 1}.{block}"
+            _bottleneck(layers, prefix, in_ch, mid, out_ch, hw,
+                        downsample=(block == 0))
+            in_ch = out_ch
+
+    layers.append(pooling("avgpool", in_ch * 7 * 7))
+    layers.append(linear("fc", in_ch, 1000, tokens_per_item=1))
+    return ModelSpec(name=name, layers=tuple(layers), seq_len=1,
+                     family="resnet")
+
+
+# ---------------------------------------------------------------------------
+# BERT / RoBERTa (HuggingFace encoder)
+# ---------------------------------------------------------------------------
+
+
+def _encoder_block(layers: list[LayerSpec], prefix: str, hidden: int,
+                   heads: int, intermediate: int, seq: int) -> None:
+    layers.append(linear(f"{prefix}.attn.q", hidden, hidden, seq))
+    layers.append(linear(f"{prefix}.attn.k", hidden, hidden, seq))
+    layers.append(linear(f"{prefix}.attn.v", hidden, hidden, seq))
+    layers.append(attention(f"{prefix}.attn.sdpa", hidden, heads, seq))
+    layers.append(linear(f"{prefix}.attn.out", hidden, hidden, seq))
+    layers.append(elementwise(f"{prefix}.attn.add", seq * hidden))
+    layers.append(layernorm(f"{prefix}.attn.ln", hidden, seq))
+    layers.append(linear(f"{prefix}.ffn.fc1", hidden, intermediate, seq))
+    layers.append(activation(f"{prefix}.ffn.gelu", seq * intermediate))
+    layers.append(linear(f"{prefix}.ffn.fc2", intermediate, hidden, seq))
+    layers.append(elementwise(f"{prefix}.ffn.add", seq * hidden))
+    layers.append(layernorm(f"{prefix}.ffn.ln", hidden, seq))
+
+
+def build_bert(name: str, hidden: int, num_layers: int, heads: int,
+               vocab_size: int = 30522, max_position: int = 512,
+               type_vocab: int = 2, seq_len: int = 384,
+               family: str = "bert") -> ModelSpec:
+    """A BERT-style encoder (also used for RoBERTa with its vocab)."""
+    intermediate = hidden * 4
+    layers: list[LayerSpec] = [
+        embedding("embeddings.word", vocab_size, hidden, seq_len),
+        embedding("embeddings.position", max_position, hidden, seq_len),
+        embedding("embeddings.token_type", type_vocab, hidden, seq_len),
+        layernorm("embeddings.ln", hidden, seq_len),
+    ]
+    for i in range(num_layers):
+        _encoder_block(layers, f"encoder.{i}", hidden, heads, intermediate,
+                       seq_len)
+    layers.append(linear("pooler.dense", hidden, hidden, tokens_per_item=1))
+    layers.append(activation("pooler.tanh", hidden))
+    return ModelSpec(name=name, layers=tuple(layers), seq_len=seq_len,
+                     family=family)
+
+
+# ---------------------------------------------------------------------------
+# GPT-2 (HuggingFace decoder; LM head is weight-tied, so not re-counted)
+# ---------------------------------------------------------------------------
+
+
+def _decoder_block(layers: list[LayerSpec], prefix: str, hidden: int,
+                   heads: int, seq: int) -> None:
+    intermediate = hidden * 4
+    layers.append(layernorm(f"{prefix}.ln_1", hidden, seq))
+    layers.append(linear(f"{prefix}.attn.c_attn", hidden, 3 * hidden, seq))
+    layers.append(attention(f"{prefix}.attn.sdpa", hidden, heads, seq))
+    layers.append(linear(f"{prefix}.attn.c_proj", hidden, hidden, seq))
+    layers.append(elementwise(f"{prefix}.attn.add", seq * hidden))
+    layers.append(layernorm(f"{prefix}.ln_2", hidden, seq))
+    layers.append(linear(f"{prefix}.mlp.c_fc", hidden, intermediate, seq))
+    layers.append(activation(f"{prefix}.mlp.gelu", seq * intermediate))
+    layers.append(linear(f"{prefix}.mlp.c_proj", intermediate, hidden, seq))
+    layers.append(elementwise(f"{prefix}.mlp.add", seq * hidden))
+
+
+def build_gpt2(name: str, hidden: int, num_layers: int, heads: int,
+               vocab_size: int = 50257, max_position: int = 1024,
+               seq_len: int = 1024) -> ModelSpec:
+    layers: list[LayerSpec] = [
+        embedding("wte", vocab_size, hidden, seq_len),
+        embedding("wpe", max_position, hidden, seq_len),
+    ]
+    for i in range(num_layers):
+        _decoder_block(layers, f"h.{i}", hidden, heads, seq_len)
+    layers.append(layernorm("ln_f", hidden, seq_len))
+    return ModelSpec(name=name, layers=tuple(layers), seq_len=seq_len,
+                     family="gpt2")
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+
+def model_registry() -> dict[str, typing.Callable[[], ModelSpec]]:
+    """Name -> builder for the paper's eight benchmark models."""
+    return {
+        "resnet50": lambda: build_resnet("resnet50", (3, 4, 6, 3)),
+        "resnet101": lambda: build_resnet("resnet101", (3, 4, 23, 3)),
+        "bert-base": lambda: build_bert("bert-base", 768, 12, 12),
+        "bert-large": lambda: build_bert("bert-large", 1024, 24, 16),
+        "roberta-base": lambda: build_bert(
+            "roberta-base", 768, 12, 12, vocab_size=50265, max_position=514,
+            type_vocab=1, family="roberta"),
+        "roberta-large": lambda: build_bert(
+            "roberta-large", 1024, 24, 16, vocab_size=50265, max_position=514,
+            type_vocab=1, family="roberta"),
+        "gpt2": lambda: build_gpt2("gpt2", 768, 12, 12),
+        "gpt2-medium": lambda: build_gpt2("gpt2-medium", 1024, 24, 16),
+    }
+
+
+MODEL_NAMES: tuple[str, ...] = tuple(model_registry())
+
+
+def build_model(name: str) -> ModelSpec:
+    """Build one of the paper's benchmark models by name."""
+    registry = model_registry()
+    try:
+        return registry[name]()
+    except KeyError:
+        known = ", ".join(sorted(registry))
+        raise KeyError(f"unknown model {name!r}; known models: {known}") from None
+
+
+# ---------------------------------------------------------------------------
+# Microbenchmark layers (Figure 5 / Table 1)
+# ---------------------------------------------------------------------------
+
+
+def microbench_layers() -> dict[str, LayerSpec]:
+    """The isolated layers the paper measures in Figure 5 and Table 1.
+
+    Sizes match the paper exactly: the "medium" embedding is BERT-Base's
+    position table (1.50 MiB), the "large" one its word table (89.42 MiB);
+    the convs are ResNet 3x3 blocks (2.25 / 9.0 MiB); the FCs are
+    BERT-Base's attention projection (2.25 MiB) and FFN expansion
+    (9.01 MiB) at sequence length 384.
+    """
+    return {
+        "embedding-medium": embedding("emb-medium", 512, 768, 384),
+        "embedding-large": embedding("emb-large", 30522, 768, 384),
+        "conv-small": conv2d("conv-small", 64, 64, 3, 56),
+        "conv-medium": conv2d("conv-medium", 256, 256, 3, 28),
+        "conv-large": conv2d("conv-large", 512, 512, 3, 7),
+        "fc-small": linear("fc-small", 768, 768, 384, bias=False),
+        "fc-large": linear("fc-large", 768, 3072, 384),
+        "batchnorm": batchnorm2d("bn", 256, 14),
+        "layernorm": layernorm("ln", 768, 384),
+    }

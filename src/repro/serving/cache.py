@@ -1,0 +1,136 @@
+"""Instance residency cache with pluggable eviction policies.
+
+When GPU memory cannot fit a newly requested instance, the paper evicts
+the least recently used instance (Section 5.3.1) — eviction is
+bookkeeping only, since every instance keeps a pinned host copy.  LRU is
+the default; LFU, FIFO and seeded-random policies are provided for the
+eviction-policy ablation (`benchmarks/bench_ablation_eviction.py`).
+"""
+
+from __future__ import annotations
+
+import collections
+import typing
+
+import numpy
+
+from repro.errors import OutOfGPUMemoryError
+from repro.hw.memory import GPUMemory
+from repro.serving.instance import ModelInstance
+
+__all__ = ["InstanceCache", "LRUInstanceCache", "EVICTION_POLICIES"]
+
+EVICTION_POLICIES = ("lru", "lfu", "fifo", "random")
+
+
+class InstanceCache:
+    """Tracks which instances are resident on one GPU."""
+
+    def __init__(self, memory: GPUMemory, policy: str = "lru",
+                 seed: int = 0) -> None:
+        if policy not in EVICTION_POLICIES:
+            raise ValueError(f"unknown eviction policy {policy!r}; "
+                             f"options: {', '.join(EVICTION_POLICIES)}")
+        self.memory = memory
+        self.policy = policy
+        self.evictions = 0
+        # Recency order (least recently used first) doubles as FIFO
+        # insertion order when touch() skips reordering.
+        self._order: collections.OrderedDict[str, ModelInstance] = \
+            collections.OrderedDict()
+        self._frequency: collections.Counter[str] = collections.Counter()
+        self._rng = numpy.random.default_rng(seed)
+
+    # -- queries ---------------------------------------------------------------
+
+    def __contains__(self, instance: ModelInstance) -> bool:
+        return instance.name in self._order
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    @property
+    def resident_names(self) -> tuple[str, ...]:
+        """Resident instance names in eviction-candidate order."""
+        return tuple(self._order)
+
+    # -- operations ----------------------------------------------------------------
+
+    def touch(self, instance: ModelInstance) -> None:
+        """Record a hit (call on every warm request)."""
+        if instance.name not in self._order:
+            raise KeyError(f"{instance.name} is not resident")
+        self._frequency[instance.name] += 1
+        if self.policy == "lru":
+            self._order.move_to_end(instance.name)
+
+    def admit(self, instance: ModelInstance) -> list[ModelInstance]:
+        """Make room for and admit *instance*; returns evicted instances.
+
+        Raises :class:`OutOfGPUMemoryError` if the instance cannot fit
+        even on an otherwise empty GPU.
+        """
+        if instance.name in self._order:
+            raise ValueError(f"{instance.name} is already resident")
+        evicted = []
+        while not self.memory.fits(instance.gpu_bytes):
+            if not self._order:
+                raise OutOfGPUMemoryError(
+                    instance.gpu_bytes, self.memory.available_bytes,
+                    self.memory.device)
+            evicted.append(self._evict_victim())
+        self.memory.reserve(instance.name, instance.gpu_bytes)
+        self._order[instance.name] = instance
+        self._frequency[instance.name] += 1
+        instance.resident = True
+        return evicted
+
+    def _select_victim(self) -> str:
+        if self.policy in ("lru", "fifo"):
+            return next(iter(self._order))
+        if self.policy == "lfu":
+            return min(self._order,
+                       key=lambda name: (self._frequency[name], name))
+        names = tuple(self._order)
+        return names[int(self._rng.integers(len(names)))]
+
+    def _evict_victim(self) -> ModelInstance:
+        name = self._select_victim()
+        victim = self._order.pop(name)
+        self.memory.release(name)
+        victim.resident = False
+        self.evictions += 1
+        return victim
+
+    def evict(self, instance: ModelInstance) -> None:
+        """Explicitly evict one instance (e.g., decommissioning)."""
+        if instance.name not in self._order:
+            raise KeyError(f"{instance.name} is not resident")
+        del self._order[instance.name]
+        self.memory.release(instance.name)
+        instance.resident = False
+        self.evictions += 1
+
+    def prewarm(self, instances: typing.Iterable[ModelInstance]) -> int:
+        """Admit instances (in order) until the GPU is full; returns count.
+
+        Models the paper's warm-up phase before measurement begins.
+        """
+        admitted = 0
+        for instance in instances:
+            if instance.name in self._order:
+                continue
+            if not self.memory.fits(instance.gpu_bytes):
+                break
+            self.memory.reserve(instance.name, instance.gpu_bytes)
+            self._order[instance.name] = instance
+            instance.resident = True
+            admitted += 1
+        return admitted
+
+
+class LRUInstanceCache(InstanceCache):
+    """The paper's policy: least-recently-used eviction."""
+
+    def __init__(self, memory: GPUMemory) -> None:
+        super().__init__(memory, policy="lru")

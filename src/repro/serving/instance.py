@@ -1,0 +1,44 @@
+"""Model instances: one deployed tenant of the serving system.
+
+The paper's serving experiments deploy many *instances* of a few model
+architectures ("each instance mimics a model corresponding to a different
+user or service", Section 5.3.1).  Instances share nothing at runtime —
+each has its own parameters in pinned host memory and its own residency
+state on its home GPU.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.plan import ExecutionPlan
+
+__all__ = ["ModelInstance"]
+
+
+@dataclasses.dataclass
+class ModelInstance:
+    """One deployed model instance and its provisioning plan."""
+
+    #: Unique name, e.g. ``bert-base#17``.
+    name: str
+    #: The cold-start plan (also defines warm execution: DHA layers keep
+    #: reading host memory on every inference).
+    plan: ExecutionPlan
+    #: The GPU this instance is homed on.
+    home_gpu: int
+    #: Whether the loaded layers are currently resident on the home GPU.
+    resident: bool = False
+
+    @property
+    def model_name(self) -> str:
+        return self.plan.model.name
+
+    @property
+    def gpu_bytes(self) -> int:
+        """GPU memory the instance occupies while resident."""
+        return self.plan.gpu_resident_bytes
+
+    def __str__(self) -> str:
+        state = "resident" if self.resident else "cold"
+        return f"{self.name}@gpu{self.home_gpu} ({state})"

@@ -1,0 +1,186 @@
+"""Synthetic Microsoft-Azure-Functions-like trace (paper Figure 15).
+
+The paper replays a scaled-down Microsoft Azure Functions (MAF) trace
+[Shahrad et al., ATC'20], treating each function invocation as an
+inference request on the model mapped to that function.  The trace is not
+redistributable here, so this module synthesizes one with the properties
+the paper calls out (Section 5.3.2): "heavy sustained requests,
+fluctuations in request rates, and spikes in requests", plus the heavy
+tail of rarely invoked functions that makes cold-starts unavoidable.
+
+Instance behaviours:
+
+* **sustained** — near-constant rate (the MAF head: a few functions
+  dominate total invocations);
+* **fluctuating** — sinusoidal rate with random period/phase (diurnal /
+  periodic triggers);
+* **spiky** — low base rate with Poisson-arriving burst episodes of
+  large amplitude;
+* **rare** — the long tail, invoked sporadically (these drive the
+  cold-start behaviour).
+
+Popularity across instances within each class is Zipf-distributed, and
+the whole trace is normalized so the mean aggregate rate matches the
+configured requests-per-second.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import typing
+
+import numpy
+
+from repro.errors import WorkloadError
+
+__all__ = ["MAFTraceConfig", "SyntheticTrace", "synthesize_maf_trace"]
+
+
+@dataclasses.dataclass(frozen=True)
+class MAFTraceConfig:
+    """Knobs of the synthetic trace generator."""
+
+    duration: float = 3 * 3600.0  # the paper replays 3 hours
+    target_rps: float = 150.0     # the paper stresses with 150 req/s
+    #: Rate-curve resolution; arrivals are thinned per bucket.
+    bucket_seconds: float = 10.0
+    #: Fractions of instances per behaviour class (rest become "rare").
+    sustained_fraction: float = 0.10
+    fluctuating_fraction: float = 0.35
+    spiky_fraction: float = 0.20
+    #: Zipf exponent for the popularity skew.
+    zipf_exponent: float = 0.9
+    #: Mean number of spike episodes per spiky instance per hour.
+    spikes_per_hour: float = 1.5
+    #: Spike amplitude as a multiple of the instance's base rate.
+    spike_amplitude: float = 25.0
+    spike_duration: float = 60.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0 or self.target_rps <= 0:
+            raise WorkloadError("duration and target_rps must be positive")
+        total = (self.sustained_fraction + self.fluctuating_fraction
+                 + self.spiky_fraction)
+        if total > 1.0 + 1e-9:
+            raise WorkloadError(f"class fractions sum to {total} > 1")
+
+
+@dataclasses.dataclass
+class SyntheticTrace:
+    """The generated trace plus its per-bucket offered load."""
+
+    config: MAFTraceConfig
+    arrivals: list[tuple[float, str]]
+    #: Offered load (req/s) per bucket — the top panel of Figure 15.
+    bucket_times: numpy.ndarray
+    offered_load: numpy.ndarray
+    #: Behaviour class of each instance, for inspection.
+    instance_classes: dict[str, str]
+
+    @property
+    def num_requests(self) -> int:
+        return len(self.arrivals)
+
+    @property
+    def mean_rps(self) -> float:
+        return self.num_requests / self.config.duration
+
+
+def synthesize_maf_trace(instance_names: typing.Sequence[str],
+                         config: MAFTraceConfig = MAFTraceConfig()
+                         ) -> SyntheticTrace:
+    """Generate a synthetic MAF-like trace over *instance_names*."""
+    if not instance_names:
+        raise WorkloadError("need at least one instance")
+    rng = numpy.random.default_rng(config.seed)
+    names = list(instance_names)
+    classes = _assign_classes(len(names), config, rng)
+
+    n_buckets = max(1, math.ceil(config.duration / config.bucket_seconds))
+    bucket_times = numpy.arange(n_buckets) * config.bucket_seconds
+
+    weights = _zipf_weights(len(names), config.zipf_exponent, rng)
+    rates = numpy.zeros((len(names), n_buckets))
+    for i, klass in enumerate(classes):
+        rates[i] = weights[i] * _rate_curve(klass, bucket_times, config, rng)
+
+    # Normalize the aggregate mean to the configured requests/second.
+    mean_total = rates.sum(axis=0).mean()
+    rates *= config.target_rps / mean_total
+
+    arrivals = _thin_arrivals(names, rates, config, rng)
+    offered = rates.sum(axis=0)
+    return SyntheticTrace(
+        config=config,
+        arrivals=arrivals,
+        bucket_times=bucket_times,
+        offered_load=offered,
+        instance_classes={name: klass for name, klass in zip(names, classes)},
+    )
+
+
+def _assign_classes(count: int, config: MAFTraceConfig,
+                    rng: numpy.random.Generator) -> list[str]:
+    n_sustained = round(count * config.sustained_fraction)
+    n_fluct = round(count * config.fluctuating_fraction)
+    n_spiky = round(count * config.spiky_fraction)
+    classes = (["sustained"] * n_sustained + ["fluctuating"] * n_fluct
+               + ["spiky"] * n_spiky)
+    classes += ["rare"] * (count - len(classes))
+    classes = classes[:count]
+    rng.shuffle(classes)
+    return classes
+
+
+def _zipf_weights(count: int, exponent: float,
+                  rng: numpy.random.Generator) -> numpy.ndarray:
+    ranks = rng.permutation(count) + 1
+    return 1.0 / numpy.power(ranks.astype(float), exponent)
+
+
+def _rate_curve(klass: str, bucket_times: numpy.ndarray,
+                config: MAFTraceConfig,
+                rng: numpy.random.Generator) -> numpy.ndarray:
+    """Unnormalized per-bucket rate for one instance of class *klass*."""
+    n = len(bucket_times)
+    if klass == "sustained":
+        jitter = rng.normal(1.0, 0.05, size=n).clip(0.7, 1.3)
+        return 3.0 * jitter
+    if klass == "fluctuating":
+        period = rng.uniform(15 * 60, 90 * 60)
+        phase = rng.uniform(0, 2 * math.pi)
+        wave = 1.0 + 0.7 * numpy.sin(2 * math.pi * bucket_times / period + phase)
+        return 1.5 * wave.clip(min=0.05)
+    if klass == "spiky":
+        base = numpy.full(n, 0.3)
+        duration = max(config.bucket_seconds, config.spike_duration)
+        expected = config.spikes_per_hour * (bucket_times[-1] + 1) / 3600.0
+        for _ in range(rng.poisson(max(expected, 0.1))):
+            start = rng.uniform(0, bucket_times[-1])
+            in_spike = ((bucket_times >= start)
+                        & (bucket_times < start + duration))
+            base[in_spike] += 0.3 * config.spike_amplitude
+        return base
+    if klass == "rare":
+        return numpy.full(n, 0.08)
+    raise WorkloadError(f"unknown instance class {klass!r}")
+
+
+def _thin_arrivals(names: list[str], rates: numpy.ndarray,
+                   config: MAFTraceConfig,
+                   rng: numpy.random.Generator) -> list[tuple[float, str]]:
+    """Piecewise-constant Poisson thinning: counts per (instance, bucket)."""
+    arrivals: list[tuple[float, str]] = []
+    dt = config.bucket_seconds
+    counts = rng.poisson(rates * dt)
+    for i, name in enumerate(names):
+        buckets = numpy.nonzero(counts[i])[0]
+        for b in buckets:
+            start = b * dt
+            times = start + rng.uniform(0, dt, size=counts[i][b])
+            arrivals.extend((float(t), name) for t in times
+                            if t < config.duration)
+    arrivals.sort(key=lambda item: item[0])
+    return arrivals

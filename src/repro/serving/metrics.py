@@ -1,0 +1,171 @@
+"""Serving metrics: tail latency, goodput, cold-start accounting.
+
+The paper's serving figures report three quantities (Figures 13-15):
+
+* **99 % latency** — request latency (arrival to completion) percentile;
+* **goodput** — the fraction of requests finishing within the SLO
+  (100 ms unless stated otherwise);
+* **cold-start rate** — the fraction of requests that had to provision
+  their model first.
+
+:class:`MetricsCollector` records every completed request and produces
+both aggregate numbers and per-window time series (Figure 15 plots
+minute-by-minute curves over a 3-hour trace).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+import numpy
+
+from repro.units import MS
+
+__all__ = ["RequestRecord", "MetricsCollector", "WindowStats"]
+
+DEFAULT_SLO = 100 * MS
+
+
+@dataclasses.dataclass(frozen=True)
+class RequestRecord:
+    """Everything remembered about one completed request."""
+
+    request_id: int
+    instance_name: str
+    arrival_time: float
+    started_at: float
+    finished_at: float
+    cold_start: bool
+
+    @property
+    def latency(self) -> float:
+        return self.finished_at - self.arrival_time
+
+    @property
+    def queueing_delay(self) -> float:
+        return self.started_at - self.arrival_time
+
+
+@dataclasses.dataclass(frozen=True)
+class WindowStats:
+    """Aggregates for one time window of the trace."""
+
+    window_start: float
+    num_requests: int
+    p99_latency: float
+    goodput: float
+    cold_start_rate: float
+
+
+class MetricsCollector:
+    """Accumulates request records and summarizes them."""
+
+    def __init__(self, slo: float = DEFAULT_SLO) -> None:
+        if slo <= 0:
+            raise ValueError(f"SLO must be positive, got {slo}")
+        self.slo = slo
+        self.records: list[RequestRecord] = []
+
+    def record(self, record: RequestRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # -- aggregates ---------------------------------------------------------------
+
+    def _latencies(self) -> numpy.ndarray:
+        return numpy.array([r.latency for r in self.records])
+
+    def percentile(self, q: float) -> float:
+        """Latency percentile (q in [0, 100])."""
+        if not self.records:
+            raise ValueError("no requests recorded")
+        return float(numpy.percentile(self._latencies(), q))
+
+    @property
+    def p99_latency(self) -> float:
+        return self.percentile(99.0)
+
+    @property
+    def p50_latency(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def mean_latency(self) -> float:
+        if not self.records:
+            raise ValueError("no requests recorded")
+        return float(self._latencies().mean())
+
+    @property
+    def goodput(self) -> float:
+        """Fraction of requests completed within the SLO."""
+        if not self.records:
+            raise ValueError("no requests recorded")
+        return float((self._latencies() <= self.slo).mean())
+
+    @property
+    def cold_start_rate(self) -> float:
+        if not self.records:
+            raise ValueError("no requests recorded")
+        return sum(r.cold_start for r in self.records) / len(self.records)
+
+    @property
+    def cold_start_count(self) -> int:
+        return sum(r.cold_start for r in self.records)
+
+    @property
+    def throughput(self) -> float:
+        """Completed requests per second over the observed span."""
+        if not self.records:
+            raise ValueError("no requests recorded")
+        span = (max(r.finished_at for r in self.records)
+                - min(r.arrival_time for r in self.records))
+        return len(self.records) / span if span > 0 else float("inf")
+
+    # -- time series (Figure 15) -----------------------------------------------------
+
+    def windows(self, window_seconds: float = 60.0) -> list[WindowStats]:
+        """Per-window statistics over the trace, by arrival time."""
+        if window_seconds <= 0:
+            raise ValueError("window must be positive")
+        if not self.records:
+            return []
+        buckets: dict[int, list[RequestRecord]] = {}
+        for record in self.records:
+            buckets.setdefault(int(record.arrival_time // window_seconds),
+                               []).append(record)
+        stats = []
+        for index in sorted(buckets):
+            group = buckets[index]
+            latencies = numpy.array([r.latency for r in group])
+            stats.append(WindowStats(
+                window_start=index * window_seconds,
+                num_requests=len(group),
+                p99_latency=float(numpy.percentile(latencies, 99)),
+                goodput=float((latencies <= self.slo).mean()),
+                cold_start_rate=sum(r.cold_start for r in group) / len(group),
+            ))
+        return stats
+
+    # -- reporting --------------------------------------------------------------------
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "requests": float(len(self.records)),
+            "p50_ms": self.p50_latency / MS,
+            "p99_ms": self.p99_latency / MS,
+            "goodput": self.goodput,
+            "cold_start_rate": self.cold_start_rate,
+        }
+
+
+def merge(collectors: typing.Iterable[MetricsCollector],
+          slo: float = DEFAULT_SLO) -> MetricsCollector:
+    """Combine several collectors into one (e.g., per-GPU collectors)."""
+    merged = MetricsCollector(slo=slo)
+    for collector in collectors:
+        for record in collector.records:
+            merged.record(record)
+    return merged

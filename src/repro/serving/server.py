@@ -1,0 +1,307 @@
+"""The inference server: dispatch, workers, cold-start provisioning.
+
+Execution discipline follows the paper (Section 5.3): each GPU runs one
+inference at a time (as in Clockwork); every instance has a *home* GPU
+(instances are spread round-robin); requests queue FIFO at their home
+GPU.  On a miss, the worker evicts least-recently-used instances until
+the model fits, then provisions it with the configured strategy — for
+parallel transmission the home GPU borrows the PCIe lane of its
+cross-switch NVLink partner, which may simultaneously be serving its own
+requests (the interference the paper measures in Table 4).
+
+Warm-up: before measurement, instances are admitted in round-robin order
+until every GPU is full, mirroring the paper's warm-up phase.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.core.deepplan import DeepPlan, Strategy
+from repro.core.plan import ExecutionPlan
+from repro.core.validate import validate_plan_on_machine
+from repro.engine.executor import execute_plan, execute_warm
+from repro.errors import WorkloadError
+from repro.hw.machine import Machine
+from repro.models.graph import ModelSpec
+from repro.serving.cache import InstanceCache
+from repro.serving.instance import ModelInstance
+from repro.serving.metrics import DEFAULT_SLO, MetricsCollector, RequestRecord
+from repro.serving.workload import Request
+from repro.simkit import Event, Store
+
+__all__ = ["ServerConfig", "InferenceServer", "ServingReport"]
+
+
+HOMING_POLICIES = ("round-robin", "least-loaded")
+
+
+@dataclasses.dataclass(frozen=True)
+class ServerConfig:
+    """Serving-system configuration."""
+
+    strategy: "Strategy | str" = Strategy.PT_DHA
+    slo: float = DEFAULT_SLO
+    #: Admit instances round-robin until GPUs are full before measuring.
+    prewarm: bool = True
+    #: Victim selection when GPU memory runs out ("lru" is the paper's).
+    eviction_policy: str = "lru"
+    #: How deploy() assigns instances to home GPUs.
+    homing: str = "round-robin"
+
+    def __post_init__(self) -> None:
+        if self.homing not in HOMING_POLICIES:
+            raise WorkloadError(
+                f"unknown homing policy {self.homing!r}; options: "
+                f"{', '.join(HOMING_POLICIES)}")
+
+
+@dataclasses.dataclass
+class ServingReport:
+    """Outcome of one serving run."""
+
+    metrics: MetricsCollector
+    num_instances: int
+    #: Instances resident after warm-up (the system's warm capacity).
+    prewarmed: int
+    evictions: int
+    duration: float
+
+    def summary(self) -> dict[str, float]:
+        data = self.metrics.summary()
+        data.update(instances=float(self.num_instances),
+                    prewarmed=float(self.prewarmed),
+                    evictions=float(self.evictions))
+        return data
+
+
+class InferenceServer:
+    """A multi-GPU model-serving system on one simulated machine."""
+
+    def __init__(self, machine: Machine, planner: DeepPlan,
+                 config: ServerConfig = ServerConfig()) -> None:
+        self.machine = machine
+        self.sim = machine.sim
+        self.planner = planner
+        self.config = config
+        self.strategy = Strategy.parse(config.strategy)
+        self.metrics = MetricsCollector(slo=config.slo)
+        self._instances: dict[str, ModelInstance] = {}
+        self._caches = {gpu.index: InstanceCache(
+            gpu.memory, policy=config.eviction_policy, seed=gpu.index)
+            for gpu in machine.gpus}
+        self._deployed_bytes = {gpu.index: 0 for gpu in machine.gpus}
+        self._queues = {gpu.index: Store(self.sim, name=f"queue{gpu.index}")
+                        for gpu in machine.gpus}
+        self._plans: dict[str, ExecutionPlan] = {}
+        self._secondaries = self._plan_secondaries()
+        self._outstanding = 0
+        self._drained: Event | None = None
+        self._workers_started = False
+
+    # -- deployment ----------------------------------------------------------------
+
+    def deploy(self, models: typing.Sequence[tuple[ModelSpec, int]]
+               ) -> list[ModelInstance]:
+        """Deploy ``count`` instances of each model.
+
+        Each instance's parameters are pinned in host memory (the
+        substrate for both DMA loads and direct-host-access), so host RAM
+        bounds total deployment.  Plans are generated once per
+        architecture and shared by its instances.  Homing follows
+        ``config.homing``: round-robin (the paper's setup) or
+        least-loaded by deployed bytes.
+        """
+        created = []
+        for model, count in models:
+            if count < 1:
+                raise WorkloadError(f"instance count must be >= 1, got {count}")
+            plan = self._plan_for(model)
+            validate_plan_on_machine(plan, self.machine)
+            existing = sum(1 for i in self._instances.values()
+                           if i.model_name == model.name)
+            for k in range(existing, existing + count):
+                name = f"{model.name}#{k}"
+                self.machine.host.pin(name, model.param_bytes)
+                instance = ModelInstance(name=name, plan=plan,
+                                         home_gpu=self._choose_home(plan))
+                self._instances[instance.name] = instance
+                self._deployed_bytes[instance.home_gpu] += \
+                    plan.gpu_resident_bytes
+                created.append(instance)
+        return created
+
+    def undeploy(self, instance_name: str) -> None:
+        """Decommission one instance: evict it and release its host pin."""
+        try:
+            instance = self._instances.pop(instance_name)
+        except KeyError:
+            raise WorkloadError(f"no deployed instance {instance_name!r}") \
+                from None
+        cache = self._caches[instance.home_gpu]
+        if instance in cache:
+            cache.evict(instance)
+        self._deployed_bytes[instance.home_gpu] -= \
+            instance.plan.gpu_resident_bytes
+        self.machine.host.unpin(instance_name)
+
+    def _choose_home(self, plan: ExecutionPlan) -> int:
+        if self.config.homing == "least-loaded":
+            return min(self._deployed_bytes, key=lambda gpu:
+                       (self._deployed_bytes[gpu], gpu))
+        counts: dict[int, int] = {gpu.index: 0 for gpu in self.machine.gpus}
+        for instance in self._instances.values():
+            counts[instance.home_gpu] += 1
+        return min(counts, key=lambda gpu: (counts[gpu], gpu))
+
+    def _plan_for(self, model: ModelSpec) -> ExecutionPlan:
+        if model.name not in self._plans:
+            self._plans[model.name] = self.planner.plan(model, self.strategy)
+        return self._plans[model.name]
+
+    def _plan_secondaries(self) -> dict[int, list[int]]:
+        """Cross-switch NVLink partners used for parallel transmission."""
+        partners = {}
+        for gpu in self.machine.gpus:
+            peers = self.machine.parallel_transmission_peers(gpu.index)
+            partners[gpu.index] = peers
+        return partners
+
+    @property
+    def instances(self) -> dict[str, ModelInstance]:
+        return dict(self._instances)
+
+    def warm_capacity(self) -> int:
+        """How many deployed instances fit resident simultaneously."""
+        return self._prewarm(dry_run=True)
+
+    # -- running --------------------------------------------------------------------
+
+    def run(self, requests: typing.Sequence[Request]) -> ServingReport:
+        """Serve *requests* to completion and report metrics.
+
+        Drives the machine's simulator; the server takes ownership of the
+        simulation loop for the duration of the run.
+        """
+        if not self._instances:
+            raise WorkloadError("no instances deployed")
+        if not requests:
+            raise WorkloadError("no requests to serve")
+        unknown = {r.instance_name for r in requests} - set(self._instances)
+        if unknown:
+            raise WorkloadError(f"requests target unknown instances: "
+                                f"{sorted(unknown)[:5]}")
+
+        prewarmed = self._prewarm() if self.config.prewarm else 0
+        self._start_workers()
+        self._outstanding = len(requests)
+        self._drained = self.sim.event(name="drained")
+        start_time = self.sim.now
+        self.sim.process(self._arrival_process(list(requests)),
+                         name="arrivals")
+        self.sim.run(self._drained)
+        return ServingReport(
+            metrics=self.metrics,
+            num_instances=len(self._instances),
+            prewarmed=prewarmed,
+            evictions=sum(c.evictions for c in self._caches.values()),
+            duration=self.sim.now - start_time,
+        )
+
+    def _prewarm(self, dry_run: bool = False) -> int:
+        """Admit instances round-robin per home GPU until memory is full."""
+        total = 0
+        by_gpu: dict[int, list[ModelInstance]] = {}
+        for instance in self._instances.values():
+            by_gpu.setdefault(instance.home_gpu, []).append(instance)
+        for gpu_index, group in by_gpu.items():
+            if dry_run:
+                budget = self._caches[gpu_index].memory.available_bytes
+                for instance in group:
+                    if instance.gpu_bytes <= budget:
+                        budget -= instance.gpu_bytes
+                        total += 1
+                    else:
+                        break
+            else:
+                total += self._caches[gpu_index].prewarm(group)
+        return total
+
+    def _start_workers(self) -> None:
+        if self._workers_started:
+            return
+        for gpu in self.machine.gpus:
+            self.sim.process(self._worker(gpu.index), name=f"worker{gpu.index}")
+        self._workers_started = True
+
+    # -- processes ---------------------------------------------------------------------
+
+    def _arrival_process(self, requests: list[Request]
+                         ) -> typing.Generator[Event, object, None]:
+        base = self.sim.now
+        for request in requests:
+            due = base + request.arrival_time
+            if due > self.sim.now:
+                yield self.sim.timeout(due - self.sim.now)
+            self.submit(request)
+
+    def submit(self, request: Request) -> None:
+        """Enqueue one request at its instance's home GPU."""
+        instance = self._instances[request.instance_name]
+        self._queues[instance.home_gpu].put(request)
+
+    def _worker(self, gpu_index: int) -> typing.Generator[Event, object, None]:
+        queue = self._queues[gpu_index]
+        while True:
+            request = yield queue.get()
+            try:
+                yield from self._serve(gpu_index,
+                                       typing.cast(Request, request))
+            except Exception as error:
+                # Surface worker failures to run() instead of letting the
+                # simulation hang with an undrained queue.
+                if self._drained is not None and not self._drained.triggered:
+                    self._drained.fail(error)
+                raise
+
+    def _serve(self, gpu_index: int, request: Request
+               ) -> typing.Generator[Event, object, None]:
+        instance = self._instances[request.instance_name]
+        cache = self._caches[gpu_index]
+        request.started_at = self.sim.now
+        cold = instance not in cache
+        request.cold_start = cold
+        if cold:
+            cache.admit(instance)
+            secondaries = self._cold_start_secondaries(instance)
+            yield execute_plan(self.machine, self.planner.cost_model,
+                               instance.plan, gpu_index, secondaries,
+                               detailed_traces=False)
+        else:
+            cache.touch(instance)
+            yield execute_warm(self.machine, self.planner.cost_model,
+                               instance.plan, gpu_index)
+        request.finished_at = self.sim.now
+        self.metrics.record(RequestRecord(
+            request_id=request.request_id,
+            instance_name=request.instance_name,
+            arrival_time=request.arrival_time,
+            started_at=request.started_at,
+            finished_at=request.finished_at,
+            cold_start=cold,
+        ))
+        self._outstanding -= 1
+        if self._outstanding == 0 and self._drained is not None:
+            self._drained.succeed()
+
+    def _cold_start_secondaries(self, instance: ModelInstance) -> list[int]:
+        needed = instance.plan.num_partitions - 1
+        if needed == 0:
+            return []
+        partners = self._secondaries[instance.home_gpu]
+        if len(partners) < needed:
+            raise WorkloadError(
+                f"gpu{instance.home_gpu} lacks {needed} cross-switch NVLink "
+                f"partners for parallel transmission")
+        return partners[:needed]

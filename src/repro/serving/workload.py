@@ -1,0 +1,90 @@
+"""Workload generators: request streams for the serving experiments.
+
+:class:`PoissonWorkload` reproduces the synthetic setup of paper
+Section 5.3.1: a fixed aggregate request rate with exponential
+inter-arrival times, each request targeting an instance chosen uniformly
+at random.  :class:`TraceWorkload` replays an explicit arrival list
+(e.g., one produced by :mod:`repro.serving.maf`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+import numpy
+
+from repro.errors import WorkloadError
+
+__all__ = ["Request", "PoissonWorkload", "TraceWorkload"]
+
+
+@dataclasses.dataclass
+class Request:
+    """One inference request."""
+
+    request_id: int
+    instance_name: str
+    arrival_time: float
+    batch_size: int = 1
+    #: Filled in by the server as the request moves through the system.
+    started_at: float | None = None
+    finished_at: float | None = None
+    cold_start: bool = False
+
+    @property
+    def latency(self) -> float:
+        if self.finished_at is None:
+            raise WorkloadError(f"request {self.request_id} not finished")
+        return self.finished_at - self.arrival_time
+
+
+class PoissonWorkload:
+    """Poisson arrivals at ``rate`` req/s over uniformly random instances."""
+
+    def __init__(self, instance_names: typing.Sequence[str], rate: float,
+                 num_requests: int, seed: int = 0) -> None:
+        if rate <= 0:
+            raise WorkloadError(f"rate must be positive, got {rate}")
+        if num_requests < 1:
+            raise WorkloadError(f"need at least one request, got {num_requests}")
+        if not instance_names:
+            raise WorkloadError("need at least one instance")
+        self.instance_names = list(instance_names)
+        self.rate = rate
+        self.num_requests = num_requests
+        self.seed = seed
+
+    def generate(self) -> list[Request]:
+        """Materialize the request list (deterministic per seed)."""
+        rng = numpy.random.default_rng(self.seed)
+        gaps = rng.exponential(1.0 / self.rate, size=self.num_requests)
+        arrivals = numpy.cumsum(gaps)
+        targets = rng.integers(0, len(self.instance_names),
+                               size=self.num_requests)
+        return [Request(request_id=i,
+                        instance_name=self.instance_names[int(t)],
+                        arrival_time=float(at))
+                for i, (at, t) in enumerate(zip(arrivals, targets))]
+
+
+class TraceWorkload:
+    """Replay an explicit (time, instance) arrival list."""
+
+    def __init__(self, arrivals: typing.Sequence[tuple[float, str]]) -> None:
+        if not arrivals:
+            raise WorkloadError("trace is empty")
+        ordered = sorted(arrivals, key=lambda item: item[0])
+        self.arrivals = ordered
+
+    @property
+    def duration(self) -> float:
+        return self.arrivals[-1][0]
+
+    @property
+    def num_requests(self) -> int:
+        return len(self.arrivals)
+
+    def generate(self) -> list[Request]:
+        return [Request(request_id=i, instance_name=name, arrival_time=time)
+                for i, (time, name) in enumerate(self.arrivals)]

@@ -1,0 +1,35 @@
+"""Discrete-event simulation kernel used by the DeepPlan reproduction.
+
+This is a small, dependency-free process-based simulator in the style of
+SimPy: a :class:`~repro.simkit.sim.Simulator` drives an event queue,
+coroutine *processes* (plain generators) yield :class:`~repro.simkit.events.Event`
+objects to wait on, and shared hardware is modelled with
+:class:`~repro.simkit.resources.Resource` (FIFO servers),
+:class:`~repro.simkit.resources.Store` (queues) and
+:class:`~repro.simkit.links.FlowNetwork` (max-min fair bandwidth-shared
+links, used for PCIe and NVLink).
+
+Everything in the repository that "runs on hardware" — layer loads, kernel
+execution, NVLink migration, the serving system — is a process in this
+kernel, so contention effects (e.g., two GPUs loading through one PCIe
+switch) emerge from resource sharing instead of being hard-coded.
+"""
+
+from repro.simkit.events import Event, all_of, any_of
+from repro.simkit.sim import Interrupt, Process, Simulator
+from repro.simkit.resources import Resource, Store
+from repro.simkit.links import Flow, FlowNetwork, Link
+
+__all__ = [
+    "Event",
+    "Flow",
+    "FlowNetwork",
+    "Interrupt",
+    "Link",
+    "Process",
+    "Resource",
+    "Simulator",
+    "Store",
+    "all_of",
+    "any_of",
+]

@@ -1,0 +1,275 @@
+"""Bandwidth-shared links with max-min fair allocation.
+
+PCIe lanes, PCIe switch uplinks and NVLink bricks are all modelled as
+:class:`Link` objects.  A transfer is a :class:`Flow` that traverses a
+*path* of links (e.g., GPU PCIe lane -> switch uplink) and receives the
+max-min fair bandwidth across every link it crosses, recomputed whenever
+a flow starts or finishes.  This is what makes contention effects in the
+paper — two GPUs halving each other's bandwidth through a shared switch
+(Table 2), or parallel transmission interfering across models (Table 4) —
+emerge from the model instead of being special-cased.
+
+Rates are recomputed with the classic progressive-filling (water-filling)
+algorithm, which yields the unique max-min fair allocation.
+"""
+
+from __future__ import annotations
+
+import itertools
+import typing
+
+from repro.simkit.events import Event
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.simkit.sim import Simulator
+
+__all__ = ["Link", "Flow", "FlowNetwork"]
+
+# Residual bytes below which a flow counts as complete (absorbs float error).
+_EPSILON_BYTES = 1e-3
+
+
+class Link:
+    """A unidirectional link with a fixed capacity in bytes/second."""
+
+    __slots__ = ("name", "bandwidth", "bytes_carried")
+
+    def __init__(self, name: str, bandwidth: float) -> None:
+        if bandwidth <= 0:
+            raise ValueError(f"link bandwidth must be positive, got {bandwidth}")
+        self.name = name
+        self.bandwidth = float(bandwidth)
+        #: Cumulative bytes that have crossed this link (for bandwidth stats).
+        self.bytes_carried = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Link {self.name} {self.bandwidth / 1e9:.2f} GB/s>"
+
+
+class Flow:
+    """An in-flight transfer across a path of links."""
+
+    __slots__ = ("id", "path", "nbytes", "remaining", "rate", "max_rate",
+                 "weight", "done", "started_at", "milestones",
+                 "_next_milestone")
+
+    _ids = itertools.count()
+
+    def __init__(self, path: typing.Sequence[Link], nbytes: float,
+                 done: Event, max_rate: float | None, weight: float,
+                 milestones: typing.Sequence[tuple[float, Event]] = ()
+                 ) -> None:
+        self.id = next(Flow._ids)
+        self.path = tuple(path)
+        self.nbytes = float(nbytes)
+        self.remaining = float(nbytes)
+        self.rate = 0.0
+        self.max_rate = max_rate
+        self.weight = float(weight)
+        self.done = done
+        #: (byte offset, event) pairs, ascending; each event fires when the
+        #: flow's progress crosses its offset.  Lets one bulk flow stand in
+        #: for a whole stream of back-to-back copies (one event per layer)
+        #: without per-copy flow churn.
+        self.milestones = sorted(milestones, key=lambda m: m[0])
+        self._next_milestone = 0
+
+    @property
+    def progressed(self) -> float:
+        return self.nbytes - self.remaining
+
+    def fire_due_milestones(self) -> None:
+        while (self._next_milestone < len(self.milestones)
+               and self.milestones[self._next_milestone][0]
+               <= self.progressed + _EPSILON_BYTES):
+            self.milestones[self._next_milestone][1].succeed(self)
+            self._next_milestone += 1
+
+    def next_milestone_bytes(self) -> float | None:
+        if self._next_milestone >= len(self.milestones):
+            return None
+        return self.milestones[self._next_milestone][0] - self.progressed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Flow #{self.id} {self.remaining:.0f}/{self.nbytes:.0f}B "
+                f"@{self.rate / 1e9:.2f}GB/s>")
+
+
+class FlowNetwork:
+    """Manages active flows and keeps their fair-share rates current."""
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self._active: set[Flow] = set()
+        self._last_settle = sim.now
+        self._timer_token = 0
+
+    # -- public API -----------------------------------------------------------
+
+    def transfer(self, path: typing.Sequence[Link], nbytes: float,
+                 setup_delay: float = 0.0,
+                 max_rate: float | None = None,
+                 weight: float = 1.0) -> Event:
+        """Start a transfer of *nbytes* across *path*.
+
+        Returns an event that succeeds (with the flow) once the last byte
+        arrives.  ``setup_delay`` models fixed per-copy overhead (driver
+        and DMA-engine setup) that elapses before any byte moves.
+        ``max_rate`` optionally caps the flow below link fair share (e.g.,
+        a DMA engine limit).  ``weight`` biases the fair share: rates are
+        allocated proportionally to weight (weighted max-min fairness),
+        which models DMA queue priorities.
+        """
+        if nbytes < 0:
+            raise ValueError(f"cannot transfer negative bytes: {nbytes}")
+        if not path:
+            raise ValueError("transfer path must contain at least one link")
+        if weight <= 0:
+            raise ValueError(f"weight must be positive, got {weight}")
+        done = Event(self.sim, name="flow.done")
+        flow = Flow(path, nbytes, done, max_rate, weight)
+        if setup_delay > 0:
+            self.sim._schedule_callback(lambda: self._start(flow), setup_delay)
+        else:
+            self._start(flow)
+        return done
+
+    def transfer_with_milestones(
+            self, path: typing.Sequence[Link], nbytes: float,
+            milestone_offsets: typing.Sequence[float],
+            setup_delay: float = 0.0, max_rate: float | None = None,
+            weight: float = 1.0) -> tuple[Event, list[Event]]:
+        """Like :meth:`transfer`, with progress-milestone events.
+
+        Each offset in *milestone_offsets* (bytes, ascending) yields an
+        event that fires when the flow's cumulative progress crosses it —
+        the idiom for a load stream of back-to-back layer copies: one
+        flow, one event per layer boundary.
+        """
+        if nbytes < 0:
+            raise ValueError(f"cannot transfer negative bytes: {nbytes}")
+        if not path:
+            raise ValueError("transfer path must contain at least one link")
+        if weight <= 0:
+            raise ValueError(f"weight must be positive, got {weight}")
+        offsets = list(milestone_offsets)
+        if sorted(offsets) != offsets:
+            raise ValueError("milestone offsets must be ascending")
+        if offsets and offsets[-1] > nbytes + _EPSILON_BYTES:
+            raise ValueError(f"milestone {offsets[-1]} beyond flow size "
+                             f"{nbytes}")
+        done = Event(self.sim, name="flow.done")
+        events = [Event(self.sim, name=f"flow.milestone[{i}]")
+                  for i in range(len(offsets))]
+        flow = Flow(path, nbytes, done, max_rate, weight,
+                    milestones=list(zip(offsets, events)))
+        if setup_delay > 0:
+            self.sim._schedule_callback(lambda: self._start(flow), setup_delay)
+        else:
+            self._start(flow)
+        return done, events
+
+    @property
+    def active_flows(self) -> frozenset[Flow]:
+        return frozenset(self._active)
+
+    # -- internals --------------------------------------------------------------
+
+    def _start(self, flow: Flow) -> None:
+        flow.started_at = self.sim.now
+        if flow.remaining <= _EPSILON_BYTES:
+            flow.fire_due_milestones()
+            flow.done.succeed(flow)
+            return
+        self._settle()
+        self._active.add(flow)
+        self._rebalance()
+
+    def _settle(self) -> None:
+        """Credit progress for time elapsed since the last rate change."""
+        elapsed = self.sim.now - self._last_settle
+        self._last_settle = self.sim.now
+        if elapsed <= 0:
+            return
+        for flow in self._active:
+            moved = flow.rate * elapsed
+            flow.remaining -= moved
+            for link in flow.path:
+                link.bytes_carried += moved
+
+    def _rebalance(self) -> None:
+        """Recompute max-min fair rates and re-arm the wake-up timer.
+
+        The timer fires at the earliest flow completion *or* milestone
+        crossing, whichever comes first.
+        """
+        self._timer_token += 1
+        completed = [f for f in self._active if f.remaining <= _EPSILON_BYTES]
+        for flow in completed:
+            self._active.remove(flow)
+            flow.remaining = 0.0
+            flow.fire_due_milestones()
+            flow.done.succeed(flow)
+        if not self._active:
+            return
+
+        self._assign_fair_rates()
+        token = self._timer_token
+        next_event = min(min(f.remaining, f.next_milestone_bytes()
+                             or f.remaining) / f.rate
+                         for f in self._active)
+        self.sim._schedule_callback(
+            lambda: self._on_timer(token), next_event)
+
+    def _assign_fair_rates(self) -> None:
+        """Weighted progressive filling: freeze flows at bottlenecks.
+
+        Each unfrozen flow receives ``weight * share`` where ``share`` is
+        the per-unit-weight allocation of its tightest link; flows capped
+        below their fair share free the remainder for the rest.
+        """
+        residual: dict[Link, float] = {}
+        load: dict[Link, float] = {}
+        for flow in self._active:
+            for link in flow.path:
+                residual.setdefault(link, link.bandwidth)
+                load[link] = load.get(link, 0.0) + flow.weight
+
+        unfrozen = set(self._active)
+        while unfrozen:
+            # The next bottleneck is the smallest per-unit-weight share,
+            # considering links and per-flow rate caps.
+            share = min(residual[link] / load[link]
+                        for link in residual if load[link] > 0)
+            capped = [f for f in unfrozen
+                      if f.max_rate is not None
+                      and f.max_rate <= f.weight * share]
+            if capped:
+                # Freeze capped flows at their own limit first; their unused
+                # share is redistributed on the next iteration.
+                for flow in capped:
+                    self._freeze(flow, typing.cast(float, flow.max_rate),
+                                 unfrozen, residual, load)
+                continue
+            bottleneck = min((link for link in residual if load[link] > 0),
+                             key=lambda link: residual[link] / load[link])
+            for flow in [f for f in unfrozen if bottleneck in f.path]:
+                self._freeze(flow, flow.weight * share, unfrozen, residual,
+                             load)
+
+    @staticmethod
+    def _freeze(flow: Flow, rate: float, unfrozen: set[Flow],
+                residual: dict[Link, float], load: dict[Link, float]) -> None:
+        flow.rate = rate
+        unfrozen.remove(flow)
+        for link in flow.path:
+            residual[link] = max(0.0, residual[link] - rate)
+            load[link] -= flow.weight
+
+    def _on_timer(self, token: int) -> None:
+        if token != self._timer_token:
+            return  # superseded by a later rebalance
+        self._settle()
+        for flow in self._active:
+            flow.fire_due_milestones()
+        self._rebalance()

@@ -1,0 +1,113 @@
+"""FIFO resources and stores for modelling exclusive hardware units.
+
+:class:`Resource` models a unit that serves a bounded number of holders at
+once (e.g., a GPU compute engine that runs one inference at a time, as in
+Clockwork).  :class:`Store` is an unbounded FIFO queue of items with
+blocking ``get`` — the building block for request queues.
+"""
+
+from __future__ import annotations
+
+import collections
+import typing
+
+from repro.simkit.events import Event
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.simkit.sim import Simulator
+
+__all__ = ["Resource", "Store"]
+
+
+class Resource:
+    """A FIFO resource with fixed capacity.
+
+    Usage from a process::
+
+        grant = resource.request()
+        yield grant
+        try:
+            ...  # hold the resource
+        finally:
+            resource.release(grant)
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int = 1, name: str = "") -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._holders: set[Event] = set()
+        self._waiters: collections.deque[Event] = collections.deque()
+
+    @property
+    def in_use(self) -> int:
+        return len(self._holders)
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def request(self) -> Event:
+        """An event that succeeds when the caller holds the resource."""
+        grant = Event(self.sim, name=f"{self.name}.grant")
+        if len(self._holders) < self.capacity:
+            self._holders.add(grant)
+            grant.succeed(grant)
+        else:
+            self._waiters.append(grant)
+        return grant
+
+    def release(self, grant: Event) -> None:
+        """Release a previously granted request."""
+        try:
+            self._holders.remove(grant)
+        except KeyError:
+            raise RuntimeError("release() of a grant that is not held") from None
+        if self._waiters:
+            waiter = self._waiters.popleft()
+            self._holders.add(waiter)
+            waiter.succeed(waiter)
+
+    def cancel(self, grant: Event) -> None:
+        """Withdraw a queued (not yet granted) request."""
+        try:
+            self._waiters.remove(grant)
+        except ValueError:
+            raise RuntimeError("cancel() of a grant that is not queued") from None
+
+
+class Store:
+    """An unbounded FIFO queue with blocking ``get``.
+
+    ``put`` never blocks.  ``get`` returns an event that succeeds with the
+    oldest item, immediately if one is available.
+    """
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self._items: collections.deque[object] = collections.deque()
+        self._getters: collections.deque[Event] = collections.deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: object) -> None:
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        event = Event(self.sim, name=f"{self.name}.get")
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def peek_all(self) -> tuple[object, ...]:
+        """A snapshot of queued items (oldest first), for metrics."""
+        return tuple(self._items)

@@ -1,0 +1,196 @@
+"""The simulator core: event queue, clock, and coroutine processes.
+
+A :class:`Simulator` owns the clock and a priority queue of scheduled
+actions.  :class:`Process` wraps a generator; each ``yield`` hands the
+simulator an :class:`~repro.simkit.events.Event` (or another process) to
+wait on, and the process resumes with the event's value.  Failed events
+raise inside the process, so simulated errors propagate like ordinary
+exceptions.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import typing
+
+from repro.simkit.events import Event
+
+__all__ = ["Simulator", "Process", "Interrupt"]
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted."""
+
+    def __init__(self, cause: object = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+ProcessGenerator = typing.Generator[Event, object, object]
+
+
+class Process:
+    """A running coroutine in simulated time.
+
+    Processes are created through :meth:`Simulator.process`.  A process is
+    itself waitable: yielding a process from another process waits for its
+    completion and receives its return value.
+    """
+
+    __slots__ = ("sim", "name", "_generator", "_waiting_on", "done")
+
+    def __init__(self, sim: "Simulator", generator: ProcessGenerator,
+                 name: str = "") -> None:
+        self.sim = sim
+        self.name = name or getattr(generator, "__name__", "process")
+        self._generator = generator
+        self._waiting_on: Event | None = None
+        #: Event triggered with the generator's return value when it ends.
+        self.done = Event(sim, name=f"{self.name}.done")
+        sim._schedule_callback(lambda: self._resume(None, None))
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.done.triggered
+
+    def interrupt(self, cause: object = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        The event the process was waiting on is abandoned (its eventual
+        trigger is ignored by this process).
+        """
+        if not self.is_alive:
+            raise RuntimeError(f"cannot interrupt finished process {self.name}")
+        self.sim._schedule_callback(
+            lambda: self._resume(None, Interrupt(cause), forced=True))
+
+    # -- driving the generator ---------------------------------------------
+
+    def _on_event(self, event: Event) -> None:
+        if self._waiting_on is not event:
+            return  # stale wake-up after an interrupt
+        self._waiting_on = None
+        if event.failed:
+            self._resume(None, typing.cast(BaseException, event.value))
+        else:
+            self._resume(event.value, None)
+
+    def _resume(self, value: object, exc: BaseException | None,
+                forced: bool = False) -> None:
+        if self.done.triggered:
+            return
+        if forced:
+            self._waiting_on = None
+        try:
+            if exc is not None:
+                target = self._generator.throw(exc)
+            else:
+                target = self._generator.send(value)
+        except StopIteration as stop:
+            self.done.succeed(stop.value)
+            return
+        except BaseException as error:  # noqa: BLE001 - simulated failure
+            self.done.fail(error)
+            return
+
+        event = target.done if isinstance(target, Process) else target
+        if not isinstance(event, Event):
+            self.done.fail(TypeError(
+                f"process {self.name} yielded {target!r}; expected an "
+                "Event or Process"))
+            return
+        self._waiting_on = event
+        event.add_callback(self._on_event)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self.is_alive else "done"
+        return f"<Process {self.name} ({state})>"
+
+
+class Simulator:
+    """Owns the simulated clock and the pending-action queue."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: list[tuple[float, int, typing.Callable[[], None]]] = []
+        self._sequence = itertools.count()
+
+    @property
+    def now(self) -> float:
+        """Current simulated time, in seconds."""
+        return self._now
+
+    # -- scheduling ----------------------------------------------------------
+
+    def _push(self, at: float, action: typing.Callable[[], None]) -> None:
+        heapq.heappush(self._queue, (at, next(self._sequence), action))
+
+    def _schedule_callback(self, action: typing.Callable[[], None],
+                           delay: float = 0.0) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        self._push(self._now + delay, action)
+
+    def _schedule_event_dispatch(self, event: Event) -> None:
+        self._push(self._now, event._dispatch)
+
+    # -- public construction helpers ------------------------------------------
+
+    def event(self, name: str = "") -> Event:
+        """A fresh untriggered event, to be triggered by user code."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: object = None) -> Event:
+        """An event that succeeds *delay* seconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative timeout {delay!r}")
+        event = Event(self, name=f"timeout({delay:g})")
+        self._push(self._now + delay, lambda: event.succeed(value))
+        return event
+
+    def process(self, generator: ProcessGenerator, name: str = "") -> Process:
+        """Start a coroutine process running from the current time."""
+        return Process(self, generator, name=name)
+
+    # -- execution -------------------------------------------------------------
+
+    def step(self) -> None:
+        """Execute the next scheduled action, advancing the clock."""
+        at, _, action = heapq.heappop(self._queue)
+        if at < self._now:
+            raise RuntimeError("time went backwards")  # pragma: no cover
+        self._now = at
+        action()
+
+    def run(self, until: float | Event | None = None) -> object:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until no actions remain), a time
+        (run until the clock would pass it, then set the clock to it), or
+        an :class:`Event` (run until that event triggers and return its
+        value; raise if it failed).
+        """
+        if isinstance(until, Event):
+            return self._run_until_event(until)
+        deadline = float("inf") if until is None else float(until)
+        if deadline < self._now:
+            raise ValueError(f"until={deadline} is in the past (now={self._now})")
+        while self._queue and self._queue[0][0] <= deadline:
+            self.step()
+        if deadline != float("inf"):
+            self._now = deadline
+        return None
+
+    def _run_until_event(self, event: Event) -> object:
+        while not event.triggered:
+            if not self._queue:
+                raise RuntimeError(
+                    f"simulation ran out of events before {event!r} triggered")
+            self.step()
+        # Drain same-instant dispatches so callbacks at this time complete.
+        while self._queue and self._queue[0][0] <= self._now:
+            self.step()
+        if event.failed:
+            raise typing.cast(BaseException, event.value)
+        return event.value

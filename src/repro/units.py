@@ -1,0 +1,30 @@
+"""Unit helpers.
+
+All simulator times are in **seconds** and sizes in **bytes**.  These
+constants keep call sites legible (``3 * MS`` rather than ``0.003``).
+"""
+
+from __future__ import annotations
+
+__all__ = ["US", "MS", "SECONDS", "KB", "MB", "GB", "GBPS", "to_ms", "to_us"]
+
+US = 1e-6
+MS = 1e-3
+SECONDS = 1.0
+
+KB = 1024
+MB = 1024 * 1024
+GB = 1024 * 1024 * 1024
+
+#: One gigabyte per second, in bytes/second (decimal, matching link specs).
+GBPS = 1e9
+
+
+def to_ms(seconds: float) -> float:
+    """Seconds -> milliseconds (for reporting)."""
+    return seconds * 1e3
+
+
+def to_us(seconds: float) -> float:
+    """Seconds -> microseconds (for reporting)."""
+    return seconds * 1e6

@@ -1,0 +1,62 @@
+"""Unit tests for table/series rendering."""
+
+import pytest
+
+from repro.analysis import format_series, format_table, normalize
+
+
+class TestFormatTable:
+    def test_alignment_and_headers(self):
+        text = format_table(["name", "value"], [["a", 1.5], ["bb", 20.25]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert "1.500" in text
+        assert "20.25" in text
+
+    def test_title_prepended(self):
+        text = format_table(["x"], [["y"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_integer_thousands_separator(self):
+        text = format_table(["n"], [[1465112]])
+        assert "1,465,112" in text
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only one"]])
+
+    def test_empty_rows_ok(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+    def test_numeric_columns_right_aligned(self):
+        text = format_table(["name", "v"], [["x", 1.0], ["long-name", 333.0]])
+        lines = text.splitlines()
+        assert lines[2].rstrip().endswith("1.000")
+        assert lines[3].rstrip().endswith("333.00")
+
+
+class TestFormatSeries:
+    def test_series_rendering(self):
+        text = format_series("batch", [1, 2], {"a": [1.0, 2.0],
+                                               "b": [3.0, 4.0]})
+        assert "batch" in text
+        assert "1.000" in text and "4.000" in text
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_series("x", [1, 2], {"a": [1.0]})
+
+    def test_custom_format(self):
+        text = format_series("x", [1], {"a": [1.239]}, value_format="{:.1f}")
+        assert "1.2" in text
+
+
+class TestNormalize:
+    def test_speedups(self):
+        assert normalize([10.0, 5.0, 2.0], 10.0) == [1.0, 2.0, 5.0]
+
+    def test_bad_reference_rejected(self):
+        with pytest.raises(ValueError):
+            normalize([1.0], 0.0)

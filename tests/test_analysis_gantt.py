@@ -1,0 +1,69 @@
+"""Tests for the ASCII timeline renderer."""
+
+import pytest
+
+from repro.analysis.gantt import render_gantt
+from repro.core import DeepPlan, Strategy
+from repro.engine import execute_plan, run_single_inference
+from repro.hw.specs import p3_8xlarge
+from repro.models import build_model
+
+
+@pytest.fixture(scope="module")
+def planner():
+    return DeepPlan(p3_8xlarge(), noise=0.0)
+
+
+@pytest.fixture(scope="module")
+def pipeswitch_result(planner):
+    return run_single_inference(p3_8xlarge(), build_model("bert-base"),
+                                Strategy.PIPESWITCH, planner=planner)
+
+
+class TestRenderGantt:
+    def test_contains_all_lanes(self, planner):
+        result = run_single_inference(p3_8xlarge(), build_model("bert-base"),
+                                      Strategy.PT_DHA, planner=planner)
+        text = render_gantt(result)
+        assert "exec gpu0" in text
+        assert "pcie gpu0" in text
+        assert "pcie gpu2" in text  # the secondary lane
+
+    def test_stall_heavy_run_shows_stalls(self, pipeswitch_result):
+        text = render_gantt(pipeswitch_result)
+        exec_line = next(l for l in text.splitlines() if "exec" in l)
+        assert exec_line.count(".") > exec_line.count("#")  # Figure 2!
+
+    def test_dha_layers_marked_distinctly(self, planner):
+        result = run_single_inference(p3_8xlarge(), build_model("bert-base"),
+                                      Strategy.DHA, planner=planner)
+        exec_line = next(l for l in render_gantt(result).splitlines()
+                         if "exec" in l)
+        assert "x" in exec_line
+
+    def test_respects_width(self, pipeswitch_result):
+        text = render_gantt(pipeswitch_result, width=40)
+        for line in text.splitlines()[1:]:
+            bar = line.split("|")[1]
+            assert len(bar) == 40
+
+    def test_width_too_small_rejected(self, pipeswitch_result):
+        with pytest.raises(ValueError):
+            render_gantt(pipeswitch_result, width=8)
+
+    def test_traceless_result_rejected(self, planner):
+        from repro.hw.machine import Machine
+        from repro.simkit import Simulator
+
+        plan = planner.plan(build_model("resnet50"), Strategy.PIPESWITCH)
+        machine = Machine(Simulator(), p3_8xlarge())
+        result = machine.sim.run(execute_plan(
+            machine, planner.cost_model, plan, 0,
+            detailed_traces=False).done)
+        with pytest.raises(ValueError, match="detailed_traces"):
+            render_gantt(result)
+
+    def test_header_mentions_duration(self, pipeswitch_result):
+        header = render_gantt(pipeswitch_result).splitlines()[0]
+        assert "ms" in header
+        assert "stall" in header

@@ -1,0 +1,59 @@
+"""Unit and property tests for multi-seed statistics helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stats import compare, summarize
+
+
+class TestSummarize:
+    def test_basic_moments(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.stddev == pytest.approx(1.0)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 3.0
+        assert summary.count == 3
+
+    def test_single_sample(self):
+        summary = summarize([5.0])
+        assert summary.mean == 5.0
+        assert summary.stddev == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_str_mentions_mean_and_count(self):
+        text = str(summarize([1.0, 2.0]))
+        assert "1.5" in text
+        assert "n=2" in text
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1,
+                    max_size=30))
+    def test_bounds_property(self, samples):
+        summary = summarize(samples)
+        # Summation rounding can push the mean a few ULPs past the bounds.
+        slack = 1e-9 * (1.0 + abs(summary.mean))
+        assert summary.minimum - slack <= summary.mean <= \
+            summary.maximum + slack
+        assert summary.stddev >= 0
+
+
+class TestCompare:
+    def test_clear_separation(self):
+        low = [1.0, 1.1, 0.9, 1.05]
+        high = [5.0, 5.1, 4.9, 5.05]
+        assert compare(low, high) == -1
+        assert compare(high, low) == 1
+
+    def test_overlap_is_a_tie(self):
+        a = [1.0, 2.0, 3.0, 4.0]
+        b = [1.5, 2.5, 3.5, 2.0]
+        assert compare(a, b) == 0
+
+    def test_symmetry(self):
+        a, b = [1.0, 2.0], [10.0, 11.0]
+        assert compare(a, b) == -compare(b, a)

@@ -1,0 +1,115 @@
+"""Model-based (stateful) testing of the instance cache.
+
+Drives :class:`~repro.serving.cache.InstanceCache` through random
+admit/touch/evict sequences while maintaining a reference model, checking
+the invariants that the serving system's correctness rests on:
+
+* memory accounting equals the sum of resident instances' bytes;
+* residency flags agree with the cache's view;
+* LRU evicts exactly the least-recently-used resident instance;
+* capacity is never exceeded.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.hw.memory import GPUMemory
+from repro.serving.cache import InstanceCache
+
+
+@dataclasses.dataclass
+class FakeInstance:
+    """Minimal stand-in exposing what the cache needs."""
+
+    name: str
+    gpu_bytes: int
+    resident: bool = False
+
+
+CAPACITY = 1000
+
+
+class CacheMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.memory = GPUMemory(CAPACITY, workspace_bytes=0)
+        self.cache = InstanceCache(self.memory, policy="lru")
+        self.instances = {
+            f"i{k}": FakeInstance(name=f"i{k}", gpu_bytes=100 + 30 * (k % 5))
+            for k in range(12)
+        }
+        self.reference_order: list[str] = []  # LRU first
+
+    # -- rules ------------------------------------------------------------
+
+    @rule(k=st.integers(min_value=0, max_value=11))
+    def admit_or_touch(self, k):
+        instance = self.instances[f"i{k}"]
+        if instance.name in self.reference_order:
+            self.cache.touch(instance)
+            self.reference_order.remove(instance.name)
+            self.reference_order.append(instance.name)
+        else:
+            evicted = self.cache.admit(instance)
+            expected = []
+            free = CAPACITY - sum(self.instances[n].gpu_bytes
+                                  for n in self.reference_order)
+            while free < instance.gpu_bytes:
+                victim = self.reference_order.pop(0)
+                expected.append(victim)
+                free += self.instances[victim].gpu_bytes
+            assert [e.name for e in evicted] == expected
+            self.reference_order.append(instance.name)
+
+    @precondition(lambda self: self.reference_order)
+    @rule(data=st.data())
+    def explicit_evict(self, data):
+        name = data.draw(st.sampled_from(self.reference_order))
+        self.cache.evict(self.instances[name])
+        self.reference_order.remove(name)
+
+    # -- invariants ----------------------------------------------------------
+
+    @invariant()
+    def memory_matches_residents(self):
+        expected = sum(self.instances[n].gpu_bytes
+                       for n in self.reference_order)
+        assert self.memory.used_bytes == expected
+        assert self.memory.used_bytes <= CAPACITY
+
+    @invariant()
+    def residency_flags_agree(self):
+        for name, instance in self.instances.items():
+            assert instance.resident == (name in self.reference_order)
+
+    @invariant()
+    def lru_order_agrees(self):
+        assert list(self.cache.resident_names) == self.reference_order
+
+
+TestCacheStateful = CacheMachine.TestCase
+TestCacheStateful.settings = settings(max_examples=40,
+                                      stateful_step_count=60,
+                                      deadline=None)
+
+
+def test_fake_instance_compatible_with_cache():
+    """The stand-in honours the ModelInstance interface the cache uses."""
+    memory = GPUMemory(500, workspace_bytes=0)
+    cache = InstanceCache(memory)
+    instance = FakeInstance(name="x", gpu_bytes=200)
+    cache.admit(instance)
+    assert instance.resident
+    cache.evict(instance)
+    assert not instance.resident
+    with pytest.raises(KeyError):
+        cache.touch(instance)

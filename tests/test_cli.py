@@ -1,0 +1,94 @@
+"""Tests for the ``deepplan`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestModels:
+    def test_lists_all_models(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        for name in ("resnet50", "bert-base", "gpt2-medium"):
+            assert name in out
+
+
+class TestTopo:
+    def test_describes_machine(self, capsys):
+        assert main(["topo", "--machine", "p3.8xlarge"]) == 0
+        out = capsys.readouterr().out
+        assert "pcie switch 0" in out
+        assert "nvlink" in out
+
+    def test_unknown_machine_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["topo", "--machine", "dgx-9000"])
+
+
+class TestPlan:
+    def test_plan_summary(self, capsys):
+        assert main(["plan", "--model", "bert-base",
+                     "--strategy", "pt+dha"]) == 0
+        out = capsys.readouterr().out
+        assert "plan[pt+dha]" in out
+        assert "dha layers" in out
+
+    def test_show_layers(self, capsys):
+        assert main(["plan", "--model", "gpt2", "--show-layers", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "wte" in out
+        assert "dha" in out
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["plan", "--model", "alexnet"])
+
+
+class TestInfer:
+    def test_compares_all_strategies_by_default(self, capsys):
+        assert main(["infer", "--model", "resnet50"]) == 0
+        out = capsys.readouterr().out
+        for strategy in ("baseline", "pipeswitch", "dha", "pt", "pt+dha"):
+            assert strategy in out
+
+    def test_single_strategy(self, capsys):
+        assert main(["infer", "--model", "resnet50",
+                     "--strategy", "pipeswitch"]) == 0
+        out = capsys.readouterr().out
+        assert "pipeswitch" in out
+        assert "pt+dha" not in out
+
+
+class TestServe:
+    def test_small_serving_run(self, capsys):
+        assert main(["serve", "--model", "bert-base", "--instances", "8",
+                     "--rate", "50", "--requests", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "goodput" in out
+        assert "p99_ms" in out
+
+
+class TestParser:
+    def test_no_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestPlanOutput:
+    def test_plan_saved_to_file(self, tmp_path, capsys):
+        out_file = tmp_path / "plan.json"
+        assert main(["plan", "--model", "resnet50",
+                     "--output", str(out_file)]) == 0
+        assert "saved deployable plan" in capsys.readouterr().out
+        from repro.core import load_plan
+        plan = load_plan(out_file)
+        assert plan.model.name == "resnet50"
+
+
+class TestInferGantt:
+    def test_gantt_rendered(self, capsys):
+        assert main(["infer", "--model", "resnet50",
+                     "--strategy", "pipeswitch", "--gantt"]) == 0
+        out = capsys.readouterr().out
+        assert "timeline:" in out
+        assert "pcie gpu0" in out

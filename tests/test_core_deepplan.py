@@ -1,0 +1,133 @@
+"""Unit tests for the DeepPlan facade."""
+
+import pytest
+
+from repro.core import DeepPlan, ExecMethod, Strategy
+from repro.errors import PlanError
+from repro.hw.specs import a5000x2, p3_8xlarge
+from repro.models import build_model
+
+
+@pytest.fixture(scope="module")
+def planner():
+    return DeepPlan(p3_8xlarge(), noise=0.0)
+
+
+@pytest.fixture(scope="module")
+def bert():
+    return build_model("bert-base")
+
+
+class TestStrategyParsing:
+    def test_parse_strings(self):
+        assert Strategy.parse("pt+dha") is Strategy.PT_DHA
+        assert Strategy.parse("PIPESWITCH") is Strategy.PIPESWITCH
+        assert Strategy.parse(Strategy.DHA) is Strategy.DHA
+
+    def test_unknown_strategy_raises(self):
+        with pytest.raises(PlanError, match="options"):
+            Strategy.parse("magic")
+
+    def test_flags(self):
+        assert Strategy.PT_DHA.uses_dha
+        assert Strategy.PT_DHA.uses_parallel_transmission
+        assert not Strategy.PIPESWITCH.uses_dha
+        assert not Strategy.DHA.uses_parallel_transmission
+
+
+class TestPlanGeneration:
+    def test_baseline_and_pipeswitch_load_everything(self, planner, bert):
+        for strategy in (Strategy.BASELINE, Strategy.PIPESWITCH):
+            plan = planner.plan(bert, strategy)
+            assert plan.gpu_resident_bytes == bert.param_bytes
+            assert plan.num_partitions == 1
+
+    def test_dha_leaves_embeddings_host_side(self, planner, bert):
+        plan = planner.plan(bert, Strategy.DHA)
+        word = bert.layer_index("embeddings.word")
+        assert plan.method(word) is ExecMethod.DHA
+        assert plan.host_resident_bytes > 80 * 1024 * 1024
+
+    def test_pt_uses_two_partitions_on_p3(self, planner, bert):
+        plan = planner.plan(bert, Strategy.PT)
+        assert plan.num_partitions == 2
+        assert plan.gpu_resident_bytes == bert.param_bytes
+
+    def test_pt_dha_combines_both(self, planner, bert):
+        plan = planner.plan(bert, Strategy.PT_DHA)
+        assert plan.num_partitions == 2
+        assert plan.host_resident_bytes > 0
+
+    def test_predicted_latency_ordering(self, planner, bert):
+        """baseline >= pipeswitch >= dha >= pt+dha for a load-bound model."""
+        latencies = [planner.plan(bert, s).predicted_latency
+                     for s in (Strategy.BASELINE, Strategy.PIPESWITCH,
+                               Strategy.DHA, Strategy.PT_DHA)]
+        assert latencies == sorted(latencies, reverse=True)
+
+    def test_plans_are_cached_per_model(self, planner, bert):
+        first = planner.profile(bert)
+        second = planner.profile(bert)
+        assert first is second
+
+    def test_explicit_num_gpus_validated(self, planner, bert):
+        with pytest.raises(PlanError, match="at most"):
+            planner.plan(bert, Strategy.PT, num_gpus=3)
+        with pytest.raises(PlanError, match=">= 2"):
+            planner.plan(bert, Strategy.PT, num_gpus=1)
+
+    def test_strategy_accepts_strings(self, planner, bert):
+        plan = planner.plan(bert, "pt+dha")
+        assert plan.strategy == "pt+dha"
+
+
+class TestSecondaryGPUs:
+    def test_secondary_for_pt_plan(self, planner, bert):
+        plan = planner.plan(bert, Strategy.PT)
+        assert planner.secondary_gpus(0, plan) == [2]
+        assert planner.secondary_gpus(3, plan) == [1]
+
+    def test_no_secondaries_for_single_partition(self, planner, bert):
+        plan = planner.plan(bert, Strategy.DHA)
+        assert planner.secondary_gpus(0, plan) == []
+
+
+class TestOtherMachines:
+    def test_a5000_supports_pt(self, bert):
+        planner = DeepPlan(a5000x2(), noise=0.0)
+        plan = planner.plan(bert, Strategy.PT_DHA)
+        assert plan.num_partitions == 2
+        assert planner.secondary_gpus(0, plan) == [1]
+
+    def test_pcie4_cold_start_is_faster(self, bert):
+        """Section 5.4: PCIe 4.0 shrinks provisioning latency."""
+        v100 = DeepPlan(p3_8xlarge(), noise=0.0)
+        a5000 = DeepPlan(a5000x2(), noise=0.0)
+        assert (a5000.plan(bert, Strategy.PIPESWITCH).predicted_latency
+                < v100.plan(bert, Strategy.PIPESWITCH).predicted_latency)
+
+
+class TestBestPlan:
+    def test_best_plan_returns_minimum_predicted(self, planner, bert):
+        best = planner.best_plan(bert)
+        for strategy in (Strategy.PIPESWITCH, Strategy.DHA, Strategy.PT,
+                         Strategy.PT_DHA):
+            assert best.predicted_latency <= \
+                planner.plan(bert, strategy).predicted_latency + 1e-12
+
+    def test_best_plan_for_bert_is_pt_dha(self, planner, bert):
+        assert planner.best_plan(bert).strategy == "pt+dha"
+
+    def test_best_plan_avoids_pt_when_it_adds_cost(self, planner):
+        """An embedding-dominated model loads almost nothing; parallel
+        transmission's NVLink hop is pure overhead, so pure DHA wins."""
+        from repro.models.graph import ModelSpec
+        from repro.models.layers import embedding, linear
+
+        model = ModelSpec(
+            name="embedding-heavy",
+            layers=(embedding("table", 3_000_000, 64, 32),
+                    linear("head", 64, 8, 32)),
+            seq_len=32, family="custom")
+        best = planner.best_plan(model)
+        assert best.strategy == "dha"

@@ -1,0 +1,115 @@
+"""Unit and property tests for model partitioning and GPU selection."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partitioner import (
+    choose_secondary_gpus,
+    max_partitions,
+    partition_model,
+)
+from repro.errors import PlanError
+from repro.hw.machine import Machine
+from repro.hw.specs import a5000x2, p3_8xlarge
+from repro.models import build_model
+from repro.models.graph import ModelSpec
+from repro.models.layers import linear
+from repro.simkit import Simulator
+
+
+@pytest.fixture(scope="module")
+def p3():
+    return Machine(Simulator(), p3_8xlarge())
+
+
+def toy_model(sizes):
+    layers = tuple(linear(f"fc{i}", 1, size, bias=False)
+                   for i, size in enumerate(sizes))
+    return ModelSpec(name="toy", layers=layers, seq_len=1, family="toy")
+
+
+class TestPartitionModel:
+    def test_single_partition_covers_everything(self):
+        model = build_model("bert-base")
+        (partition,) = partition_model(model, 1)
+        assert partition.start == 0
+        assert partition.stop == len(model.layers)
+
+    def test_two_partitions_are_size_balanced(self):
+        model = build_model("bert-base")
+        parts = partition_model(model, 2)
+        sizes = []
+        for part in parts:
+            sizes.append(sum(model.layers[i].param_bytes
+                             for i in range(part.start, part.stop)))
+        assert abs(sizes[0] - sizes[1]) < 0.1 * model.param_bytes
+
+    def test_partitions_are_contiguous_and_ordered(self):
+        model = build_model("gpt2-medium")
+        parts = partition_model(model, 4)
+        assert parts[0].start == 0
+        for left, right in zip(parts, parts[1:]):
+            assert left.stop == right.start
+        assert parts[-1].stop == len(model.layers)
+
+    def test_skewed_sizes_split_at_the_heavy_layer(self):
+        model = toy_model([1000, 1, 1, 1])
+        parts = partition_model(model, 2)
+        assert parts[0].stop == 1  # the heavy layer alone reaches 50%
+
+    def test_more_partitions_than_layers_rejected(self):
+        model = toy_model([1, 2])
+        with pytest.raises(PlanError):
+            partition_model(model, 3)
+
+    def test_zero_partitions_rejected(self):
+        with pytest.raises(PlanError):
+            partition_model(toy_model([1, 2]), 0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(sizes=st.lists(st.integers(min_value=0, max_value=10 ** 6),
+                          min_size=2, max_size=40).filter(lambda s: sum(s) > 0),
+           k=st.integers(min_value=1, max_value=4))
+    def test_partition_properties(self, sizes, k):
+        """Contiguity, coverage, and non-empty partitions always hold."""
+        model = toy_model([s + 1 for s in sizes])  # avoid zero-param layers
+        k = min(k, len(model.layers))
+        parts = partition_model(model, k)
+        assert len(parts) == k
+        assert parts[0].start == 0
+        assert parts[-1].stop == len(model.layers)
+        for left, right in zip(parts, parts[1:]):
+            assert left.stop == right.start
+        assert all(len(p) >= 1 for p in parts)
+
+
+class TestGPUSelection:
+    def test_secondary_is_on_other_switch(self, p3):
+        chosen = choose_secondary_gpus(p3, primary=0, max_secondaries=1)
+        assert chosen == [2]
+        assert not p3.share_pcie_switch(0, chosen[0])
+
+    def test_each_primary_gets_cross_switch_partner(self, p3):
+        for primary, expected in ((0, [2]), (1, [3]), (2, [0]), (3, [1])):
+            assert choose_secondary_gpus(p3, primary, 1) == expected
+
+    def test_at_most_one_secondary_per_other_switch(self, p3):
+        """p3.8xlarge has two switches, so PT caps at 2 GPUs per model —
+        exactly the paper's guidance (Section 4.3.3)."""
+        chosen = choose_secondary_gpus(p3, primary=0, max_secondaries=3)
+        assert len(chosen) == 1
+
+    def test_max_partitions_p3_is_two(self, p3):
+        assert max_partitions(p3) == 2
+
+    def test_max_partitions_a5000_is_two(self):
+        machine = Machine(Simulator(), a5000x2())
+        assert max_partitions(machine) == 2
+
+    def test_negative_secondaries_rejected(self, p3):
+        with pytest.raises(PlanError):
+            choose_secondary_gpus(p3, 0, -1)
+
+    def test_zero_secondaries_allowed(self, p3):
+        assert choose_secondary_gpus(p3, 0, 0) == []

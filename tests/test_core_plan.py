@@ -1,0 +1,116 @@
+"""Unit tests for execution plans and their invariants."""
+
+import pytest
+
+from repro.core.plan import ExecMethod, ExecutionPlan, Partition
+from repro.errors import PlanError
+from repro.models import build_model
+
+
+@pytest.fixture(scope="module")
+def model():
+    return build_model("bert-base")
+
+
+def make_plan(model, decisions=None, partitions=None, strategy="pipeswitch"):
+    n = len(model.layers)
+    if decisions is None:
+        decisions = tuple(
+            ExecMethod.LOAD if layer.loadable else ExecMethod.DHA
+            for layer in model.layers)
+    if partitions is None:
+        partitions = (Partition(index=0, start=0, stop=n),)
+    return ExecutionPlan(model=model, batch_size=1, decisions=tuple(decisions),
+                         partitions=tuple(partitions), strategy=strategy,
+                         machine_name="p3.8xlarge")
+
+
+class TestValidation:
+    def test_valid_plan_constructs(self, model):
+        plan = make_plan(model)
+        assert plan.num_partitions == 1
+        assert not plan.uses_parallel_transmission
+
+    def test_wrong_decision_count_rejected(self, model):
+        with pytest.raises(PlanError, match="decisions"):
+            make_plan(model, decisions=[ExecMethod.LOAD])
+
+    def test_parameter_free_layer_must_be_dha(self, model):
+        decisions = [ExecMethod.LOAD] * len(model.layers)
+        with pytest.raises(PlanError, match="no parameters"):
+            make_plan(model, decisions=decisions)
+
+    def test_dha_outside_first_partition_rejected(self, model):
+        n = len(model.layers)
+        decisions = [ExecMethod.LOAD if layer.loadable else ExecMethod.DHA
+                     for layer in model.layers]
+        # Force a loadable layer in partition 1 to DHA.
+        last_loadable = model.loadable_indices()[-1]
+        decisions[last_loadable] = ExecMethod.DHA
+        partitions = (Partition(0, 0, n // 2), Partition(1, n // 2, n))
+        with pytest.raises(PlanError, match="first partition"):
+            make_plan(model, decisions=decisions, partitions=partitions)
+
+    def test_non_contiguous_partitions_rejected(self, model):
+        n = len(model.layers)
+        partitions = (Partition(0, 0, 10), Partition(1, 12, n))
+        with pytest.raises(PlanError, match="contiguous"):
+            make_plan(model, partitions=partitions)
+
+    def test_partitions_must_cover_model(self, model):
+        partitions = (Partition(0, 0, 10),)
+        with pytest.raises(PlanError, match="cover"):
+            make_plan(model, partitions=partitions)
+
+    def test_empty_partition_rejected(self, model):
+        n = len(model.layers)
+        partitions = (Partition(0, 0, n), Partition(1, n, n))
+        with pytest.raises(PlanError):
+            make_plan(model, partitions=partitions)
+
+
+class TestAccounting:
+    def test_all_loaded_plan_is_fully_gpu_resident(self, model):
+        plan = make_plan(model)
+        assert plan.gpu_resident_bytes == model.param_bytes
+        assert plan.host_resident_bytes == 0
+
+    def test_dha_moves_bytes_host_side(self, model):
+        decisions = [ExecMethod.LOAD if layer.loadable else ExecMethod.DHA
+                     for layer in model.layers]
+        word = model.layer_index("embeddings.word")
+        decisions[word] = ExecMethod.DHA
+        plan = make_plan(model, decisions=decisions)
+        word_bytes = model.layers[word].param_bytes
+        assert plan.host_resident_bytes == word_bytes
+        assert plan.gpu_resident_bytes == model.param_bytes - word_bytes
+
+    def test_partition_load_bytes_sum_to_total(self, model):
+        n = len(model.layers)
+        partitions = (Partition(0, 0, n // 2), Partition(1, n // 2, n))
+        plan = make_plan(model, partitions=partitions, strategy="pt")
+        total = sum(plan.partition_load_bytes(p) for p in range(2))
+        assert total == plan.gpu_resident_bytes
+
+    def test_partition_of(self, model):
+        n = len(model.layers)
+        partitions = (Partition(0, 0, n // 2), Partition(1, n // 2, n))
+        plan = make_plan(model, partitions=partitions, strategy="pt")
+        assert plan.partition_of(0) == 0
+        assert plan.partition_of(n - 1) == 1
+
+
+class TestReporting:
+    def test_table3_row_renders_O_and_X(self, model):
+        decisions = [ExecMethod.LOAD if layer.loadable else ExecMethod.DHA
+                     for layer in model.layers]
+        decisions[model.layer_index("embeddings.word")] = ExecMethod.DHA
+        plan = make_plan(model, decisions=decisions)
+        indices = [model.layer_index("embeddings.word"),
+                   model.layer_index("encoder.0.attn.q")]
+        assert plan.table3_row(indices) == "X O"
+
+    def test_summary_contains_strategy_and_counts(self, model):
+        text = make_plan(model).summary()
+        assert "pipeswitch" in text
+        assert "loaded layers" in text

@@ -1,0 +1,157 @@
+"""Unit tests for Algorithm 1 and the initial-approach strawman."""
+
+import pytest
+
+from repro.core.plan import ExecMethod, Partition
+from repro.core.planner import LayerExecutionPlanner, initial_approach
+from repro.core.profiler import LayerProfiler
+from repro.core.stall import compute_timeline
+from repro.hw.specs import p3_8xlarge
+from repro.models import CostModel, build_model
+from repro.models.costs import LayerCosts
+from repro.models.layers import LayerKind
+
+LOAD = ExecMethod.LOAD
+DHA = ExecMethod.DHA
+
+
+def cost(name="l", load=1.0, inmem=0.5, dha=0.8, nbytes=100,
+         kind=LayerKind.LINEAR):
+    return LayerCosts(name=name, kind=kind, load_time=load, exec_inmem=inmem,
+                      exec_dha=dha, load_pcie_bytes=nbytes,
+                      dha_pcie_bytes=nbytes)
+
+
+def free_cost(inmem=0.5):
+    return LayerCosts(name="free", kind=LayerKind.ACTIVATION, load_time=0.0,
+                      exec_inmem=inmem, exec_dha=inmem, load_pcie_bytes=0,
+                      dha_pcie_bytes=0)
+
+
+class TestInitialApproach:
+    def test_prefers_dha_when_it_beats_load_then_execute(self):
+        costs = [cost(load=5.0, inmem=0.1, dha=0.3),   # DHA wins
+                 cost(load=0.1, inmem=0.1, dha=5.0)]   # load wins
+        assert initial_approach(costs) == [DHA, LOAD]
+
+    def test_parameter_free_layers_are_dha(self):
+        assert initial_approach([free_cost()]) == [DHA]
+
+
+class TestAlgorithm1:
+    def test_no_stall_means_no_conversion(self):
+        """Compute-bound pipeline: loads hidden, keep everything loaded."""
+        costs = [cost(load=0.1, inmem=2.0, dha=2.5) for _ in range(4)]
+        decisions = LayerExecutionPlanner(costs).plan()
+        # Layer 0 always stalls on its own load; with dha barely more
+        # expensive than the stall it may convert; the rest must stay.
+        assert decisions[1:] == [LOAD] * 3
+
+    def test_converts_first_layer_to_kill_its_own_stall(self):
+        """Paper Figure 7: L1 executes by DHA instead of stalling."""
+        costs = [cost(load=3.0, inmem=1.0, dha=1.2),
+                 cost(load=1.0, inmem=2.0, dha=9.9)]
+        decisions = LayerExecutionPlanner(costs).plan()
+        assert decisions[0] is DHA
+        assert decisions[1] is LOAD
+
+    def test_converts_earlier_layer_to_advance_later_load(self):
+        """Paper Figure 8: converting L_{n-1} starts L_n's load earlier."""
+        costs = [
+            cost("a", load=1.0, inmem=1.0, dha=1.1),
+            cost("b", load=4.0, inmem=1.0, dha=99.0),  # big, stalls
+        ]
+        decisions = LayerExecutionPlanner(costs).plan()
+        assert decisions[0] is DHA   # cheap conversion
+        assert decisions[1] is LOAD  # too expensive to convert itself
+
+    def test_cheapest_perfdiff_converted_first(self):
+        """When one conversion suffices, the smallest-PerfDiff candidate
+        is taken even though it comes later in layer order."""
+        costs = [
+            cost("pricey", load=1.0, inmem=1.0, dha=3.0),   # PerfDiff 2.0
+            cost("cheap", load=1.0, inmem=1.0, dha=1.2),    # PerfDiff 0.2
+            cost("big", load=3.0, inmem=0.5, dha=99.0),     # stalls
+        ]
+        decisions = LayerExecutionPlanner(costs).plan()
+        assert decisions == [LOAD, DHA, LOAD]
+
+    def test_never_converts_when_perfdiff_exceeds_stall(self):
+        costs = [
+            cost("a", load=0.2, inmem=0.1, dha=9.0),
+            cost("b", load=0.3, inmem=0.1, dha=9.0),
+        ]
+        decisions = LayerExecutionPlanner(costs).plan()
+        assert decisions == [LOAD, LOAD]
+
+    def test_planner_never_increases_predicted_latency(self):
+        """On every real model, Algorithm 1's plan must be at least as
+        fast as pure pipelining (its own starting point)."""
+        cm = CostModel(p3_8xlarge())
+        profiler = LayerProfiler(cm, noise=0.0)
+        for name in ("resnet50", "bert-base", "gpt2"):
+            model = build_model(name)
+            costs = profiler.profile(model).layers
+            planner = LayerExecutionPlanner(costs)
+            planned = planner.plan()
+            all_loaded = planner.all_loaded()
+            t_planned = compute_timeline(costs, planned).total_latency
+            t_loaded = compute_timeline(costs, all_loaded).total_latency
+            assert t_planned <= t_loaded * (1 + 1e-9), name
+
+    def test_real_bert_converts_embeddings(self):
+        cm = CostModel(p3_8xlarge())
+        model = build_model("bert-base")
+        costs = LayerProfiler(cm, noise=0.0).profile(model).layers
+        decisions = LayerExecutionPlanner(costs).plan()
+        word = model.layer_index("embeddings.word")
+        assert decisions[word] is DHA
+
+    def test_real_bert_keeps_ffn_loaded(self):
+        cm = CostModel(p3_8xlarge())
+        model = build_model("bert-base")
+        costs = LayerProfiler(cm, noise=0.0).profile(model).layers
+        decisions = LayerExecutionPlanner(costs).plan()
+        for i in model.loadable_indices():
+            if model.layers[i].kind is LayerKind.LINEAR:
+                assert decisions[i] is LOAD, model.layers[i].name
+
+
+class TestPartitionRestriction:
+    def test_only_first_partition_converted(self):
+        costs = [cost(load=3.0, inmem=0.1, dha=0.2) for _ in range(6)]
+        partitions = (Partition(0, 0, 3), Partition(1, 3, 6))
+        planner = LayerExecutionPlanner(costs, partitions, lambda b: 0.01)
+        decisions = planner.plan()
+        assert all(d is LOAD for d in decisions[3:])
+
+    def test_gpt2_plan_matches_paper_table3b(self):
+        """DeepPlan loads GPT-2's small position embedding (its load is
+        hidden while wte executes via DHA) but keeps wte host-side —
+        exactly the Table 3b row: X O O O O."""
+        cm = CostModel(p3_8xlarge())
+        model = build_model("gpt2")
+        costs = LayerProfiler(cm, noise=0.0).profile(model).layers
+        decisions = LayerExecutionPlanner(costs).plan()
+        front = model.loadable_indices()[:5]
+        marks = ["O" if decisions[i] is LOAD else "X" for i in front]
+        assert marks == ["X", "O", "O", "O", "O"]
+
+    def test_resnet101_pipeline_awareness_differs_from_initial_approach(self):
+        """Paper Table 3a: the per-layer comparison picks DHA for
+        mid-network convolutions, but DeepPlan loads some of them because
+        their load latency is hidden by pipelining."""
+        cm = CostModel(p3_8xlarge())
+        model = build_model("resnet101")
+        # The strawman benchmarks each layer in isolation; DeepPlan plans
+        # over the pipelined profile.
+        isolated = cm.model_costs(model, 1)
+        naive = initial_approach(isolated)
+        costs = LayerProfiler(cm, noise=0.0).profile(model).layers
+        planned = LayerExecutionPlanner(costs).plan()
+        conv_indices = [i for i in model.loadable_indices()
+                        if model.layers[i].kind is LayerKind.CONV]
+        reconsidered = [i for i in conv_indices
+                        if naive[i] is DHA and planned[i] is LOAD]
+        assert reconsidered, \
+            "expected some convs to be DHA per-layer but loaded by DeepPlan"

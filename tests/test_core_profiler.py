@@ -1,0 +1,75 @@
+"""Unit tests for the layer profiler."""
+
+import pytest
+
+from repro.core.profiler import LayerProfiler
+from repro.hw.specs import p3_8xlarge
+from repro.models import CostModel, build_model
+
+
+@pytest.fixture(scope="module")
+def cm():
+    return CostModel(p3_8xlarge())
+
+
+class TestProfiling:
+    def test_profile_covers_every_layer(self, cm):
+        model = build_model("resnet50")
+        report = LayerProfiler(cm).profile(model)
+        assert len(report) == len(model.layers)
+        assert [c.name for c in report] == [l.name for l in model.layers]
+
+    def test_noiseless_profile_matches_cost_model(self, cm):
+        model = build_model("bert-base")
+        report = LayerProfiler(cm, noise=0.0).profile(model)
+        for layer, measured in zip(model.layers, report):
+            assert measured.load_time == cm.load_time(layer)
+            assert measured.exec_inmem == cm.exec_inmem(layer, 1)
+            assert measured.exec_dha == cm.exec_dha(layer, 1, during_load=True)
+
+    def test_noise_is_small_and_seeded(self, cm):
+        model = build_model("resnet50")
+        a = LayerProfiler(cm, noise=0.02, seed=7).profile(model)
+        b = LayerProfiler(cm, noise=0.02, seed=7).profile(model)
+        c = LayerProfiler(cm, noise=0.02, seed=8).profile(model)
+        assert [x.load_time for x in a] == [x.load_time for x in b]
+        assert [x.load_time for x in a] != [x.load_time for x in c]
+        for truth, measured in zip(model.layers, a):
+            if truth.loadable:
+                assert measured.load_time == pytest.approx(
+                    cm.load_time(truth), rel=0.05)
+
+    def test_more_iterations_cost_more_time(self, cm):
+        model = build_model("resnet50")
+        short = LayerProfiler(cm, iterations=5).profile(model)
+        long = LayerProfiler(cm, iterations=10).profile(model)
+        assert long.total_time > short.total_time
+        assert long.iterations == 10
+
+    def test_profiling_cost_breakdown_sums(self, cm):
+        report = LayerProfiler(cm).profile(build_model("resnet50"))
+        assert report.total_time == pytest.approx(
+            report.time_dha + report.time_inmem + report.time_load)
+
+    def test_profiling_cost_scales_with_model(self, cm):
+        """Table 5: larger/slower models take longer to profile."""
+        small = LayerProfiler(cm, noise=0.0).profile(build_model("resnet50"))
+        large = LayerProfiler(cm, noise=0.0).profile(
+            build_model("roberta-large"))
+        assert large.total_time > 2 * small.total_time
+
+    def test_dha_prerun_dominates(self, cm):
+        """DHA execution is the slowest pre-run (as in paper Table 5)."""
+        report = LayerProfiler(cm, noise=0.0).profile(build_model("bert-base"))
+        assert report.time_dha > report.time_inmem
+        assert report.time_dha > report.time_load
+
+
+class TestValidation:
+    def test_bad_iterations_rejected(self, cm):
+        with pytest.raises(ValueError):
+            LayerProfiler(cm, iterations=0)
+
+    def test_negative_noise_rejected(self, cm):
+        with pytest.raises(ValueError):
+            LayerProfiler(cm, noise=-0.1)

@@ -1,0 +1,135 @@
+"""Unit tests for the pipeline timeline model."""
+
+import pytest
+
+from repro.core.plan import ExecMethod, Partition
+from repro.core.stall import baseline_latency, compute_timeline
+from repro.models.costs import EVENT_SYNC_OVERHEAD, LayerCosts
+from repro.models.layers import LayerKind
+
+
+def cost(name="l", load=1.0, inmem=0.5, dha=0.8, nbytes=100):
+    return LayerCosts(name=name, kind=LayerKind.LINEAR, load_time=load,
+                      exec_inmem=inmem, exec_dha=dha, load_pcie_bytes=nbytes,
+                      dha_pcie_bytes=nbytes)
+
+
+def free_cost(name="act", inmem=0.5):
+    return LayerCosts(name=name, kind=LayerKind.ACTIVATION, load_time=0.0,
+                      exec_inmem=inmem, exec_dha=inmem, load_pcie_bytes=0,
+                      dha_pcie_bytes=0)
+
+
+LOAD = ExecMethod.LOAD
+DHA = ExecMethod.DHA
+
+
+class TestSingleGPUPipeline:
+    def test_first_layer_stalls_for_its_own_load(self):
+        costs = [cost(load=2.0, inmem=1.0)]
+        timeline = compute_timeline(costs, [LOAD])
+        timing = timeline.timings[0]
+        assert timing.ready == pytest.approx(2.0)
+        assert timing.stall == pytest.approx(2.0)
+        assert timing.end == pytest.approx(3.0 + EVENT_SYNC_OVERHEAD)
+
+    def test_fast_execution_stalls_on_every_load(self):
+        """Load-bound pipeline: stalls dominate (the BERT case, Fig. 2)."""
+        costs = [cost(load=2.0, inmem=0.1) for _ in range(3)]
+        timeline = compute_timeline(costs, [LOAD] * 3)
+        assert timeline.total_stall > 0.8 * timeline.total_latency * (2.0 / 2.1)
+        # Last layer's parameters arrive at 6.0.
+        assert timeline.timings[-1].ready == pytest.approx(6.0)
+
+    def test_slow_execution_hides_all_but_first_load(self):
+        """Compute-bound pipeline: only the first layer stalls."""
+        costs = [cost(load=0.5, inmem=2.0) for _ in range(4)]
+        timeline = compute_timeline(costs, [LOAD] * 4)
+        stalls = [t.stall for t in timeline.timings]
+        assert stalls[0] == pytest.approx(0.5)
+        assert all(s == 0 for s in stalls[1:])
+
+    def test_dha_layer_starts_without_waiting(self):
+        costs = [cost(load=5.0, inmem=1.0, dha=1.5), cost(load=1.0, inmem=1.0)]
+        timeline = compute_timeline(costs, [DHA, LOAD])
+        first = timeline.timings[0]
+        assert first.stall == 0
+        assert first.start == 0
+        assert first.end == pytest.approx(1.5)
+        # Second layer's load starts immediately (DHA freed the stream).
+        assert timeline.timings[1].ready == pytest.approx(1.0)
+
+    def test_dha_conversion_reduces_latency_when_load_bound(self):
+        costs = [cost(load=3.0, inmem=0.2, dha=0.6) for _ in range(3)]
+        all_load = compute_timeline(costs, [LOAD] * 3).total_latency
+        first_dha = compute_timeline(costs, [DHA, LOAD, LOAD]).total_latency
+        assert first_dha < all_load
+
+    def test_parameter_free_layer_never_stalls(self):
+        costs = [cost(load=2.0), free_cost(inmem=0.3), cost(load=2.0)]
+        timeline = compute_timeline(costs, [LOAD, DHA, LOAD])
+        assert timeline.timings[1].stall == 0
+        assert timeline.timings[1].ready == 0
+
+
+class TestParallelTransmission:
+    def test_second_partition_arrives_via_nvlink(self):
+        costs = [cost(load=2.0, inmem=0.1) for _ in range(4)]
+        partitions = (Partition(0, 0, 2), Partition(1, 2, 4))
+        nvlink = lambda nbytes: 0.25
+        timeline = compute_timeline(costs, [LOAD] * 4, partitions, nvlink)
+        # Partition 1 loads in parallel: layer 2 lands at 2.0 on the
+        # secondary, arrives on primary at 2.25.
+        assert timeline.timings[2].ready == pytest.approx(2.25)
+        assert timeline.timings[3].ready == pytest.approx(4.25)
+
+    def test_parallel_transmission_beats_serial_when_load_bound(self):
+        costs = [cost(load=2.0, inmem=0.1) for _ in range(6)]
+        serial = compute_timeline(costs, [LOAD] * 6).total_latency
+        partitions = (Partition(0, 0, 3), Partition(1, 3, 6))
+        parallel = compute_timeline(costs, [LOAD] * 6, partitions,
+                                    lambda b: 0.05).total_latency
+        assert parallel < 0.65 * serial
+
+    def test_multiple_partitions_requires_nvlink_time(self):
+        costs = [cost() for _ in range(4)]
+        partitions = (Partition(0, 0, 2), Partition(1, 2, 4))
+        with pytest.raises(ValueError, match="nvlink"):
+            compute_timeline(costs, [LOAD] * 4, partitions)
+
+    def test_migration_stream_serializes_forwards(self):
+        costs = [cost(load=0.1, inmem=0.01), cost(load=0.1, inmem=0.01),
+                 cost(load=1.0, inmem=0.01), cost(load=1.0, inmem=0.01)]
+        partitions = (Partition(0, 0, 2), Partition(1, 2, 4))
+        slow_nvlink = lambda nbytes: 2.0
+        timeline = compute_timeline(costs, [LOAD] * 4, partitions, slow_nvlink)
+        # Layer 2 lands at 1.0, forwarded by 3.0; layer 3 lands at 2.0 but
+        # must wait for the migration stream: forwarded by 5.0.
+        assert timeline.timings[2].ready == pytest.approx(3.0)
+        assert timeline.timings[3].ready == pytest.approx(5.0)
+
+
+class TestAggregates:
+    def test_total_decomposition(self):
+        costs = [cost(load=2.0, inmem=0.5) for _ in range(3)]
+        timeline = compute_timeline(costs, [LOAD] * 3)
+        assert timeline.total_latency == pytest.approx(
+            timeline.total_stall + timeline.total_execution)
+        assert 0 < timeline.stall_fraction < 1
+
+    def test_baseline_is_sum_of_everything(self):
+        costs = [cost(load=2.0, inmem=0.5) for _ in range(3)]
+        assert baseline_latency(costs) == pytest.approx(7.5)
+
+    def test_baseline_never_faster_than_pipeline(self):
+        costs = [cost(load=1.0, inmem=0.7) for _ in range(5)]
+        pipelined = compute_timeline(costs, [LOAD] * 5).total_latency
+        assert baseline_latency(costs) >= pipelined
+
+    def test_decision_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            compute_timeline([cost()], [LOAD, LOAD])
+
+    def test_empty_timeline_rejected(self):
+        with pytest.raises(ValueError):
+            compute_timeline([], [])

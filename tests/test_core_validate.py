@@ -1,0 +1,80 @@
+"""Tests for deployment-time plan validation."""
+
+import pytest
+
+from repro.core import DeepPlan, Strategy
+from repro.core.validate import PlanValidationError, validate_plan_on_machine
+from repro.errors import TopologyError
+from repro.hw.machine import Machine
+from repro.hw.specs import a5000x2, dgx1_v100, p3_8xlarge
+from repro.models import build_model
+from repro.models.graph import ModelSpec
+from repro.models.layers import linear
+from repro.simkit import Simulator
+
+
+@pytest.fixture(scope="module")
+def planner():
+    return DeepPlan(p3_8xlarge(), noise=0.0)
+
+
+@pytest.fixture
+def machine():
+    return Machine(Simulator(), p3_8xlarge())
+
+
+class TestValidation:
+    def test_valid_plans_pass_on_every_primary(self, planner, machine):
+        for strategy in Strategy:
+            plan = planner.plan(build_model("bert-base"), strategy)
+            validate_plan_on_machine(plan, machine)
+
+    def test_oversized_model_rejected(self, planner, machine):
+        huge = ModelSpec(
+            name="huge",
+            layers=tuple(linear(f"fc{i}", 16384, 16384) for i in range(12)),
+            seq_len=1, family="custom")
+        plan = planner.plan(huge, Strategy.PIPESWITCH)
+        with pytest.raises(PlanValidationError, match="resident"):
+            validate_plan_on_machine(plan, machine)
+
+    def test_unknown_primary_rejected(self, planner, machine):
+        plan = planner.plan(build_model("resnet50"), Strategy.PIPESWITCH)
+        with pytest.raises(TopologyError):
+            validate_plan_on_machine(plan, machine, primaries=[9])
+
+    def test_too_many_partitions_for_machine(self):
+        """A 3-way DGX-1 plan cannot deploy on the 2-switch p3.8xlarge."""
+        dgx_planner = DeepPlan(dgx1_v100(), noise=0.0)
+        plan = dgx_planner.plan(build_model("bert-large"), Strategy.PT,
+                                num_gpus=3)
+        p3 = Machine(Simulator(), p3_8xlarge())
+        with pytest.raises(PlanValidationError, match="at most"):
+            validate_plan_on_machine(plan, p3)
+
+    def test_pt_plan_valid_on_a5000(self, planner):
+        a5000_planner = DeepPlan(a5000x2(), noise=0.0)
+        plan = a5000_planner.plan(build_model("bert-base"), Strategy.PT)
+        machine = Machine(Simulator(), a5000x2())
+        validate_plan_on_machine(plan, machine)
+
+    def test_staging_overflow_rejected(self, planner):
+        """A secondary partition bigger than the workspace cannot stage."""
+        plan = planner.plan(build_model("bert-large"), Strategy.PT)
+        machine = Machine(Simulator(), p3_8xlarge(),
+                          workspace_bytes=256 * 1024 * 1024)
+        with pytest.raises(PlanValidationError, match="staging"):
+            validate_plan_on_machine(plan, machine)
+
+    def test_server_deploy_uses_validation(self, planner):
+        from repro.errors import WorkloadError
+        from repro.serving import InferenceServer, ServerConfig
+
+        machine = Machine(Simulator(), p3_8xlarge())
+        server = InferenceServer(machine, planner, ServerConfig())
+        huge = ModelSpec(
+            name="huge",
+            layers=tuple(linear(f"fc{i}", 16384, 16384) for i in range(12)),
+            seq_len=1, family="custom")
+        with pytest.raises((PlanValidationError, WorkloadError)):
+            server.deploy([(huge, 1)])

@@ -1,0 +1,178 @@
+"""Unit and integration tests for the discrete-event plan executor."""
+
+import pytest
+
+from repro.core import DeepPlan, Strategy
+from repro.engine import execute_plan, execute_warm
+from repro.hw.machine import Machine
+from repro.hw.specs import p3_8xlarge
+from repro.models import build_model
+from repro.simkit import Simulator
+from repro.units import MS
+
+
+@pytest.fixture(scope="module")
+def planner():
+    return DeepPlan(p3_8xlarge(), noise=0.0)
+
+
+@pytest.fixture(scope="module")
+def bert():
+    return build_model("bert-base")
+
+
+def fresh_machine():
+    return Machine(Simulator(), p3_8xlarge())
+
+
+def run(machine, process):
+    return machine.sim.run(process.done)
+
+
+class TestColdStart:
+    def test_executed_latency_matches_prediction(self, planner, bert):
+        """Contention-free, the DES executor and the analytic timeline
+        must agree closely — they model the same stream semantics."""
+        for strategy in (Strategy.PIPESWITCH, Strategy.PT):
+            plan = planner.plan(bert, strategy)
+            machine = fresh_machine()
+            secondaries = planner.secondary_gpus(0, plan)
+            result = run(machine, execute_plan(
+                machine, planner.cost_model, plan, 0, secondaries))
+            assert result.latency == pytest.approx(
+                plan.predicted_latency, rel=0.02), strategy
+
+    def test_all_layers_traced_in_order(self, planner, bert):
+        plan = planner.plan(bert, Strategy.PIPESWITCH)
+        machine = fresh_machine()
+        result = run(machine, execute_plan(machine, planner.cost_model,
+                                           plan, 0))
+        assert len(result.layer_traces) == len(bert.layers)
+        ends = [t.end for t in result.layer_traces]
+        assert ends == sorted(ends)
+
+    def test_stall_decomposition_is_consistent(self, planner, bert):
+        plan = planner.plan(bert, Strategy.PIPESWITCH)
+        machine = fresh_machine()
+        result = run(machine, execute_plan(machine, planner.cost_model,
+                                           plan, 0))
+        assert result.latency == pytest.approx(
+            result.total_stall + result.execution_time)
+        # BERT under pure pipelining is stall-dominated (paper Figure 2).
+        assert result.total_stall / result.latency > 0.6
+
+    def test_dha_layers_report_zero_stall(self, planner, bert):
+        plan = planner.plan(bert, Strategy.DHA)
+        machine = fresh_machine()
+        result = run(machine, execute_plan(machine, planner.cost_model,
+                                           plan, 0))
+        word = bert.layer_index("embeddings.word")
+        assert result.layer_traces[word].stall == 0.0
+
+    def test_secondary_count_must_match_plan(self, planner, bert):
+        plan = planner.plan(bert, Strategy.PT)
+        machine = fresh_machine()
+        with pytest.raises(ValueError, match="secondary"):
+            execute_plan(machine, planner.cost_model, plan, 0, [])
+
+    def test_lane_accounting_covers_all_loaded_bytes(self, planner, bert):
+        plan = planner.plan(bert, Strategy.PT)
+        machine = fresh_machine()
+        result = run(machine, execute_plan(machine, planner.cost_model,
+                                           plan, 0, [2]))
+        assert sum(result.lane_bytes.values()) == plan.gpu_resident_bytes
+        assert set(result.lane_bytes) == {0, 2}
+
+    def test_lane_bandwidth_near_line_rate(self, planner, bert):
+        plan = planner.plan(bert, Strategy.PIPESWITCH)
+        machine = fresh_machine()
+        result = run(machine, execute_plan(machine, planner.cost_model,
+                                           plan, 0))
+        bandwidth = result.lane_bandwidth(0)
+        assert 9e9 < bandwidth < 12.0e9  # Table 2: ~10.9 GB/s for BERT
+
+    def test_baseline_executes_after_full_load(self, planner, bert):
+        plan = planner.plan(bert, Strategy.BASELINE)
+        machine = fresh_machine()
+        result = run(machine, execute_plan(machine, planner.cost_model,
+                                           plan, 0))
+        load_time = planner.cost_model.model_load_time(bert)
+        first = result.layer_traces[0]
+        assert first.start >= load_time * 0.999
+
+    def test_staging_memory_released_after_migration(self, planner, bert):
+        plan = planner.plan(bert, Strategy.PT)
+        machine = fresh_machine()
+        run(machine, execute_plan(machine, planner.cost_model, plan, 0, [2]))
+        assert machine.gpu(2).memory.staging_used_bytes == 0
+
+
+class TestWarmExecution:
+    def test_warm_latency_near_in_memory_exec(self, planner, bert):
+        plan = planner.plan(bert, Strategy.PIPESWITCH)
+        machine = fresh_machine()
+        result = run(machine, execute_warm(machine, planner.cost_model,
+                                           plan, 0))
+        expected = planner.cost_model.model_exec_inmem(bert, 1)
+        assert result.latency == pytest.approx(expected, rel=1e-6)
+
+    def test_dha_plan_pays_recurring_pcie_cost(self, planner, bert):
+        """DeepPlan's warm inferences keep reading host memory for the
+        layers it never loads — slightly slower than fully resident."""
+        loaded = planner.plan(bert, Strategy.PIPESWITCH)
+        dha = planner.plan(bert, Strategy.DHA)
+        m1, m2 = fresh_machine(), fresh_machine()
+        warm_loaded = run(m1, execute_warm(m1, planner.cost_model, loaded, 0))
+        warm_dha = run(m2, execute_warm(m2, planner.cost_model, dha, 0))
+        assert warm_dha.latency > warm_loaded.latency
+        assert warm_dha.latency < warm_loaded.latency + 3 * MS
+
+    def test_warm_execution_requires_no_transfers(self, planner, bert):
+        plan = planner.plan(bert, Strategy.PIPESWITCH)
+        machine = fresh_machine()
+        result = run(machine, execute_warm(machine, planner.cost_model,
+                                           plan, 0))
+        assert result.lane_bytes == {}
+
+
+class TestContention:
+    def test_two_pipeswitch_cold_starts_same_switch_slow_down(self, planner,
+                                                              bert):
+        plan = planner.plan(bert, Strategy.PIPESWITCH)
+        machine = fresh_machine()
+        first = execute_plan(machine, planner.cost_model, plan, 0)
+        second = execute_plan(machine, planner.cost_model, plan, 1)
+        r1 = run(machine, first)
+        r2 = run(machine, second)
+        alone = plan.predicted_latency
+        assert r1.latency > 1.5 * alone
+        assert r2.latency > 1.5 * alone
+
+    def test_cross_switch_cold_starts_do_not_interfere(self, planner, bert):
+        plan = planner.plan(bert, Strategy.PIPESWITCH)
+        machine = fresh_machine()
+        first = execute_plan(machine, planner.cost_model, plan, 0)
+        second = execute_plan(machine, planner.cost_model, plan, 2)
+        r1 = run(machine, first)
+        assert r1.latency == pytest.approx(plan.predicted_latency, rel=0.02)
+
+
+class TestCoalescedFastPath:
+    def test_fast_path_matches_detailed_timing(self, planner, bert):
+        """detailed_traces=False must produce identical latency and
+        stall totals — it is the same schedule, coalesced."""
+        for strategy in (Strategy.PIPESWITCH, Strategy.DHA, Strategy.PT_DHA):
+            plan = planner.plan(bert, strategy)
+            results = []
+            for detailed in (True, False):
+                machine = fresh_machine()
+                secondaries = planner.secondary_gpus(0, plan)
+                results.append(run(machine, execute_plan(
+                    machine, planner.cost_model, plan, 0, secondaries,
+                    detailed_traces=detailed)))
+            detailed_result, fast_result = results
+            assert fast_result.latency == pytest.approx(
+                detailed_result.latency, rel=1e-9), strategy
+            assert fast_result.total_stall == pytest.approx(
+                detailed_result.total_stall, rel=1e-6, abs=1e-9), strategy
+            assert fast_result.layer_traces == []

@@ -1,0 +1,88 @@
+"""Tests for the one-shot strategy runners."""
+
+import pytest
+
+from repro.core import DeepPlan, Strategy
+from repro.engine import run_concurrent_cold_starts, run_single_inference
+from repro.hw.specs import a5000x2, p3_8xlarge
+from repro.models import build_model
+
+
+@pytest.fixture(scope="module")
+def planner():
+    return DeepPlan(p3_8xlarge(), noise=0.0)
+
+
+@pytest.fixture(scope="module")
+def resnet():
+    return build_model("resnet50")
+
+
+class TestRunSingleInference:
+    def test_accepts_strategy_strings(self, planner, resnet):
+        result = run_single_inference(p3_8xlarge(), resnet, "pipeswitch",
+                                      planner=planner)
+        assert result.plan.strategy == "pipeswitch"
+
+    def test_builds_planner_when_not_given(self, resnet):
+        result = run_single_inference(p3_8xlarge(), resnet,
+                                      Strategy.BASELINE)
+        assert result.latency > 0
+
+    def test_deterministic(self, planner, resnet):
+        first = run_single_inference(p3_8xlarge(), resnet, Strategy.PT_DHA,
+                                     planner=planner)
+        second = run_single_inference(p3_8xlarge(), resnet, Strategy.PT_DHA,
+                                      planner=planner)
+        assert first.latency == second.latency
+
+    def test_batch_size_increases_latency(self, planner, resnet):
+        small = run_single_inference(p3_8xlarge(), resnet,
+                                     Strategy.PIPESWITCH, batch_size=1,
+                                     planner=planner)
+        large = run_single_inference(p3_8xlarge(), resnet,
+                                     Strategy.PIPESWITCH, batch_size=8,
+                                     planner=planner)
+        assert large.latency > small.latency
+        # ...but throughput improves (Figure 12's premise).
+        assert 8 / large.latency > 1 / small.latency
+
+    def test_works_on_two_gpu_machine(self, resnet):
+        result = run_single_inference(a5000x2(), resnet, Strategy.PT_DHA)
+        assert result.secondary_gpus == (1,)
+
+
+class TestConcurrentColdStarts:
+    def test_symmetric_primaries_get_equal_latency(self, planner, resnet):
+        results = run_concurrent_cold_starts(
+            p3_8xlarge(), resnet, Strategy.PT_DHA, primaries=[0, 2],
+            planner=planner)
+        assert len(results) == 2
+        assert results[0].latency == pytest.approx(results[1].latency,
+                                                   rel=1e-6)
+
+    def test_pipeswitch_pair_on_one_switch_contends(self, planner, resnet):
+        alone = run_single_inference(p3_8xlarge(), resnet,
+                                     Strategy.PIPESWITCH, planner=planner)
+        pair = run_concurrent_cold_starts(
+            p3_8xlarge(), resnet, Strategy.PIPESWITCH, primaries=[0, 1],
+            planner=planner)
+        for result in pair:
+            assert result.latency > 1.3 * alone.latency
+
+    def test_pipeswitch_pair_across_switches_does_not(self, planner, resnet):
+        alone = run_single_inference(p3_8xlarge(), resnet,
+                                     Strategy.PIPESWITCH, planner=planner)
+        pair = run_concurrent_cold_starts(
+            p3_8xlarge(), resnet, Strategy.PIPESWITCH, primaries=[0, 2],
+            planner=planner)
+        for result in pair:
+            assert result.latency == pytest.approx(alone.latency, rel=0.02)
+
+    def test_three_concurrent_cold_starts(self, planner, resnet):
+        results = run_concurrent_cold_starts(
+            p3_8xlarge(), resnet, Strategy.PIPESWITCH, primaries=[0, 1, 2],
+            planner=planner)
+        assert len(results) == 3
+        # GPU 2 is alone on its switch: it finishes first.
+        assert results[2].latency < results[0].latency

@@ -1,0 +1,47 @@
+"""Smoke tests: the shipped examples must run and say what they claim."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=240):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout)
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "plan[pt+dha]" in out
+        assert "pipeswitch" in out
+        assert "speedup" in out
+
+    def test_plan_inspection(self):
+        out = run_example("plan_inspection.py", "gpt2")
+        assert "wte" in out
+        assert "profiling cost" in out
+        assert "partition 1" in out
+
+    def test_custom_model(self):
+        out = run_example("custom_model.py")
+        assert "two-tower-ranker" in out
+        assert "direct-host-access" in out
+
+    def test_beyond_gpu_memory(self):
+        out = run_example("beyond_gpu_memory.py")
+        assert "memory budget" in out.lower()
+        assert "routed experts" in out
+
+    @pytest.mark.slow
+    def test_trace_replay_short(self):
+        out = run_example("trace_replay.py", "120")
+        assert "Per-minute serving report" in out
+        assert "goodput" in out

@@ -1,0 +1,87 @@
+"""Unit tests for pinned host memory accounting."""
+
+import pytest
+
+from repro.hw.host import HostMemory, OutOfHostMemoryError
+from repro.units import GB
+
+
+@pytest.fixture
+def host():
+    return HostMemory(capacity_bytes=100 * GB, headroom_bytes=10 * GB)
+
+
+class TestHostMemory:
+    def test_pin_and_unpin(self, host):
+        host.pin("bert#0", 40 * GB)
+        assert host.pinned_bytes == 40 * GB
+        assert host.available_bytes == 50 * GB
+        assert host.holds("bert#0")
+        assert host.unpin("bert#0") == 40 * GB
+        assert host.pinned_bytes == 0
+
+    def test_headroom_reserved(self, host):
+        assert host.available_bytes == 90 * GB
+
+    def test_over_capacity_raises(self, host):
+        host.pin("a", 80 * GB)
+        with pytest.raises(OutOfHostMemoryError) as err:
+            host.pin("b", 20 * GB)
+        assert err.value.available == 10 * GB
+
+    def test_duplicate_tag_rejected(self, host):
+        host.pin("a", 1)
+        with pytest.raises(ValueError):
+            host.pin("a", 1)
+
+    def test_unpin_unknown_raises(self, host):
+        with pytest.raises(KeyError):
+            host.unpin("ghost")
+
+    def test_negative_pin_rejected(self, host):
+        with pytest.raises(ValueError):
+            host.pin("a", -1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HostMemory(0)
+        with pytest.raises(ValueError):
+            HostMemory(10, headroom_bytes=10)
+
+
+class TestMachineIntegration:
+    def test_machine_has_host_memory(self):
+        from repro.hw.machine import Machine
+        from repro.hw.specs import p3_8xlarge
+        from repro.simkit import Simulator
+
+        machine = Machine(Simulator(), p3_8xlarge())
+        assert machine.host.capacity_bytes == 244 * GB
+
+    def test_deploy_pins_host_memory(self):
+        from repro.core import DeepPlan
+        from repro.hw.machine import Machine
+        from repro.hw.specs import p3_8xlarge
+        from repro.models import build_model
+        from repro.serving import InferenceServer
+        from repro.simkit import Simulator
+
+        machine = Machine(Simulator(), p3_8xlarge())
+        server = InferenceServer(machine, DeepPlan(p3_8xlarge(), noise=0.0))
+        model = build_model("bert-base")
+        server.deploy([(model, 10)])
+        assert machine.host.pinned_bytes == 10 * model.param_bytes
+
+    def test_host_memory_bounds_deployment(self):
+        """244 GB of host RAM cannot pin ~600 BERT-Base instances."""
+        from repro.core import DeepPlan
+        from repro.hw.machine import Machine
+        from repro.hw.specs import p3_8xlarge
+        from repro.models import build_model
+        from repro.serving import InferenceServer
+        from repro.simkit import Simulator
+
+        machine = Machine(Simulator(), p3_8xlarge())
+        server = InferenceServer(machine, DeepPlan(p3_8xlarge(), noise=0.0))
+        with pytest.raises(OutOfHostMemoryError):
+            server.deploy([(build_model("bert-base"), 600)])

@@ -1,0 +1,150 @@
+"""Unit tests for machine topology and data movement."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.hw.machine import Machine
+from repro.hw.specs import a5000x2, machine_presets, p3_8xlarge
+from repro.simkit import Simulator
+from repro.units import MB
+
+
+@pytest.fixture
+def machine():
+    return Machine(Simulator(), p3_8xlarge())
+
+
+class TestSpecs:
+    def test_presets_registry(self):
+        presets = machine_presets()
+        assert set(presets) == {"p3.8xlarge", "a5000x2", "dgx1-v100"}
+        for builder in presets.values():
+            spec = builder()
+            assert spec.gpu_count >= 2
+            assert spec.host_memory_bytes > spec.gpu.memory_bytes
+
+    def test_p3_matches_paper_platform(self):
+        spec = p3_8xlarge()
+        assert spec.gpu_count == 4
+        assert spec.pcie_switch_groups == ((0, 1), (2, 3))
+        assert spec.gpu.memory_bytes == 16 * 1024 ** 3
+
+    def test_switch_groups_must_cover_gpus(self):
+        import dataclasses
+        spec = p3_8xlarge()
+        with pytest.raises(ValueError):
+            dataclasses.replace(spec, pcie_switch_groups=((0, 1), (2,)))
+
+    def test_invalid_nvlink_pair_rejected(self):
+        import dataclasses
+        spec = a5000x2()
+        with pytest.raises(ValueError):
+            dataclasses.replace(spec, nvlink_pairs=((0, 0),))
+
+
+class TestTopology:
+    def test_switch_assignment(self, machine):
+        assert machine.switch_of(0) == 0
+        assert machine.switch_of(1) == 0
+        assert machine.switch_of(2) == 1
+        assert machine.switch_of(3) == 1
+
+    def test_share_pcie_switch(self, machine):
+        assert machine.share_pcie_switch(0, 1)
+        assert not machine.share_pcie_switch(0, 2)
+
+    def test_nvlink_full_mesh(self, machine):
+        for a in range(4):
+            for b in range(4):
+                if a != b:
+                    assert machine.has_nvlink(a, b)
+
+    def test_parallel_transmission_peers_cross_switch_only(self, machine):
+        assert machine.parallel_transmission_peers(0) == [2, 3]
+        assert machine.parallel_transmission_peers(2) == [0, 1]
+
+    def test_unknown_gpu_raises(self, machine):
+        with pytest.raises(TopologyError):
+            machine.gpu(7)
+        with pytest.raises(TopologyError):
+            machine.switch_of(-9)
+
+    def test_nvlink_path_missing_raises(self):
+        import dataclasses
+        spec = dataclasses.replace(p3_8xlarge(), nvlink_pairs=((0, 2),))
+        machine = Machine(Simulator(), spec)
+        with pytest.raises(TopologyError):
+            machine.nvlink_path(0, 1)
+
+    def test_describe_mentions_all_parts(self, machine):
+        text = machine.describe()
+        assert "p3.8xlarge" in text
+        assert "switch 0" in text and "switch 1" in text
+        assert "nvlink" in text
+
+
+class TestDataMovement:
+    def test_host_to_device_takes_expected_time(self, machine):
+        sim = machine.sim
+        spec = machine.spec
+        nbytes = 120 * MB
+        done = machine.host_to_device(0, nbytes)
+        sim.run(done)
+        expected = spec.pcie_copy_overhead + nbytes / spec.pcie_lane_bandwidth
+        assert sim.now == pytest.approx(expected, rel=1e-9)
+
+    def test_shared_switch_halves_bandwidth(self, machine):
+        """GPUs 0 and 1 share a switch; 0 and 2 do not (paper Table 2)."""
+        nbytes = 120 * MB
+
+        def loading_time(pair):
+            machine_ = Machine(Simulator(), p3_8xlarge())
+            done = [machine_.host_to_device(g, nbytes) for g in pair]
+            machine_.sim.run(done[0])
+            return machine_.sim.now
+
+        contended = loading_time((0, 1))
+        independent = loading_time((0, 2))
+        assert contended > 1.8 * independent
+
+    def test_device_to_device_uses_nvlink(self, machine):
+        nbytes = 120 * MB
+        done = machine.device_to_device(1, 0, nbytes)
+        machine.sim.run(done)
+        expected = (machine.spec.nvlink_copy_overhead
+                    + nbytes / machine.spec.nvlink_bandwidth)
+        assert machine.sim.now == pytest.approx(expected, rel=1e-9)
+
+    def test_nvlink_does_not_contend_with_pcie(self, machine):
+        """NVLink is a separate path: concurrent PCIe+NVLink don't slow
+        each other (the overlap PT relies on, Section 4.2)."""
+        nbytes = 120 * MB
+        pcie = machine.host_to_device(0, nbytes)
+        machine.device_to_device(1, 0, nbytes)
+        machine.sim.run(pcie)
+        expected = (machine.spec.pcie_copy_overhead
+                    + nbytes / machine.spec.pcie_lane_bandwidth)
+        assert machine.sim.now == pytest.approx(expected, rel=1e-9)
+
+
+class TestNVLinkDuplex:
+    def test_opposing_transfers_do_not_contend(self, machine):
+        """NVLink is full-duplex: simultaneous 0->2 and 2->0 copies each
+        get the full per-direction bandwidth."""
+        nbytes = 120 * MB
+        forward = machine.device_to_device(0, 2, nbytes)
+        machine.device_to_device(2, 0, nbytes)
+        machine.sim.run(forward)
+        expected = (machine.spec.nvlink_copy_overhead
+                    + nbytes / machine.spec.nvlink_bandwidth)
+        assert machine.sim.now == pytest.approx(expected, rel=1e-9)
+
+    def test_same_direction_transfers_share(self, machine):
+        """Two copies in the same direction do share the link."""
+        nbytes = 120 * MB
+        first = machine.device_to_device(0, 2, nbytes)
+        machine.device_to_device(0, 2, nbytes)
+        machine.sim.run(first)
+        expected = (machine.spec.nvlink_copy_overhead
+                    + 2 * nbytes / machine.spec.nvlink_bandwidth)
+        assert machine.sim.now == pytest.approx(expected, rel=1e-9)

@@ -1,0 +1,93 @@
+"""Unit tests for GPU memory accounting."""
+
+import pytest
+
+from repro.errors import OutOfGPUMemoryError
+from repro.hw.memory import GPUMemory
+
+
+@pytest.fixture
+def memory():
+    return GPUMemory(capacity_bytes=1000, device="gpu0", workspace_bytes=200)
+
+
+class TestReservations:
+    def test_reserve_and_release(self, memory):
+        memory.reserve("model-a", 300)
+        assert memory.used_bytes == 300
+        assert memory.available_bytes == 500
+        assert memory.holds("model-a")
+        assert memory.release("model-a") == 300
+        assert memory.used_bytes == 0
+
+    def test_workspace_is_excluded_from_available(self, memory):
+        assert memory.available_bytes == 800
+
+    def test_over_capacity_raises(self, memory):
+        memory.reserve("a", 700)
+        with pytest.raises(OutOfGPUMemoryError) as err:
+            memory.reserve("b", 200)
+        assert err.value.requested == 200
+        assert err.value.available == 100
+        assert err.value.device == "gpu0"
+
+    def test_exact_fit_succeeds(self, memory):
+        memory.reserve("a", 800)
+        assert memory.available_bytes == 0
+
+    def test_duplicate_tag_rejected(self, memory):
+        memory.reserve("a", 10)
+        with pytest.raises(ValueError):
+            memory.reserve("a", 10)
+
+    def test_release_unknown_tag_raises(self, memory):
+        with pytest.raises(KeyError):
+            memory.release("ghost")
+
+    def test_negative_reserve_rejected(self, memory):
+        with pytest.raises(ValueError):
+            memory.reserve("a", -1)
+
+    def test_zero_byte_reservation_allowed(self, memory):
+        memory.reserve("empty", 0)
+        assert memory.holds("empty")
+
+    def test_tags_listing(self, memory):
+        memory.reserve("a", 10)
+        memory.reserve("b", 20)
+        assert set(memory.tags()) == {"a", "b"}
+
+
+class TestStaging:
+    def test_staging_lives_in_workspace(self, memory):
+        memory.reserve("model", 800)  # main pool full
+        memory.reserve_staging("stage", 150)  # still fits in workspace
+        assert memory.staging_used_bytes == 150
+        assert memory.release_staging("stage") == 150
+
+    def test_staging_over_workspace_raises(self, memory):
+        with pytest.raises(OutOfGPUMemoryError):
+            memory.reserve_staging("stage", 201)
+
+    def test_staging_does_not_consume_main_pool(self, memory):
+        memory.reserve_staging("stage", 200)
+        assert memory.available_bytes == 800
+
+    def test_duplicate_staging_tag_rejected(self, memory):
+        memory.reserve_staging("s", 10)
+        with pytest.raises(ValueError):
+            memory.reserve_staging("s", 10)
+
+    def test_release_unknown_staging_raises(self, memory):
+        with pytest.raises(KeyError):
+            memory.release_staging("ghost")
+
+
+class TestValidation:
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            GPUMemory(0)
+
+    def test_workspace_must_fit_in_capacity(self):
+        with pytest.raises(ValueError):
+            GPUMemory(100, workspace_bytes=100)

@@ -1,0 +1,113 @@
+"""End-to-end integration tests across the whole stack.
+
+These cross-validate the two implementations of the same semantics —
+the analytic timeline (used by the planner) and the discrete-event
+executor (used by everything else) — and exercise full
+plan -> execute -> serve pipelines on both machine presets.
+"""
+
+import pytest
+
+from repro.core import DeepPlan, Strategy
+from repro.engine import execute_plan, execute_warm
+from repro.hw.machine import Machine
+from repro.hw.specs import a5000x2, dgx1_v100, p3_8xlarge
+from repro.models import MODEL_NAMES, build_model
+from repro.serving import InferenceServer, PoissonWorkload, ServerConfig
+from repro.simkit import Simulator
+
+
+@pytest.fixture(scope="module")
+def planner():
+    return DeepPlan(p3_8xlarge(), noise=0.0)
+
+
+def executed_latency(planner, spec, plan, secondaries):
+    machine = Machine(Simulator(), spec)
+    process = execute_plan(machine, planner.cost_model, plan, 0, secondaries)
+    return machine.sim.run(process.done).latency
+
+
+class TestAnalyticVsExecuted:
+    """The planner's predictions must track what the DES executes."""
+
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    @pytest.mark.parametrize("strategy", [Strategy.PIPESWITCH, Strategy.PT])
+    def test_loaded_strategies_match_closely(self, planner, name, strategy):
+        model = build_model(name)
+        plan = planner.plan(model, strategy)
+        secondaries = planner.secondary_gpus(0, plan)
+        latency = executed_latency(planner, p3_8xlarge(), plan, secondaries)
+        assert latency == pytest.approx(plan.predicted_latency, rel=0.02), \
+            (name, strategy)
+
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_dha_strategies_match_within_contention_error(self, planner,
+                                                          name):
+        """DHA predictions use the profiled (contended) costs; the DES
+        realizes the actual overlap, so agreement is looser but bounded."""
+        model = build_model(name)
+        for strategy in (Strategy.DHA, Strategy.PT_DHA):
+            plan = planner.plan(model, strategy)
+            secondaries = planner.secondary_gpus(0, plan)
+            latency = executed_latency(planner, p3_8xlarge(), plan,
+                                       secondaries)
+            assert latency == pytest.approx(plan.predicted_latency,
+                                            rel=0.10), (name, strategy)
+
+
+class TestCrossMachine:
+    @pytest.mark.parametrize("spec_builder", [p3_8xlarge, a5000x2,
+                                              dgx1_v100])
+    def test_full_pipeline_on_every_preset(self, spec_builder):
+        spec = spec_builder()
+        planner = DeepPlan(spec, noise=0.0)
+        model = build_model("bert-base")
+        plan = planner.plan(model, Strategy.PT_DHA)
+        latency = executed_latency(planner, spec, plan,
+                                   planner.secondary_gpus(0, plan))
+        assert 0 < latency < 0.1
+
+    def test_serving_on_dgx1(self):
+        spec = dgx1_v100()
+        planner = DeepPlan(spec, noise=0.0)
+        machine = Machine(Simulator(), spec)
+        server = InferenceServer(machine, planner, ServerConfig())
+        server.deploy([(build_model("bert-base"), 16)])
+        workload = PoissonWorkload(list(server.instances), rate=50.0,
+                                   num_requests=150, seed=0)
+        report = server.run(workload.generate())
+        assert report.metrics.goodput == 1.0
+
+
+class TestColdThenWarmConsistency:
+    def test_warm_follows_cold_correctly(self, planner):
+        """After a cold start, warm inference on the same plan matches
+        the cost model's steady state — and a DHA plan's warm latency
+        includes its recurring PCIe reads."""
+        model = build_model("roberta-base")
+        plan = planner.plan(model, Strategy.DHA)
+        machine = Machine(Simulator(), p3_8xlarge())
+        cold = machine.sim.run(
+            execute_plan(machine, planner.cost_model, plan, 0).done)
+        warm = machine.sim.run(
+            execute_warm(machine, planner.cost_model, plan, 0).done)
+        assert warm.latency < cold.latency
+        floor = planner.cost_model.model_exec_inmem(model, 1)
+        assert warm.latency > floor  # the DHA layers' recurring cost
+
+
+class TestDeterminism:
+    def test_whole_stack_is_reproducible(self, planner):
+        """Same seeds, same plans, same machine -> identical metrics."""
+        def serve_once():
+            machine = Machine(Simulator(), p3_8xlarge())
+            server = InferenceServer(machine, planner, ServerConfig())
+            server.deploy([(build_model("bert-base"), 130)])
+            workload = PoissonWorkload(list(server.instances), rate=100.0,
+                                       num_requests=300, seed=77)
+            return server.run(workload.generate())
+
+        first, second = serve_once(), serve_once()
+        assert first.metrics.p99_latency == second.metrics.p99_latency
+        assert first.metrics.cold_start_count == second.metrics.cold_start_count

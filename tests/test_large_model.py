@@ -1,0 +1,106 @@
+"""Tests for the large-model (beyond-GPU-memory) extension."""
+
+import pytest
+
+from repro.core import Strategy
+from repro.core.large_model import plan_within_budget, warm_latency
+from repro.errors import PlanError
+from repro.hw.specs import p3_8xlarge
+from repro.models import CostModel, build_model
+from repro.models.layers import LayerKind
+from repro.units import GB, MB
+
+
+@pytest.fixture(scope="module")
+def cm():
+    return CostModel(p3_8xlarge())
+
+
+@pytest.fixture(scope="module")
+def model():
+    return build_model("gpt2-medium")  # 1.35 GiB of parameters
+
+
+class TestBudgetedPlanning:
+    def test_fits_the_budget(self, cm, model):
+        budget = int(1.0 * GB)
+        plan = plan_within_budget(cm, model, budget)
+        assert plan.gpu_resident_bytes <= budget
+        assert plan.host_resident_bytes > 0
+
+    def test_generous_budget_loads_everything(self, cm, model):
+        plan = plan_within_budget(cm, model, 8 * GB)
+        assert plan.gpu_resident_bytes == model.param_bytes
+        assert plan.host_resident_bytes == 0
+
+    def test_embeddings_offloaded_first(self, cm, model):
+        """The word embedding is the cheapest bytes to serve host-side."""
+        budget = model.param_bytes - 10 * MB  # barely over budget
+        plan = plan_within_budget(cm, model, budget)
+        wte = model.layer_index("wte")
+        assert wte in plan.dha_indices()
+        # No dense GEMM weight should be offloaded before embeddings run out.
+        for i in plan.dha_indices():
+            assert model.layers[i].kind in (LayerKind.EMBEDDING,
+                                            LayerKind.BATCHNORM,
+                                            LayerKind.LAYERNORM,
+                                            LayerKind.CONV)
+
+    def test_tiny_budget_offloads_almost_everything(self, cm, model):
+        plan = plan_within_budget(cm, model, int(50 * MB))
+        assert plan.gpu_resident_bytes <= 50 * MB
+        assert plan.host_resident_bytes > 0.9 * model.param_bytes
+
+    def test_zero_budget_is_all_dha(self, cm, model):
+        plan = plan_within_budget(cm, model, 0)
+        assert plan.gpu_resident_bytes == 0
+        assert len(plan.dha_indices()) == len(model.loadable_indices())
+
+    def test_negative_budget_rejected(self, cm, model):
+        with pytest.raises(PlanError):
+            plan_within_budget(cm, model, -1)
+
+
+class TestWarmLatency:
+    def test_warm_latency_grows_as_budget_shrinks(self, cm, model):
+        budgets = [2 * GB, 1 * GB, 512 * MB, 128 * MB]
+        latencies = [warm_latency(cm, plan_within_budget(cm, model, b))
+                     for b in budgets]
+        assert latencies == sorted(latencies)
+
+    def test_full_budget_matches_in_memory_exec(self, cm, model):
+        plan = plan_within_budget(cm, model, 8 * GB)
+        assert warm_latency(cm, plan) == pytest.approx(
+            cm.model_exec_inmem(model, 1))
+
+    def test_offloading_embeddings_is_nearly_free(self, cm, model):
+        """The paper's 'cost-effective alternative': shedding ~15% of the
+        footprint (the embeddings) costs almost no warm latency."""
+        full = warm_latency(cm, plan_within_budget(cm, model, 8 * GB))
+        trimmed_budget = model.param_bytes - \
+            model.layers[model.layer_index("wte")].param_bytes
+        trimmed = warm_latency(cm, plan_within_budget(cm, model,
+                                                      trimmed_budget))
+        assert trimmed < full * 1.05
+
+
+class TestIntegrationWithEngine:
+    def test_budgeted_plan_executes(self, cm, model):
+        """A budgeted plan runs on the simulated machine end to end."""
+        from repro.engine import execute_plan
+        from repro.hw.machine import Machine
+        from repro.simkit import Simulator
+
+        plan = plan_within_budget(cm, model, int(1.0 * GB))
+        machine = Machine(Simulator(), p3_8xlarge())
+        result = machine.sim.run(
+            execute_plan(machine, cm, plan, 0).done)
+        assert result.latency > 0
+        # Only the resident fraction ever crosses PCIe as a bulk load.
+        assert sum(result.lane_bytes.values()) == plan.gpu_resident_bytes
+        assert plan.gpu_resident_bytes <= 1.0 * GB
+        # The memory-latency trade-off is explicit: serving in 1 GB costs
+        # warm latency versus the unconstrained plan.
+        from repro.core.large_model import warm_latency
+        full = plan_within_budget(cm, model, 8 * GB)
+        assert warm_latency(cm, plan) > warm_latency(cm, full)

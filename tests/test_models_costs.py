@@ -1,0 +1,139 @@
+"""Unit tests for the layer cost model."""
+
+import pytest
+
+from repro.hw.specs import p3_8xlarge
+from repro.models import CostModel, build_model
+from repro.models.zoo import microbench_layers
+from repro.units import MS
+
+
+@pytest.fixture(scope="module")
+def cm():
+    return CostModel(p3_8xlarge())
+
+
+@pytest.fixture(scope="module")
+def layers():
+    return microbench_layers()
+
+
+class TestLoadTime:
+    def test_load_time_proportional_to_size_plus_overhead(self, cm, layers):
+        small = cm.load_time(layers["fc-small"])
+        large = cm.load_time(layers["fc-large"])
+        overhead = cm.machine_spec.pcie_copy_overhead
+        ratio = (large - overhead) / (small - overhead)
+        expected = layers["fc-large"].param_bytes / layers["fc-small"].param_bytes
+        assert ratio == pytest.approx(expected, rel=1e-6)
+
+    def test_parameter_free_layer_loads_in_zero_time(self, cm):
+        model = build_model("bert-base")
+        sdpa = model.layers[model.layer_index("encoder.0.attn.sdpa")]
+        assert cm.load_time(sdpa) == 0.0
+
+
+class TestExecutionMethodTradeoffs:
+    """The paper's Section 3.1 findings, layer kind by layer kind."""
+
+    def test_embedding_dha_wins_at_both_sizes(self, cm, layers):
+        for key in ("embedding-medium", "embedding-large"):
+            layer = layers[key]
+            dha = cm.exec_dha(layer, 1)
+            load_then_exec = cm.load_time(layer) + cm.exec_inmem(layer, 1)
+            assert dha < load_then_exec, key
+
+    def test_embedding_dha_time_independent_of_table_size(self, cm, layers):
+        medium = cm.exec_dha(layers["embedding-medium"], 1)
+        large = cm.exec_dha(layers["embedding-large"], 1)
+        assert large == pytest.approx(medium, rel=0.05)
+
+    def test_small_conv_dha_wins(self, cm, layers):
+        layer = layers["conv-small"]
+        assert cm.exec_dha(layer, 1) < cm.load_time(layer) + cm.exec_inmem(layer, 1)
+
+    def test_large_conv_load_wins_and_gap_widens(self, cm, layers):
+        medium_ratio = (cm.exec_dha(layers["conv-medium"], 1)
+                        / (cm.load_time(layers["conv-medium"])
+                           + cm.exec_inmem(layers["conv-medium"], 1)))
+        large_ratio = (cm.exec_dha(layers["conv-large"], 1)
+                       / (cm.load_time(layers["conv-large"])
+                          + cm.exec_inmem(layers["conv-large"], 1)))
+        assert large_ratio > 1.0
+        assert large_ratio > medium_ratio
+
+    def test_fc_load_wins_at_both_sizes(self, cm, layers):
+        for key in ("fc-small", "fc-large"):
+            layer = layers[key]
+            assert cm.exec_dha(layer, 1) > \
+                cm.load_time(layer) + cm.exec_inmem(layer, 1), key
+
+    def test_batchnorm_dha_wins(self, cm, layers):
+        layer = layers["batchnorm"]
+        assert cm.exec_dha(layer, 1) < cm.load_time(layer) + cm.exec_inmem(layer, 1)
+
+    def test_layernorm_load_wins(self, cm, layers):
+        layer = layers["layernorm"]
+        assert cm.exec_dha(layer, 1) > cm.load_time(layer) + cm.exec_inmem(layer, 1)
+
+    def test_contended_dha_is_slower(self, cm, layers):
+        layer = layers["fc-small"]
+        assert cm.exec_dha(layer, 1, during_load=True) > cm.exec_dha(layer, 1)
+
+
+class TestBatchScaling:
+    def test_exec_time_nondecreasing_in_batch(self, cm):
+        model = build_model("bert-base")
+        for layer in model.layers[:20]:
+            assert cm.exec_inmem(layer, 8) >= cm.exec_inmem(layer, 1)
+
+    def test_batching_amortizes_conv_dha(self, cm, layers):
+        """Conv DHA streams weights once; throughput improves with batch."""
+        layer = layers["conv-medium"]
+        t1 = cm.exec_dha(layer, 1)
+        t8 = cm.exec_dha(layer, 8)
+        assert t8 < 8 * t1
+
+
+class TestModelAggregates:
+    def test_bert_base_warm_latency_near_paper(self, cm):
+        """Paper: a warm BERT-Base batch-1 inference takes 9.35 ms."""
+        model = build_model("bert-base")
+        assert cm.model_exec_inmem(model, 1) / MS == pytest.approx(9.35, rel=0.1)
+
+    def test_bert_base_load_near_paper(self, cm):
+        """Paper: loading BERT-Base from host takes ~40 ms."""
+        model = build_model("bert-base")
+        assert cm.model_load_time(model) / MS == pytest.approx(40.0, rel=0.08)
+
+
+class TestPCIeEvents:
+    def test_load_events_are_size_over_64(self, cm, layers):
+        layer = layers["conv-medium"]
+        assert cm.pcie_read_events(layer, 1, "load") == \
+            -(-layer.param_bytes // 64)
+
+    def test_invalid_method_rejected(self, cm, layers):
+        with pytest.raises(ValueError):
+            cm.pcie_read_events(layers["conv-medium"], 1, "zero-copy")
+
+    def test_paper_table1_event_counts(self, cm, layers):
+        """Reproduce Table 1 within 4% (the paper's counters include a
+        little unrelated traffic)."""
+        paper = {
+            ("embedding-medium", "load"): 24_580,
+            ("embedding-medium", "dha"): 18_267,
+            ("embedding-large", "load"): 1_465_112,
+            ("embedding-large", "dha"): 18_459,
+            ("conv-medium", "load"): 36_869,
+            ("conv-medium", "dha"): 65_891,
+            ("conv-large", "load"): 147_465,
+            ("conv-large", "dha"): 273_487,
+            ("fc-small", "load"): 36_920,
+            ("fc-small", "dha"): 446_276,
+            ("fc-large", "load"): 147_660,
+            ("fc-large", "dha"): 1_765_787,
+        }
+        for (key, method), expected in paper.items():
+            measured = cm.pcie_read_events(layers[key], 1, method)
+            assert measured == pytest.approx(expected, rel=0.04), (key, method)

@@ -1,0 +1,91 @@
+"""Unit tests for layer specs and builder helpers."""
+
+import pytest
+
+from repro.models.layers import (
+    LayerKind,
+    LayerSpec,
+    activation,
+    attention,
+    batchnorm2d,
+    conv2d,
+    elementwise,
+    embedding,
+    layernorm,
+    linear,
+    pooling,
+)
+from repro.units import MB
+
+
+class TestBuilders:
+    def test_embedding_sizes_match_paper_table1(self):
+        """BERT-Base's tables: word = 89.42 MiB, position = 1.50 MiB."""
+        word = embedding("word", 30522, 768, 384)
+        position = embedding("pos", 512, 768, 384)
+        assert word.param_bytes / MB == pytest.approx(89.42, abs=0.01)
+        assert position.param_bytes / MB == pytest.approx(1.50, abs=0.01)
+
+    def test_embedding_dha_traffic_touches_only_used_rows(self):
+        word = embedding("word", 30522, 768, 384)
+        assert word.dha_pcie_bytes(1) == 384 * 768 * 4
+        assert word.gather
+
+    def test_embedding_traffic_scales_with_batch(self):
+        word = embedding("word", 30522, 768, 384)
+        assert word.dha_pcie_bytes(4) == 4 * word.dha_pcie_bytes(1)
+
+    def test_conv_restreams_weights(self):
+        conv = conv2d("c", 256, 256, 3, 14)
+        assert conv.param_bytes / MB == pytest.approx(2.25, abs=0.01)
+        assert conv.dha_pcie_bytes(1) == pytest.approx(1.8 * conv.param_bytes)
+        # Conv DHA traffic is weight streaming: batch-independent.
+        assert conv.dha_pcie_bytes(8) == conv.dha_pcie_bytes(1)
+
+    def test_linear_rereads_per_token_tile(self):
+        fc = linear("fc", 768, 768, tokens_per_item=384, bias=False)
+        assert fc.dha_pcie_bytes(1) == pytest.approx(12 * fc.param_bytes, rel=0.01)
+
+    def test_linear_single_token_reads_weights_once(self):
+        fc = linear("fc", 2048, 1000, tokens_per_item=1)
+        assert fc.dha_pcie_bytes(1) == fc.param_bytes
+
+    def test_layernorm_rereads_per_token(self):
+        ln = layernorm("ln", 768, 384)
+        assert ln.param_bytes == 2 * 768 * 4
+        assert ln.dha_pcie_bytes(1) == 384 * ln.param_bytes
+
+    def test_batchnorm_reads_once(self):
+        bn = batchnorm2d("bn", 256, 14)
+        assert bn.dha_pcie_bytes(1) == bn.param_bytes
+        assert bn.dha_pcie_bytes(8) == bn.param_bytes
+
+    def test_parameter_free_layers(self):
+        for layer in (attention("a", 768, 12, 384), activation("r", 1000),
+                      pooling("p", 1000), elementwise("e", 1000)):
+            assert not layer.loadable
+            assert layer.dha_pcie_bytes(4) == 0
+
+    def test_attention_flops_quadratic_in_sequence(self):
+        short = attention("a", 768, 12, 128)
+        long = attention("b", 768, 12, 256)
+        assert long.flops_per_item == pytest.approx(4 * short.flops_per_item)
+
+
+class TestValidation:
+    def test_negative_params_rejected(self):
+        with pytest.raises(ValueError):
+            LayerSpec(name="bad", kind=LayerKind.LINEAR, param_bytes=-1,
+                      flops_per_item=0, act_bytes_per_item=0,
+                      dha_min_bytes=0, dha_bytes_per_item=0)
+
+    def test_parameter_free_with_dha_traffic_rejected(self):
+        with pytest.raises(ValueError):
+            LayerSpec(name="bad", kind=LayerKind.ACTIVATION, param_bytes=0,
+                      flops_per_item=0, act_bytes_per_item=0,
+                      dha_min_bytes=64, dha_bytes_per_item=0)
+
+    def test_str_is_informative(self):
+        fc = linear("fc1", 16, 16)
+        assert "fc1" in str(fc)
+        assert "linear" in str(fc)

@@ -1,0 +1,170 @@
+"""Tests that the model zoo reproduces the published architectures."""
+
+import pytest
+
+from repro.models import MODEL_NAMES, build_model, model_registry
+from repro.models.graph import ModelSpec
+from repro.models.layers import LayerKind, linear
+from repro.models.zoo import microbench_layers
+from repro.units import MB
+
+# Published parameter counts (millions): TorchVision and HuggingFace.
+PUBLISHED_PARAMS = {
+    "resnet50": 25.6,
+    "resnet101": 44.5,
+    "bert-base": 110.0,
+    "bert-large": 336.0,
+    "roberta-base": 125.0,
+    "roberta-large": 355.0,
+    "gpt2": 124.0,
+    "gpt2-medium": 355.0,
+}
+
+
+class TestRegistry:
+    def test_all_eight_paper_models_present(self):
+        assert set(MODEL_NAMES) == set(PUBLISHED_PARAMS)
+
+    def test_unknown_model_raises_with_hint(self):
+        with pytest.raises(KeyError, match="known models"):
+            build_model("alexnet")
+
+    def test_builders_are_deterministic(self):
+        a, b = build_model("bert-base"), build_model("bert-base")
+        assert a.layers == b.layers
+
+
+@pytest.mark.parametrize("name", MODEL_NAMES)
+class TestArchitectures:
+    def test_param_count_matches_published(self, name):
+        model = build_model(name)
+        published = PUBLISHED_PARAMS[name] * 1e6
+        assert model.param_count == pytest.approx(published, rel=0.02)
+
+    def test_layers_have_unique_names(self, name):
+        model = build_model(name)
+        names = [layer.name for layer in model.layers]
+        assert len(set(names)) == len(names)
+
+    def test_loadable_layers_cover_all_parameters(self, name):
+        model = build_model(name)
+        loadable_bytes = sum(model.layers[i].param_bytes
+                             for i in model.loadable_indices())
+        assert loadable_bytes == model.param_bytes
+
+
+class TestSpecificShapes:
+    def test_bert_base_size_is_417_mib(self):
+        """The paper quotes BERT-Base at 417 MB with an 89.4 MB embedding."""
+        model = build_model("bert-base")
+        assert model.param_bytes / MB == pytest.approx(417.6, abs=1.0)
+        word = model.layers[model.layer_index("embeddings.word")]
+        assert word.param_bytes / MB == pytest.approx(89.42, abs=0.01)
+
+    def test_bert_sequence_length_is_384(self):
+        assert build_model("bert-base").seq_len == 384
+        assert build_model("roberta-large").seq_len == 384
+
+    def test_gpt2_sequence_length_is_1024(self):
+        assert build_model("gpt2").seq_len == 1024
+
+    def test_roberta_has_larger_vocab_than_bert(self):
+        bert = build_model("bert-base")
+        roberta = build_model("roberta-base")
+        bert_word = bert.layers[bert.layer_index("embeddings.word")]
+        roberta_word = roberta.layers[roberta.layer_index("embeddings.word")]
+        assert roberta_word.param_bytes > 1.6 * bert_word.param_bytes
+
+    def test_resnet_depth_difference(self):
+        r50 = build_model("resnet50")
+        r101 = build_model("resnet101")
+        assert len(r101.layers_of_kind(LayerKind.CONV)) > \
+            len(r50.layers_of_kind(LayerKind.CONV))
+        # ResNet-101 adds 17 bottlenecks in stage 3: 3 convs + 3 BNs each.
+        assert len(r101.layers_of_kind(LayerKind.CONV)) - \
+            len(r50.layers_of_kind(LayerKind.CONV)) == 17 * 3
+
+    def test_gpt2_front_layers_match_paper_table3b(self):
+        """Table 3b lists GPT-2's first five parameterized layers:
+        Emb, Emb, LN, FC, FC (the paper's view skips parameter-free
+        attention compute)."""
+        model = build_model("gpt2")
+        kinds = [model.layers[i].kind for i in model.loadable_indices()[:5]]
+        assert kinds == [LayerKind.EMBEDDING, LayerKind.EMBEDDING,
+                         LayerKind.LAYERNORM, LayerKind.LINEAR,
+                         LayerKind.LINEAR]
+
+
+class TestMicrobenchLayers:
+    def test_sizes_match_figure5(self):
+        layers = microbench_layers()
+        expect = {
+            "embedding-medium": 1.50,
+            "embedding-large": 89.42,
+            "conv-medium": 2.25,
+            "conv-large": 9.0,
+            "fc-small": 2.25,
+            "fc-large": 9.01,
+        }
+        for key, mib in expect.items():
+            assert layers[key].param_bytes / MB == pytest.approx(mib, abs=0.02)
+
+
+class TestModelSpec:
+    def test_empty_model_rejected(self):
+        with pytest.raises(ValueError):
+            ModelSpec(name="empty", layers=(), seq_len=1, family="x")
+
+    def test_duplicate_layer_names_rejected(self):
+        layer = linear("same", 4, 4)
+        with pytest.raises(ValueError, match="duplicate"):
+            ModelSpec(name="dup", layers=(layer, layer), seq_len=1, family="x")
+
+    def test_layer_index_lookup(self):
+        model = build_model("gpt2")
+        assert model.layer_index("wte") == 0
+        with pytest.raises(KeyError):
+            model.layer_index("missing")
+
+    def test_summary_mentions_size(self):
+        text = build_model("bert-base").summary()
+        assert "417" in text
+        assert "seq_len=384" in text
+
+    def test_registry_builders_all_construct(self):
+        for name, builder in model_registry().items():
+            model = builder()
+            assert model.name == name
+            assert len(model) > 10
+
+
+class TestComputeSanity:
+    def test_bert_flops_match_analytic_estimate(self):
+        """Dense-layer FLOPs for an encoder are ~2 * params * tokens
+        (embeddings and attention excluded)."""
+        model = build_model("bert-base")
+        dense_flops = sum(l.flops_per_item for l in model.layers
+                          if l.kind is LayerKind.LINEAR)
+        dense_params = sum(l.param_bytes // 4 for l in model.layers
+                           if l.kind is LayerKind.LINEAR)
+        # The pooler runs on one token; everything else on 384.
+        assert dense_flops == pytest.approx(2 * dense_params * 384, rel=0.02)
+
+    def test_resnet50_flops_near_published(self):
+        """ResNet-50 is ~4.1 GMACs = 8.2 GFLOPs for a 224x224 image."""
+        model = build_model("resnet50")
+        conv_flops = sum(l.flops_per_item for l in model.layers
+                         if l.kind is LayerKind.CONV)
+        assert conv_flops == pytest.approx(8.2e9, rel=0.15)
+
+    def test_gpt2_attention_cost_grows_quadratically(self):
+        short = build_gpt2_seq(256)
+        long = build_gpt2_seq(512)
+        att = lambda m: sum(l.flops_per_item for l in m.layers
+                            if l.kind is LayerKind.ATTENTION)
+        assert att(long) == pytest.approx(4 * att(short), rel=0.01)
+
+
+def build_gpt2_seq(seq_len):
+    from repro.models.zoo import build_gpt2
+    return build_gpt2(f"gpt2-s{seq_len}", 768, 12, 12, seq_len=seq_len)

@@ -1,0 +1,99 @@
+"""Tests for the mixture-of-experts extension."""
+
+import pytest
+
+from repro.core import DeepPlan, Strategy
+from repro.errors import PlanError
+from repro.hw.specs import p3_8xlarge
+from repro.models.moe import (
+    build_moe_transformer,
+    expert_structure,
+    routed_submodel,
+    uniform_routing,
+)
+
+
+@pytest.fixture(scope="module")
+def moe():
+    return build_moe_transformer(num_layers=4, num_experts=8, top_k=2,
+                                 seq_len=512)
+
+
+class TestConstruction:
+    def test_expert_structure(self, moe):
+        structure = expert_structure(moe)
+        assert set(structure) == {0, 1, 2, 3}
+        assert all(experts == set(range(8)) for experts in structure.values())
+
+    def test_expert_bank_dominates_parameters(self, moe):
+        expert_bytes = sum(l.param_bytes for l in moe.layers
+                           if ".moe.expert" in l.name)
+        assert expert_bytes > 0.5 * moe.param_bytes
+
+    def test_invalid_top_k_rejected(self):
+        with pytest.raises(PlanError):
+            build_moe_transformer(num_experts=4, top_k=5)
+
+
+class TestRouting:
+    def test_uniform_routing_picks_top_k(self, moe):
+        routing = uniform_routing(moe, top_k=2, seed=3)
+        assert set(routing) == {0, 1, 2, 3}
+        assert all(len(chosen) == 2 for chosen in routing.values())
+
+    def test_routing_is_seeded(self, moe):
+        assert uniform_routing(moe, 2, seed=5) == uniform_routing(moe, 2,
+                                                                  seed=5)
+        assert uniform_routing(moe, 2, seed=5) != uniform_routing(moe, 2,
+                                                                  seed=6)
+
+    def test_top_k_larger_than_bank_rejected(self, moe):
+        with pytest.raises(PlanError):
+            uniform_routing(moe, top_k=9)
+
+
+class TestRoutedSubmodel:
+    def test_submodel_keeps_only_chosen_experts(self, moe):
+        routing = uniform_routing(moe, top_k=2, seed=0)
+        sub = routed_submodel(moe, routing)
+        for layer in sub.layers:
+            if ".moe.expert" in layer.name:
+                block = int(layer.name.split(".")[1])
+                expert = int(layer.name.split("expert")[1].split(".")[0])
+                assert expert in routing[block]
+        kept_structure = expert_structure(sub)
+        assert all(kept_structure[b] == set(routing[b]) for b in routing)
+
+    def test_submodel_is_much_smaller(self, moe):
+        sub = routed_submodel(moe, uniform_routing(moe, top_k=2, seed=0))
+        # 2 of 8 experts kept: the expert bank shrinks 4x.
+        assert sub.param_bytes < 0.55 * moe.param_bytes
+
+    def test_non_expert_layers_preserved_in_order(self, moe):
+        sub = routed_submodel(moe, uniform_routing(moe, top_k=2, seed=0))
+        backbone = [l.name for l in moe.layers if ".moe.expert" not in l.name]
+        sub_backbone = [l.name for l in sub.layers
+                        if ".moe.expert" not in l.name]
+        assert backbone == sub_backbone
+
+    def test_routing_unknown_block_rejected(self, moe):
+        with pytest.raises(PlanError, match="unknown blocks"):
+            routed_submodel(moe, {17: frozenset({0})})
+
+    def test_non_moe_model_rejected(self):
+        from repro.models import build_model
+        with pytest.raises(PlanError, match="no MoE"):
+            routed_submodel(build_model("gpt2"), {})
+
+
+class TestPlanningIntegration:
+    def test_routed_cold_start_is_faster(self, moe):
+        """The Section 7 claim: identifying the expert shrinks the
+        provisioning work, and DHA stacks on top."""
+        planner = DeepPlan(p3_8xlarge(), noise=0.0)
+        full = planner.plan(moe, Strategy.PIPESWITCH)
+        sub = routed_submodel(moe, uniform_routing(moe, top_k=2, seed=0))
+        routed = planner.plan(sub, Strategy.PIPESWITCH)
+        routed_dha = planner.plan(sub, Strategy.PT_DHA)
+        assert routed.predicted_latency < 0.7 * full.predicted_latency
+        assert routed_dha.predicted_latency < routed.predicted_latency

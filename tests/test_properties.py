@@ -1,0 +1,127 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+These pin down invariants of the planner, the timeline model, and the
+executor that must hold for *any* layer cost structure, not just the
+paper's models.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.plan import ExecMethod, Partition
+from repro.core.planner import LayerExecutionPlanner, initial_approach
+from repro.core.stall import baseline_latency, compute_timeline
+from repro.models.costs import LayerCosts
+from repro.models.layers import LayerKind
+
+LOAD = ExecMethod.LOAD
+DHA = ExecMethod.DHA
+
+
+@st.composite
+def layer_costs_list(draw, min_size=1, max_size=16):
+    """Random but self-consistent per-layer cost tables."""
+    n = draw(st.integers(min_value=min_size, max_value=max_size))
+    costs = []
+    for i in range(n):
+        loadable = draw(st.booleans())
+        inmem = draw(st.floats(min_value=1e-5, max_value=0.01))
+        if loadable:
+            load = draw(st.floats(min_value=1e-5, max_value=0.02))
+            # DHA is never faster than in-memory execution.
+            dha = inmem + draw(st.floats(min_value=0.0, max_value=0.02))
+            nbytes = max(1, int(load * 12e9))
+        else:
+            load, dha, nbytes = 0.0, inmem, 0
+        costs.append(LayerCosts(
+            name=f"l{i}", kind=LayerKind.LINEAR, load_time=load,
+            exec_inmem=inmem, exec_dha=dha, load_pcie_bytes=nbytes,
+            dha_pcie_bytes=nbytes))
+    return costs
+
+
+class TestTimelineProperties:
+    @settings(max_examples=120, deadline=None)
+    @given(costs=layer_costs_list())
+    def test_pipeline_never_slower_than_baseline(self, costs):
+        decisions = [LOAD if c.load_pcie_bytes else DHA for c in costs]
+        pipelined = compute_timeline(costs, decisions).total_latency
+        assert pipelined <= baseline_latency(costs) + 1e-9 + \
+            len(costs) * 5e-6  # event-sync overhead allowance
+
+    @settings(max_examples=120, deadline=None)
+    @given(costs=layer_costs_list())
+    def test_timeline_monotone_and_consistent(self, costs):
+        decisions = [LOAD if c.load_pcie_bytes else DHA for c in costs]
+        timeline = compute_timeline(costs, decisions)
+        previous_end = 0.0
+        for timing in timeline:
+            assert timing.start >= previous_end - 1e-12
+            assert timing.end >= timing.start
+            assert timing.stall >= 0
+            previous_end = timing.end
+        assert timeline.total_latency == pytest.approx(
+            timeline.total_stall + timeline.total_execution)
+
+    @settings(max_examples=80, deadline=None)
+    @given(costs=layer_costs_list(min_size=4), split=st.integers(1, 3))
+    def test_parallel_transmission_never_hurts(self, costs, split):
+        """With a fast NVLink hop, splitting the load across two lanes
+        can only help relative to one serial lane — up to the per-layer
+        hop cost itself."""
+        n = len(costs)
+        hop = 1e-6
+        boundary = max(1, min(n - 1, int(n * split / 4)))
+        decisions = [LOAD if c.load_pcie_bytes else DHA for c in costs]
+        serial = compute_timeline(costs, decisions).total_latency
+        partitions = (Partition(0, 0, boundary), Partition(1, boundary, n))
+        parallel = compute_timeline(costs, decisions, partitions,
+                                    lambda b: hop).total_latency
+        loaded_in_p2 = sum(1 for i in range(boundary, n)
+                           if costs[i].load_pcie_bytes)
+        assert parallel <= serial + loaded_in_p2 * hop + 1e-9
+
+
+class TestPlannerProperties:
+    @settings(max_examples=120, deadline=None)
+    @given(costs=layer_costs_list())
+    def test_algorithm1_never_worse_than_pure_pipeline(self, costs):
+        planner = LayerExecutionPlanner(costs)
+        planned = planner.plan()
+        all_loaded = planner.all_loaded()
+        t_planned = compute_timeline(costs, planned).total_latency
+        t_loaded = compute_timeline(costs, all_loaded).total_latency
+        assert t_planned <= t_loaded + 1e-9
+
+    @settings(max_examples=120, deadline=None)
+    @given(costs=layer_costs_list())
+    def test_decisions_are_legal(self, costs):
+        planned = LayerExecutionPlanner(costs).plan()
+        for cost, decision in zip(costs, planned):
+            if cost.load_pcie_bytes == 0:
+                assert decision is DHA
+
+    @settings(max_examples=120, deadline=None)
+    @given(costs=layer_costs_list(min_size=4))
+    def test_pt_planning_respects_partition_boundary(self, costs):
+        n = len(costs)
+        partitions = (Partition(0, 0, n // 2), Partition(1, n // 2, n))
+        planner = LayerExecutionPlanner(costs, partitions, lambda b: 1e-6)
+        planned = planner.plan()
+        for i in range(n // 2, n):
+            if costs[i].load_pcie_bytes:
+                assert planned[i] is LOAD
+
+    @settings(max_examples=120, deadline=None)
+    @given(costs=layer_costs_list())
+    def test_initial_approach_is_per_layer_optimal(self, costs):
+        decisions = initial_approach(costs)
+        for cost, decision in zip(costs, decisions):
+            if cost.load_pcie_bytes == 0:
+                continue
+            alone_load = cost.load_time + cost.exec_inmem
+            if decision is DHA:
+                assert cost.exec_dha <= alone_load
+            else:
+                assert cost.exec_dha >= alone_load

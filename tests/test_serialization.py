@@ -1,0 +1,108 @@
+"""Tests for plan serialization (save/load deployable plans)."""
+
+import json
+
+import pytest
+
+from repro.core import DeepPlan, Strategy
+from repro.core.serialization import (
+    load_plan,
+    plan_from_dict,
+    plan_to_dict,
+    save_plan,
+)
+from repro.errors import PlanError
+from repro.hw.specs import p3_8xlarge
+from repro.models import build_model
+
+
+@pytest.fixture(scope="module")
+def planner():
+    return DeepPlan(p3_8xlarge(), noise=0.0)
+
+
+@pytest.fixture(scope="module")
+def plan(planner):
+    return planner.plan(build_model("bert-base"), Strategy.PT_DHA)
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_preserves_everything(self, plan):
+        restored = plan_from_dict(plan_to_dict(plan))
+        assert restored.model == plan.model
+        assert restored.decisions == plan.decisions
+        assert restored.partitions == plan.partitions
+        assert restored.strategy == plan.strategy
+        assert restored.machine_name == plan.machine_name
+        assert restored.predicted_latency == plan.predicted_latency
+
+    def test_file_round_trip(self, plan, tmp_path):
+        path = tmp_path / "bert.plan.json"
+        save_plan(plan, path)
+        restored = load_plan(path)
+        assert restored.decisions == plan.decisions
+        assert restored.gpu_resident_bytes == plan.gpu_resident_bytes
+
+    def test_restored_plan_executes_identically(self, planner, plan,
+                                                tmp_path):
+        from repro.engine import execute_plan
+        from repro.hw.machine import Machine
+        from repro.simkit import Simulator
+
+        path = tmp_path / "plan.json"
+        save_plan(plan, path)
+        restored = load_plan(path)
+
+        def run(p):
+            machine = Machine(Simulator(), p3_8xlarge())
+            secondaries = planner.secondary_gpus(0, p)
+            return machine.sim.run(execute_plan(
+                machine, planner.cost_model, p, 0, secondaries).done)
+
+        assert run(restored).latency == run(plan).latency
+
+    def test_json_is_human_readable(self, plan, tmp_path):
+        path = tmp_path / "plan.json"
+        save_plan(plan, path)
+        data = json.loads(path.read_text())
+        assert data["strategy"] == "pt+dha"
+        assert data["model"]["name"] == "bert-base"
+        assert set(data["decisions"]) <= {"load", "dha"}
+
+
+class TestValidation:
+    def test_wrong_version_rejected(self, plan):
+        data = plan_to_dict(plan)
+        data["format_version"] = 99
+        with pytest.raises(PlanError, match="version"):
+            plan_from_dict(data)
+
+    def test_missing_field_rejected(self, plan):
+        data = plan_to_dict(plan)
+        del data["decisions"]
+        with pytest.raises(PlanError, match="malformed"):
+            plan_from_dict(data)
+
+    def test_corrupt_layer_rejected(self, plan):
+        data = plan_to_dict(plan)
+        data["model"]["layers"][0]["kind"] = "quantum"
+        with pytest.raises(PlanError):
+            plan_from_dict(data)
+
+    def test_non_json_file_rejected(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text("not json {")
+        with pytest.raises(PlanError, match="not valid JSON"):
+            load_plan(path)
+
+    def test_invariants_revalidated_on_load(self, plan):
+        """Tampered decisions (DHA in partition 1) are rejected by the
+        plan's own validation on reconstruction."""
+        data = plan_to_dict(plan)
+        boundary = data["partitions"][1]["start"]
+        loadable_in_p1 = next(
+            i for i in range(boundary, len(data["decisions"]))
+            if data["model"]["layers"][i]["param_bytes"] > 0)
+        data["decisions"][loadable_in_p1] = "dha"
+        with pytest.raises(PlanError, match="first partition"):
+            plan_from_dict(data)

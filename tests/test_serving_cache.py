@@ -1,0 +1,91 @@
+"""Unit tests for the LRU instance cache."""
+
+import pytest
+
+from repro.core import DeepPlan, Strategy
+from repro.errors import OutOfGPUMemoryError
+from repro.hw.memory import GPUMemory
+from repro.hw.specs import p3_8xlarge
+from repro.models import build_model
+from repro.serving.cache import LRUInstanceCache
+from repro.serving.instance import ModelInstance
+
+
+@pytest.fixture(scope="module")
+def plan():
+    planner = DeepPlan(p3_8xlarge(), noise=0.0)
+    return planner.plan(build_model("bert-base"), Strategy.PIPESWITCH)
+
+
+def make_instance(plan, k):
+    return ModelInstance(name=f"bert#{k}", plan=plan, home_gpu=0)
+
+
+@pytest.fixture
+def cache(plan):
+    # Room for exactly 3 BERT instances.
+    memory = GPUMemory(capacity_bytes=plan.gpu_resident_bytes * 3 + 1024,
+                       workspace_bytes=0, device="gpu0")
+    return LRUInstanceCache(memory)
+
+
+class TestAdmission:
+    def test_admit_marks_resident(self, cache, plan):
+        instance = make_instance(plan, 0)
+        assert cache.admit(instance) == []
+        assert instance.resident
+        assert instance in cache
+
+    def test_admit_duplicate_rejected(self, cache, plan):
+        instance = make_instance(plan, 0)
+        cache.admit(instance)
+        with pytest.raises(ValueError):
+            cache.admit(instance)
+
+    def test_eviction_in_lru_order(self, cache, plan):
+        instances = [make_instance(plan, k) for k in range(3)]
+        for instance in instances:
+            cache.admit(instance)
+        cache.touch(instances[0])  # 1 is now least recently used
+        evicted = cache.admit(make_instance(plan, 3))
+        assert [e.name for e in evicted] == ["bert#1"]
+        assert not instances[1].resident
+        assert cache.evictions == 1
+
+    def test_admit_too_large_raises(self, plan):
+        memory = GPUMemory(capacity_bytes=1024, workspace_bytes=0)
+        cache = LRUInstanceCache(memory)
+        with pytest.raises(OutOfGPUMemoryError):
+            cache.admit(make_instance(plan, 0))
+
+    def test_touch_requires_residency(self, cache, plan):
+        with pytest.raises(KeyError):
+            cache.touch(make_instance(plan, 0))
+
+
+class TestExplicitEviction:
+    def test_evict_releases_memory(self, cache, plan):
+        instance = make_instance(plan, 0)
+        cache.admit(instance)
+        before = cache.memory.used_bytes
+        cache.evict(instance)
+        assert cache.memory.used_bytes == before - instance.gpu_bytes
+        assert not instance.resident
+
+    def test_evict_missing_raises(self, cache, plan):
+        with pytest.raises(KeyError):
+            cache.evict(make_instance(plan, 9))
+
+
+class TestPrewarm:
+    def test_prewarm_fills_to_capacity(self, cache, plan):
+        instances = [make_instance(plan, k) for k in range(5)]
+        admitted = cache.prewarm(instances)
+        assert admitted == 3
+        assert len(cache) == 3
+        assert cache.resident_names == ("bert#0", "bert#1", "bert#2")
+
+    def test_prewarm_skips_already_resident(self, cache, plan):
+        instance = make_instance(plan, 0)
+        cache.admit(instance)
+        assert cache.prewarm([instance, make_instance(plan, 1)]) == 1

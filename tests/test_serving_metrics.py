@@ -1,0 +1,94 @@
+"""Unit tests for serving metrics."""
+
+import pytest
+
+from repro.serving.metrics import MetricsCollector, RequestRecord, merge
+from repro.units import MS
+
+
+def record(i=0, arrival=0.0, start=None, finish=None, cold=False,
+           latency=None):
+    if latency is not None:
+        finish = arrival + latency
+    start = arrival if start is None else start
+    finish = arrival + 0.01 if finish is None else finish
+    return RequestRecord(request_id=i, instance_name="m", arrival_time=arrival,
+                         started_at=start, finished_at=finish, cold_start=cold)
+
+
+class TestAggregates:
+    def test_percentiles(self):
+        metrics = MetricsCollector()
+        for i in range(100):
+            metrics.record(record(i, arrival=float(i), latency=(i + 1) * MS))
+        assert metrics.p50_latency == pytest.approx(50.5 * MS, rel=0.02)
+        assert metrics.p99_latency == pytest.approx(99 * MS, rel=0.02)
+        assert metrics.mean_latency == pytest.approx(50.5 * MS, rel=0.01)
+
+    def test_goodput_counts_slo_compliant_requests(self):
+        metrics = MetricsCollector(slo=100 * MS)
+        metrics.record(record(0, latency=50 * MS))
+        metrics.record(record(1, latency=150 * MS))
+        assert metrics.goodput == 0.5
+
+    def test_cold_start_rate(self):
+        metrics = MetricsCollector()
+        metrics.record(record(0, cold=True))
+        metrics.record(record(1))
+        metrics.record(record(2))
+        assert metrics.cold_start_rate == pytest.approx(1 / 3)
+        assert metrics.cold_start_count == 1
+
+    def test_queueing_delay(self):
+        rec = record(0, arrival=1.0, start=1.5, finish=2.0)
+        assert rec.queueing_delay == pytest.approx(0.5)
+        assert rec.latency == pytest.approx(1.0)
+
+    def test_empty_collector_raises(self):
+        metrics = MetricsCollector()
+        with pytest.raises(ValueError):
+            metrics.p99_latency
+        with pytest.raises(ValueError):
+            metrics.goodput
+
+    def test_invalid_slo_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsCollector(slo=0)
+
+    def test_summary_keys(self):
+        metrics = MetricsCollector()
+        metrics.record(record())
+        assert set(metrics.summary()) == {
+            "requests", "p50_ms", "p99_ms", "goodput", "cold_start_rate"}
+
+
+class TestWindows:
+    def test_windows_partition_by_arrival_time(self):
+        metrics = MetricsCollector()
+        metrics.record(record(0, arrival=10.0, latency=10 * MS))
+        metrics.record(record(1, arrival=70.0, latency=10 * MS, cold=True))
+        metrics.record(record(2, arrival=80.0, latency=200 * MS))
+        windows = metrics.windows(60.0)
+        assert len(windows) == 2
+        assert windows[0].num_requests == 1
+        assert windows[1].num_requests == 2
+        assert windows[1].cold_start_rate == 0.5
+        assert windows[1].goodput == 0.5
+
+    def test_empty_windows(self):
+        assert MetricsCollector().windows() == []
+
+    def test_bad_window_rejected(self):
+        metrics = MetricsCollector()
+        with pytest.raises(ValueError):
+            metrics.windows(0)
+
+
+class TestMerge:
+    def test_merge_combines_records(self):
+        a, b = MetricsCollector(), MetricsCollector()
+        a.record(record(0))
+        b.record(record(1, cold=True))
+        merged = merge([a, b])
+        assert len(merged) == 2
+        assert merged.cold_start_count == 1

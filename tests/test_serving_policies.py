@@ -1,0 +1,151 @@
+"""Tests for eviction policies, homing policies, and undeploy."""
+
+import pytest
+
+from repro.core import DeepPlan, Strategy
+from repro.errors import WorkloadError
+from repro.hw.machine import Machine
+from repro.hw.memory import GPUMemory
+from repro.hw.specs import dgx1_v100, p3_8xlarge
+from repro.models import build_model
+from repro.serving import InferenceServer, ServerConfig
+from repro.serving.cache import InstanceCache
+from repro.serving.instance import ModelInstance
+from repro.simkit import Simulator
+
+
+@pytest.fixture(scope="module")
+def plan():
+    return DeepPlan(p3_8xlarge(), noise=0.0).plan(build_model("bert-base"),
+                                                  Strategy.PIPESWITCH)
+
+
+def make_cache(plan, policy, slots=3):
+    memory = GPUMemory(capacity_bytes=plan.gpu_resident_bytes * slots + 1024,
+                       workspace_bytes=0)
+    return InstanceCache(memory, policy=policy)
+
+
+def instances(plan, n):
+    return [ModelInstance(name=f"bert#{k}", plan=plan, home_gpu=0)
+            for k in range(n)]
+
+
+class TestEvictionPolicies:
+    def test_unknown_policy_rejected(self, plan):
+        with pytest.raises(ValueError, match="options"):
+            make_cache(plan, "clairvoyant")
+
+    def test_lfu_evicts_least_frequent(self, plan):
+        cache = make_cache(plan, "lfu")
+        group = instances(plan, 4)
+        for instance in group[:3]:
+            cache.admit(instance)
+        for _ in range(5):
+            cache.touch(group[0])
+        cache.touch(group[2])
+        evicted = cache.admit(group[3])
+        assert [e.name for e in evicted] == ["bert#1"]
+
+    def test_fifo_ignores_touches(self, plan):
+        cache = make_cache(plan, "fifo")
+        group = instances(plan, 4)
+        for instance in group[:3]:
+            cache.admit(instance)
+        cache.touch(group[0])  # would save it under LRU
+        evicted = cache.admit(group[3])
+        assert [e.name for e in evicted] == ["bert#0"]
+
+    def test_lru_respects_touches(self, plan):
+        cache = make_cache(plan, "lru")
+        group = instances(plan, 4)
+        for instance in group[:3]:
+            cache.admit(instance)
+        cache.touch(group[0])
+        evicted = cache.admit(group[3])
+        assert [e.name for e in evicted] == ["bert#1"]
+
+    def test_random_is_seeded_and_valid(self, plan):
+        def evicted_with_seed(seed):
+            memory = GPUMemory(plan.gpu_resident_bytes * 3 + 1024,
+                               workspace_bytes=0)
+            cache = InstanceCache(memory, policy="random", seed=seed)
+            group = instances(plan, 4)
+            for instance in group[:3]:
+                cache.admit(instance)
+            return [e.name for e in cache.admit(group[3])]
+
+        assert evicted_with_seed(1) == evicted_with_seed(1)
+        names = {tuple(evicted_with_seed(s)) for s in range(8)}
+        assert len(names) > 1  # different seeds pick different victims
+
+
+class TestHomingPolicies:
+    def test_round_robin_balances_counts(self):
+        planner = DeepPlan(p3_8xlarge(), noise=0.0)
+        machine = Machine(Simulator(), p3_8xlarge())
+        server = InferenceServer(machine, planner, ServerConfig())
+        homes = [i.home_gpu for i in server.deploy(
+            [(build_model("bert-base"), 8)])]
+        assert homes == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_least_loaded_accounts_for_model_size(self):
+        """Mixing large and small models, least-loaded balances bytes:
+        the GPU holding a BERT-Large gets fewer subsequent instances."""
+        planner = DeepPlan(p3_8xlarge(), noise=0.0)
+        machine = Machine(Simulator(), p3_8xlarge())
+        server = InferenceServer(machine, planner,
+                                 ServerConfig(homing="least-loaded"))
+        server.deploy([(build_model("bert-large"), 1)])
+        small = server.deploy([(build_model("bert-base"), 6)])
+        homes = [i.home_gpu for i in small]
+        assert homes.count(0) < 2  # gpu0 already carries the large model
+
+    def test_unknown_homing_rejected(self):
+        with pytest.raises(WorkloadError):
+            ServerConfig(homing="chaotic")
+
+
+class TestUndeploy:
+    def test_undeploy_releases_everything(self):
+        planner = DeepPlan(p3_8xlarge(), noise=0.0)
+        machine = Machine(Simulator(), p3_8xlarge())
+        server = InferenceServer(machine, planner, ServerConfig())
+        model = build_model("bert-base")
+        (instance,) = server.deploy([(model, 1)])
+        assert machine.host.pinned_bytes == model.param_bytes
+        server.undeploy(instance.name)
+        assert machine.host.pinned_bytes == 0
+        assert instance.name not in server.instances
+
+    def test_undeploy_unknown_rejected(self):
+        planner = DeepPlan(p3_8xlarge(), noise=0.0)
+        machine = Machine(Simulator(), p3_8xlarge())
+        server = InferenceServer(machine, planner, ServerConfig())
+        with pytest.raises(WorkloadError):
+            server.undeploy("ghost#0")
+
+
+class TestDGX1:
+    def test_topology(self):
+        machine = Machine(Simulator(), dgx1_v100())
+        assert machine.gpu_count == 8
+        assert machine.switch_of(4) == 2
+        # Hybrid cube mesh: each GPU reaches exactly four peers.
+        for gpu in range(8):
+            peers = sum(1 for other in range(8)
+                        if other != gpu and machine.has_nvlink(gpu, other))
+            assert peers == 4, gpu
+
+    def test_three_way_parallel_transmission_supported(self):
+        from repro.core.partitioner import max_partitions
+        machine = Machine(Simulator(), dgx1_v100())
+        assert max_partitions(machine, primary=0) == 3
+
+    def test_three_way_pt_plan_beats_two_way(self):
+        planner = DeepPlan(dgx1_v100(), noise=0.0)
+        model = build_model("bert-large")
+        two = planner.plan(model, Strategy.PT, num_gpus=2)
+        three = planner.plan(model, Strategy.PT, num_gpus=3)
+        assert three.num_partitions == 3
+        assert three.predicted_latency < two.predicted_latency

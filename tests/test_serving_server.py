@@ -1,0 +1,221 @@
+"""Integration tests for the inference server."""
+
+import pytest
+
+from repro.core import DeepPlan
+from repro.errors import WorkloadError
+from repro.hw.machine import Machine
+from repro.hw.specs import p3_8xlarge
+from repro.models import build_model
+from repro.serving import (
+    InferenceServer,
+    PoissonWorkload,
+    Request,
+    ServerConfig,
+)
+from repro.simkit import Simulator
+from repro.units import MS
+
+
+@pytest.fixture(scope="module")
+def bert():
+    return build_model("bert-base")
+
+
+@pytest.fixture(scope="module")
+def planner():
+    return DeepPlan(p3_8xlarge(), noise=0.0)
+
+
+def make_server(planner, strategy="pt+dha", prewarm=True):
+    machine = Machine(Simulator(), p3_8xlarge())
+    config = ServerConfig(strategy=strategy, prewarm=prewarm)
+    return InferenceServer(machine, planner, config)
+
+
+class TestDeployment:
+    def test_instances_spread_round_robin(self, planner, bert):
+        server = make_server(planner)
+        instances = server.deploy([(bert, 8)])
+        homes = [i.home_gpu for i in instances]
+        assert homes == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_instance_names_unique_across_deploys(self, planner, bert):
+        server = make_server(planner)
+        server.deploy([(bert, 2)])
+        more = server.deploy([(bert, 2)])
+        assert [i.name for i in more] == ["bert-base#2", "bert-base#3"]
+
+    def test_plans_shared_per_architecture(self, planner, bert):
+        server = make_server(planner)
+        instances = server.deploy([(bert, 3)])
+        assert instances[0].plan is instances[1].plan
+
+    def test_bad_count_rejected(self, planner, bert):
+        with pytest.raises(WorkloadError):
+            make_server(planner).deploy([(bert, 0)])
+
+    def test_warm_capacity_matches_paper_figure13(self, planner, bert):
+        """PipeSwitch fits 100 BERT-Base instances on four V100s;
+        DeepPlan fits 124 (embeddings stay host-side)."""
+        pipeswitch = make_server(planner, "pipeswitch")
+        pipeswitch.deploy([(bert, 200)])
+        assert pipeswitch.warm_capacity() == 100
+        deepplan = make_server(planner, "pt+dha")
+        deepplan.deploy([(bert, 200)])
+        assert deepplan.warm_capacity() == 124
+
+
+class TestServing:
+    def test_all_warm_requests_fast(self, planner, bert):
+        server = make_server(planner)
+        server.deploy([(bert, 8)])
+        workload = PoissonWorkload(list(server.instances), rate=40.0,
+                                   num_requests=200, seed=0)
+        report = server.run(workload.generate())
+        assert len(report.metrics) == 200
+        assert report.metrics.cold_start_rate == 0.0
+        assert report.metrics.p99_latency < 40 * MS
+        assert report.evictions == 0
+
+    def test_over_capacity_causes_cold_starts_and_evictions(self, planner,
+                                                            bert):
+        server = make_server(planner)
+        server.deploy([(bert, 140)])
+        workload = PoissonWorkload(list(server.instances), rate=100.0,
+                                   num_requests=400, seed=1)
+        report = server.run(workload.generate())
+        assert report.prewarmed == 124
+        assert report.metrics.cold_start_count > 0
+        assert report.evictions >= report.metrics.cold_start_count
+
+    def test_no_prewarm_means_every_first_touch_is_cold(self, planner, bert):
+        server = make_server(planner, prewarm=False)
+        server.deploy([(bert, 4)])
+        requests = [Request(i, f"bert-base#{i}", i * 0.2) for i in range(4)]
+        report = server.run(requests)
+        assert report.metrics.cold_start_count == 4
+
+    def test_second_touch_is_warm(self, planner, bert):
+        server = make_server(planner, prewarm=False)
+        server.deploy([(bert, 1)])
+        requests = [Request(0, "bert-base#0", 0.0),
+                    Request(1, "bert-base#0", 1.0)]
+        report = server.run(requests)
+        records = sorted(report.metrics.records, key=lambda r: r.request_id)
+        assert records[0].cold_start
+        assert not records[1].cold_start
+        assert records[1].latency < records[0].latency
+
+    def test_requests_for_unknown_instance_rejected(self, planner, bert):
+        server = make_server(planner)
+        server.deploy([(bert, 1)])
+        with pytest.raises(WorkloadError, match="unknown"):
+            server.run([Request(0, "ghost#0", 0.0)])
+
+    def test_run_without_instances_rejected(self, planner):
+        with pytest.raises(WorkloadError):
+            make_server(planner).run([Request(0, "x", 0.0)])
+
+    def test_run_without_requests_rejected(self, planner, bert):
+        server = make_server(planner)
+        server.deploy([(bert, 1)])
+        with pytest.raises(WorkloadError):
+            server.run([])
+
+    def test_queueing_on_one_gpu(self, planner, bert):
+        """Two simultaneous requests to instances on the same GPU
+        serialize (one inference per GPU at a time)."""
+        server = make_server(planner)
+        server.deploy([(bert, 8)])
+        requests = [Request(0, "bert-base#0", 0.0),
+                    Request(1, "bert-base#4", 0.0)]
+        report = server.run(requests)
+        records = sorted(report.metrics.records, key=lambda r: r.request_id)
+        assert records[1].started_at >= records[0].finished_at
+
+    def test_mixed_model_deployment(self, planner, bert):
+        gpt2 = build_model("gpt2")
+        server = make_server(planner)
+        server.deploy([(bert, 4), (gpt2, 2)])
+        names = list(server.instances)
+        workload = PoissonWorkload(names, rate=20.0, num_requests=100, seed=2)
+        report = server.run(workload.generate())
+        assert len(report.metrics) == 100
+
+
+class TestStrategyComparison:
+    def test_deepplan_beats_pipeswitch_over_capacity(self, planner, bert):
+        """The paper's serving headline: under memory pressure DeepPlan
+        sustains a much better tail than PipeSwitch."""
+        results = {}
+        for strategy in ("pipeswitch", "pt+dha"):
+            server = make_server(planner, strategy)
+            server.deploy([(bert, 160)])
+            workload = PoissonWorkload(list(server.instances), rate=100.0,
+                                       num_requests=600, seed=3)
+            results[strategy] = server.run(workload.generate())
+        assert (results["pt+dha"].metrics.p99_latency
+                < 0.6 * results["pipeswitch"].metrics.p99_latency)
+        assert (results["pt+dha"].metrics.goodput
+                > results["pipeswitch"].metrics.goodput)
+
+
+class TestFailureHandling:
+    def test_oversized_model_rejected_at_deploy(self, planner):
+        """A model whose resident footprint exceeds a GPU is refused
+        up front (with a pointer to the large-model extension)."""
+        from repro.models.graph import ModelSpec
+        from repro.models.layers import linear
+
+        from repro.core.validate import PlanValidationError
+
+        huge = ModelSpec(
+            name="huge",
+            layers=tuple(linear(f"fc{i}", 16384, 16384) for i in range(12)),
+            seq_len=1, family="custom")
+        server = make_server(planner)
+        with pytest.raises(PlanValidationError, match="plan_within_budget"):
+            server.deploy([(huge, 1)])
+
+    def test_worker_failure_propagates_to_run(self, planner, bert):
+        """A fault inside a worker fails run() instead of hanging."""
+        server = make_server(planner)
+        server.deploy([(bert, 2)])
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("injected fault")
+
+        server._caches[0].touch = explode  # fault on the first warm hit
+        with pytest.raises(RuntimeError, match="injected fault"):
+            server.run([Request(0, "bert-base#0", 0.0)])
+
+
+class TestAccountingInvariants:
+    def test_memory_accounting_consistent_after_run(self, planner, bert):
+        """After a churny run, each GPU's reserved bytes equal exactly
+        the bytes of instances currently marked resident there, and no
+        staging leaks remain."""
+        server = make_server(planner)
+        server.deploy([(bert, 150)])
+        workload = PoissonWorkload(list(server.instances), rate=100.0,
+                                   num_requests=500, seed=9)
+        server.run(workload.generate())
+        for gpu in server.machine.gpus:
+            resident = [i for i in server.instances.values()
+                        if i.resident and i.home_gpu == gpu.index]
+            expected = sum(i.gpu_bytes for i in resident)
+            assert gpu.memory.used_bytes == expected
+            assert gpu.memory.staging_used_bytes == 0
+
+    def test_host_pins_survive_eviction(self, planner, bert):
+        """Eviction frees GPU memory only; host pins persist until
+        undeploy."""
+        server = make_server(planner)
+        instances = server.deploy([(bert, 130)])
+        workload = PoissonWorkload(list(server.instances), rate=100.0,
+                                   num_requests=300, seed=10)
+        report = server.run(workload.generate())
+        assert report.evictions > 0
+        assert server.machine.host.pinned_bytes == \
+            len(instances) * bert.param_bytes

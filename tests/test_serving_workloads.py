@@ -1,0 +1,111 @@
+"""Tests for workload generators and the synthetic MAF trace."""
+
+import numpy
+import pytest
+
+from repro.errors import WorkloadError
+from repro.serving.maf import MAFTraceConfig, synthesize_maf_trace
+from repro.serving.workload import PoissonWorkload, Request, TraceWorkload
+
+
+class TestPoissonWorkload:
+    def test_rate_is_respected(self):
+        workload = PoissonWorkload(["a", "b"], rate=100.0, num_requests=5000,
+                                   seed=0)
+        requests = workload.generate()
+        duration = requests[-1].arrival_time
+        assert 5000 / duration == pytest.approx(100.0, rel=0.1)
+
+    def test_arrivals_are_sorted_and_unique_ids(self):
+        requests = PoissonWorkload(["a"], 10.0, 100).generate()
+        times = [r.arrival_time for r in requests]
+        assert times == sorted(times)
+        assert len({r.request_id for r in requests}) == 100
+
+    def test_instances_roughly_uniform(self):
+        names = [f"i{k}" for k in range(10)]
+        requests = PoissonWorkload(names, 50.0, 10_000, seed=3).generate()
+        counts = numpy.array([sum(r.instance_name == n for r in requests)
+                              for n in names])
+        assert counts.min() > 0.8 * counts.mean()
+
+    def test_deterministic_per_seed(self):
+        a = PoissonWorkload(["x"], 10.0, 50, seed=5).generate()
+        b = PoissonWorkload(["x"], 10.0, 50, seed=5).generate()
+        assert [r.arrival_time for r in a] == [r.arrival_time for r in b]
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            PoissonWorkload(["a"], 0.0, 10)
+        with pytest.raises(WorkloadError):
+            PoissonWorkload(["a"], 1.0, 0)
+        with pytest.raises(WorkloadError):
+            PoissonWorkload([], 1.0, 10)
+
+    def test_request_latency_requires_completion(self):
+        request = Request(0, "a", 0.0)
+        with pytest.raises(WorkloadError):
+            request.latency
+
+
+class TestTraceWorkload:
+    def test_replays_in_time_order(self):
+        trace = TraceWorkload([(2.0, "b"), (1.0, "a")])
+        requests = trace.generate()
+        assert [r.instance_name for r in requests] == ["a", "b"]
+        assert trace.duration == 2.0
+        assert trace.num_requests == 2
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(WorkloadError):
+            TraceWorkload([])
+
+
+class TestMAFTrace:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        names = [f"fn{k}" for k in range(90)]
+        config = MAFTraceConfig(duration=1800.0, target_rps=150.0, seed=4)
+        return synthesize_maf_trace(names, config)
+
+    def test_mean_rate_matches_target(self, trace):
+        assert trace.mean_rps == pytest.approx(150.0, rel=0.05)
+
+    def test_arrivals_sorted_within_duration(self, trace):
+        times = [t for t, _ in trace.arrivals]
+        assert times == sorted(times)
+        assert times[-1] < trace.config.duration
+
+    def test_all_behaviour_classes_present(self, trace):
+        classes = set(trace.instance_classes.values())
+        assert classes == {"sustained", "fluctuating", "spiky", "rare"}
+
+    def test_load_fluctuates(self, trace):
+        """The paper's trace shows fluctuations and spikes: the offered
+        load must vary substantially around its mean."""
+        load = trace.offered_load
+        assert load.max() > 1.2 * load.mean()
+        assert load.min() < 0.9 * load.mean()
+
+    def test_popularity_is_heavy_tailed(self, trace):
+        counts = {}
+        for _, name in trace.arrivals:
+            counts[name] = counts.get(name, 0) + 1
+        ordered = sorted(counts.values(), reverse=True)
+        top10 = sum(ordered[:9])
+        assert top10 > 0.3 * trace.num_requests
+
+    def test_deterministic_per_seed(self):
+        names = ["a", "b", "c"]
+        config = MAFTraceConfig(duration=600, target_rps=20, seed=1)
+        t1 = synthesize_maf_trace(names, config)
+        t2 = synthesize_maf_trace(names, config)
+        assert t1.arrivals == t2.arrivals
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            MAFTraceConfig(duration=-1)
+        with pytest.raises(WorkloadError):
+            MAFTraceConfig(sustained_fraction=0.9, fluctuating_fraction=0.9)
+        with pytest.raises(WorkloadError):
+            synthesize_maf_trace([], MAFTraceConfig(duration=60))

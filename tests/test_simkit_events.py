@@ -1,0 +1,118 @@
+"""Unit tests for the event primitives."""
+
+import pytest
+
+from repro.simkit import Event, Simulator, all_of, any_of
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestEvent:
+    def test_starts_pending(self, sim):
+        event = sim.event()
+        assert not event.triggered
+        assert not event.ok
+
+    def test_succeed_delivers_value(self, sim):
+        event = sim.event()
+        event.succeed(42)
+        assert event.triggered
+        assert event.ok
+        assert event.value == 42
+
+    def test_fail_records_exception(self, sim):
+        event = sim.event()
+        error = RuntimeError("boom")
+        event.fail(error)
+        assert event.triggered
+        assert event.failed
+        assert event.value is error
+
+    def test_fail_requires_exception(self, sim):
+        with pytest.raises(TypeError):
+            sim.event().fail("not an exception")
+
+    def test_double_trigger_rejected(self, sim):
+        event = sim.event()
+        event.succeed()
+        with pytest.raises(RuntimeError):
+            event.succeed()
+
+    def test_value_before_trigger_rejected(self, sim):
+        with pytest.raises(RuntimeError):
+            sim.event().value
+
+    def test_callback_runs_at_trigger_time(self, sim):
+        seen = []
+        event = sim.timeout(3.0, "late")
+        event.add_callback(lambda e: seen.append((sim.now, e.value)))
+        sim.run()
+        assert seen == [(3.0, "late")]
+
+    def test_callback_added_after_trigger_still_runs(self, sim):
+        event = sim.event()
+        event.succeed("x")
+        sim.run()
+        seen = []
+        event.add_callback(lambda e: seen.append(e.value))
+        sim.run()
+        assert seen == ["x"]
+
+
+class TestTimeout:
+    def test_timeout_advances_clock(self, sim):
+        event = sim.timeout(1.5)
+        sim.run()
+        assert sim.now == 1.5
+        assert event.ok
+
+    def test_negative_timeout_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.timeout(-0.1)
+
+    def test_zero_timeout_fires_without_advancing(self, sim):
+        event = sim.timeout(0.0, "now")
+        sim.run()
+        assert sim.now == 0.0
+        assert event.value == "now"
+
+    def test_timeouts_fire_in_order(self, sim):
+        order = []
+        for delay in (2.0, 1.0, 3.0):
+            sim.timeout(delay, delay).add_callback(
+                lambda e: order.append(e.value))
+        sim.run()
+        assert order == [1.0, 2.0, 3.0]
+
+
+class TestCombinators:
+    def test_all_of_collects_values_in_order(self, sim):
+        events = [sim.timeout(2.0, "b"), sim.timeout(1.0, "a")]
+        combined = all_of(sim, events)
+        sim.run()
+        assert combined.value == ["b", "a"]
+        assert sim.now == 2.0
+
+    def test_all_of_empty_succeeds_immediately(self, sim):
+        assert all_of(sim, []).ok
+
+    def test_all_of_fails_on_first_failure(self, sim):
+        good = sim.timeout(1.0)
+        bad = sim.event()
+        combined = all_of(sim, [good, bad])
+        bad.fail(ValueError("nope"))
+        sim.run()
+        assert combined.failed
+        assert isinstance(combined.value, ValueError)
+
+    def test_any_of_takes_first_value(self, sim):
+        combined = any_of(sim, [sim.timeout(5.0, "slow"), sim.timeout(1.0, "fast")])
+        sim.run()
+        assert combined.value == "fast"
+
+    def test_any_of_requires_events(self, sim):
+        with pytest.raises(ValueError):
+            any_of(sim, [])

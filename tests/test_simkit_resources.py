@@ -1,0 +1,112 @@
+"""Unit tests for Resource and Store."""
+
+import pytest
+
+from repro.simkit import Resource, Simulator, Store
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestResource:
+    def test_immediate_grant_under_capacity(self, sim):
+        resource = Resource(sim, capacity=2)
+        first = resource.request()
+        second = resource.request()
+        assert first.triggered and second.triggered
+        assert resource.in_use == 2
+
+    def test_queueing_over_capacity(self, sim):
+        resource = Resource(sim, capacity=1)
+        held = resource.request()
+        waiting = resource.request()
+        assert held.triggered
+        assert not waiting.triggered
+        assert resource.queue_length == 1
+        resource.release(held)
+        assert waiting.triggered
+        assert resource.in_use == 1
+
+    def test_fifo_grant_order(self, sim):
+        resource = Resource(sim, capacity=1)
+        order = []
+
+        def worker(name, hold):
+            grant = resource.request()
+            yield grant
+            order.append((name, sim.now))
+            yield sim.timeout(hold)
+            resource.release(grant)
+
+        sim.process(worker("a", 2.0))
+        sim.process(worker("b", 2.0))
+        sim.process(worker("c", 2.0))
+        sim.run()
+        assert order == [("a", 0.0), ("b", 2.0), ("c", 4.0)]
+
+    def test_release_unheld_grant_rejected(self, sim):
+        resource = Resource(sim, capacity=1)
+        with pytest.raises(RuntimeError):
+            resource.release(sim.event())
+
+    def test_cancel_queued_request(self, sim):
+        resource = Resource(sim, capacity=1)
+        held = resource.request()
+        queued = resource.request()
+        resource.cancel(queued)
+        resource.release(held)
+        assert not queued.triggered
+        assert resource.in_use == 0
+
+    def test_cancel_non_queued_rejected(self, sim):
+        resource = Resource(sim, capacity=1)
+        granted = resource.request()
+        with pytest.raises(RuntimeError):
+            resource.cancel(granted)
+
+    def test_capacity_must_be_positive(self, sim):
+        with pytest.raises(ValueError):
+            Resource(sim, capacity=0)
+
+
+class TestStore:
+    def test_put_then_get(self, sim):
+        store = Store(sim)
+        store.put("item")
+        event = store.get()
+        assert event.triggered
+        assert event.value == "item"
+
+    def test_get_blocks_until_put(self, sim):
+        store = Store(sim)
+        event = store.get()
+        assert not event.triggered
+        store.put(7)
+        assert event.value == 7
+
+    def test_fifo_item_order(self, sim):
+        store = Store(sim)
+        store.put(1)
+        store.put(2)
+        assert store.get().value == 1
+        assert store.get().value == 2
+
+    def test_fifo_getter_order(self, sim):
+        store = Store(sim)
+        first = store.get()
+        second = store.get()
+        store.put("x")
+        store.put("y")
+        assert first.value == "x"
+        assert second.value == "y"
+
+    def test_len_and_peek(self, sim):
+        store = Store(sim)
+        store.put("a")
+        store.put("b")
+        assert len(store) == 2
+        assert store.peek_all() == ("a", "b")
+        store.get()
+        assert len(store) == 1

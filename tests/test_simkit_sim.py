@@ -1,0 +1,155 @@
+"""Unit tests for the simulator core and processes."""
+
+import pytest
+
+from repro.simkit import Interrupt, Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestProcess:
+    def test_process_runs_and_returns(self, sim):
+        def worker():
+            yield sim.timeout(2.0)
+            return "done"
+
+        process = sim.process(worker())
+        result = sim.run(process.done)
+        assert result == "done"
+        assert sim.now == 2.0
+        assert not process.is_alive
+
+    def test_yield_receives_event_value(self, sim):
+        def worker():
+            value = yield sim.timeout(1.0, "payload")
+            return value
+
+        assert sim.run(sim.process(worker()).done) == "payload"
+
+    def test_processes_interleave(self, sim):
+        trace = []
+
+        def worker(name, delay):
+            yield sim.timeout(delay)
+            trace.append((name, sim.now))
+            yield sim.timeout(delay)
+            trace.append((name, sim.now))
+
+        sim.process(worker("a", 1.0))
+        sim.process(worker("b", 1.5))
+        sim.run()
+        assert trace == [("a", 1.0), ("b", 1.5), ("a", 2.0), ("b", 3.0)]
+
+    def test_waiting_on_another_process(self, sim):
+        def child():
+            yield sim.timeout(3.0)
+            return 99
+
+        def parent():
+            value = yield sim.process(child())
+            return value + 1
+
+        assert sim.run(sim.process(parent()).done) == 100
+
+    def test_failed_event_raises_inside_process(self, sim):
+        failing = sim.event()
+
+        def worker():
+            try:
+                yield failing
+            except ValueError as error:
+                return f"caught {error}"
+
+        process = sim.process(worker())
+        failing.fail(ValueError("bad"))
+        assert sim.run(process.done) == "caught bad"
+
+    def test_uncaught_exception_fails_done_event(self, sim):
+        def worker():
+            yield sim.timeout(1.0)
+            raise KeyError("oops")
+
+        process = sim.process(worker())
+        with pytest.raises(KeyError):
+            sim.run(process.done)
+
+    def test_yield_of_non_event_fails_process(self, sim):
+        def worker():
+            yield "not an event"
+
+        process = sim.process(worker())
+        with pytest.raises(TypeError):
+            sim.run(process.done)
+
+    def test_interrupt_raises_in_process(self, sim):
+        def worker():
+            try:
+                yield sim.timeout(100.0)
+            except Interrupt as interrupt:
+                return ("interrupted", interrupt.cause, sim.now)
+
+        process = sim.process(worker())
+
+        def interrupter():
+            yield sim.timeout(2.0)
+            process.interrupt("reason")
+
+        sim.process(interrupter())
+        assert sim.run(process.done) == ("interrupted", "reason", 2.0)
+
+    def test_interrupt_of_finished_process_rejected(self, sim):
+        def worker():
+            yield sim.timeout(1.0)
+
+        process = sim.process(worker())
+        sim.run()
+        with pytest.raises(RuntimeError):
+            process.interrupt()
+
+    def test_stale_wakeup_after_interrupt_ignored(self, sim):
+        """The abandoned timeout must not resume the process later."""
+        resumptions = []
+
+        def worker():
+            try:
+                yield sim.timeout(10.0)
+                resumptions.append("timeout")
+            except Interrupt:
+                resumptions.append("interrupt")
+            yield sim.timeout(50.0)
+            resumptions.append("second")
+
+        process = sim.process(worker())
+
+        def interrupter():
+            yield sim.timeout(1.0)
+            process.interrupt()
+
+        sim.process(interrupter())
+        sim.run()
+        assert resumptions == ["interrupt", "second"]
+        assert sim.now == 51.0
+
+
+class TestRun:
+    def test_run_until_time_sets_clock(self, sim):
+        sim.timeout(10.0)
+        sim.run(until=4.0)
+        assert sim.now == 4.0
+
+    def test_run_until_past_time_rejected(self, sim):
+        sim.timeout(5.0)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.run(until=1.0)
+
+    def test_run_until_event_that_never_fires(self, sim):
+        with pytest.raises(RuntimeError, match="ran out of events"):
+            sim.run(sim.event())
+
+    def test_run_empty_simulation(self, sim):
+        sim.run()
+        assert sim.now == 0.0

@@ -1,0 +1,25 @@
+"""Tests for unit helpers (tiny, but they anchor every other number)."""
+
+from repro.units import GB, GBPS, KB, MB, MS, SECONDS, US, to_ms, to_us
+
+
+def test_binary_sizes():
+    assert KB == 1024
+    assert MB == 1024 ** 2
+    assert GB == 1024 ** 3
+
+
+def test_time_constants():
+    assert US == 1e-6
+    assert MS == 1e-3
+    assert SECONDS == 1.0
+
+
+def test_bandwidth_is_decimal():
+    # Link specs quote decimal GB/s (12 GB/s = 12e9 bytes/s).
+    assert GBPS == 1e9
+
+
+def test_conversions():
+    assert to_ms(0.5) == 500.0
+    assert to_us(0.001) == 1000.0
