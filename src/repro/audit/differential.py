@@ -1,0 +1,297 @@
+"""Differential-execution testing: fast paths vs per-layer references.
+
+The executor has two implementations of every execution stream: a
+per-layer reference path (one simulator event per layer, full traces)
+and a coalesced fast path (runs of non-waiting layers collapse into one
+timeout) used by the serving system.  The two must produce *identical*
+simulated timing — that redundancy is a correctness oracle.
+
+This harness generates seeded random models, plans them under every
+strategy, and runs each plan through both paths on fresh machines with a
+:class:`~repro.audit.invariants.MachineAuditor` attached, checking that
+
+* cold-start finish times agree (per-layer traces vs coalesced),
+* warm finish times agree (per-layer vs coalesced segments),
+* the planner's contention-free cost prediction brackets the simulated
+  latency, and
+* zero audit invariants are violated along the way.
+
+:func:`differential_serving` extends the comparison to a full serving
+workload: two servers over the same seeded Poisson trace, one forced
+onto the per-layer paths (``ServerConfig(detailed_traces=True)``), must
+report identical per-request completion times.
+
+Run from the command line with ``deepplan audit``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+import numpy
+
+from repro.audit.invariants import AuditViolation, MachineAuditor
+from repro.core.deepplan import DeepPlan, Strategy
+from repro.engine.executor import execute_plan, execute_warm
+from repro.hw.machine import Machine
+from repro.hw.specs import MachineSpec, p3_8xlarge
+from repro.models.graph import ModelSpec
+from repro.models.layers import (
+    activation,
+    attention,
+    batchnorm2d,
+    conv2d,
+    elementwise,
+    embedding,
+    layernorm,
+    linear,
+    pooling,
+)
+
+__all__ = [
+    "DifferentialCase",
+    "DifferentialResult",
+    "differential_serving",
+    "random_model",
+    "run_case",
+    "run_differential_suite",
+]
+
+#: Finish-time agreement required between the fast and reference paths.
+TIME_TOLERANCE = 1e-9
+
+#: Allowed simulated/predicted latency ratio band.  The prediction is the
+#: planner's contention-free analytic timeline; the simulator adds copy
+#: setup overheads and event-dispatch granularity it abstracts away.
+PREDICTION_BRACKET = (0.8, 1.25)
+
+
+@dataclasses.dataclass(frozen=True)
+class DifferentialCase:
+    """One seeded (model, strategy, batch) combination."""
+
+    seed: int
+    strategy: str
+    batch_size: int
+
+
+@dataclasses.dataclass(frozen=True)
+class DifferentialResult:
+    """Timings of both execution paths for one case."""
+
+    case: DifferentialCase
+    model_name: str
+    num_layers: int
+    cold_per_layer: float
+    cold_coalesced: float
+    warm_per_layer: float
+    warm_coalesced: float
+    predicted_latency: float
+    violations: tuple[AuditViolation, ...]
+
+    @property
+    def cold_divergence(self) -> float:
+        return abs(self.cold_per_layer - self.cold_coalesced)
+
+    @property
+    def warm_divergence(self) -> float:
+        return abs(self.warm_per_layer - self.warm_coalesced)
+
+    @property
+    def prediction_ratio(self) -> float:
+        """Simulated contention-free cold latency over the predicted one."""
+        return self.cold_coalesced / self.predicted_latency
+
+    @property
+    def agrees(self) -> bool:
+        return (self.cold_divergence < TIME_TOLERANCE
+                and self.warm_divergence < TIME_TOLERANCE
+                and not self.violations)
+
+    @property
+    def prediction_brackets(self) -> bool:
+        lo, hi = PREDICTION_BRACKET
+        return lo <= self.prediction_ratio <= hi
+
+
+# ---------------------------------------------------------------------------
+# Random model generation
+# ---------------------------------------------------------------------------
+
+
+def _random_transformer(rng: numpy.random.Generator,
+                        name: str) -> ModelSpec:
+    width = int(rng.choice([256, 512, 768]))
+    seq = int(rng.choice([64, 128, 384]))
+    vocab = int(rng.choice([8000, 16000, 30000]))
+    blocks = int(rng.integers(2, 6))
+    layers = [embedding("embed.word", vocab, width, seq),
+              layernorm("embed.ln", width, seq)]
+    for b in range(blocks):
+        layers += [
+            linear(f"block{b}.qkv", width, 3 * width, seq),
+            attention(f"block{b}.attn", width, 8, seq),
+            linear(f"block{b}.proj", width, width, seq),
+            elementwise(f"block{b}.add1", seq * width),
+            layernorm(f"block{b}.ln1", width, seq),
+            linear(f"block{b}.up", width, 4 * width, seq),
+            activation(f"block{b}.gelu", 4 * seq * width),
+            linear(f"block{b}.down", 4 * width, width, seq),
+            elementwise(f"block{b}.add2", seq * width),
+            layernorm(f"block{b}.ln2", width, seq),
+        ]
+    layers.append(linear("head", width, vocab, seq, bias=False))
+    return ModelSpec(name=name, layers=tuple(layers), seq_len=seq,
+                     family="random-transformer")
+
+
+def _random_convnet(rng: numpy.random.Generator, name: str) -> ModelSpec:
+    stages = int(rng.integers(2, 5))
+    channels = int(rng.choice([32, 64]))
+    hw = 56
+    layers = [conv2d("stem.conv", 3, channels, 7, hw),
+              batchnorm2d("stem.bn", channels, hw),
+              activation("stem.relu", channels * hw * hw)]
+    for s in range(stages):
+        out = channels * 2
+        layers += [
+            conv2d(f"stage{s}.conv1", channels, out, 3, hw),
+            batchnorm2d(f"stage{s}.bn1", out, hw),
+            activation(f"stage{s}.relu1", out * hw * hw),
+            conv2d(f"stage{s}.conv2", out, out, 3, hw),
+            batchnorm2d(f"stage{s}.bn2", out, hw),
+            elementwise(f"stage{s}.add", out * hw * hw),
+            activation(f"stage{s}.relu2", out * hw * hw),
+        ]
+        channels = out
+        hw = max(7, hw // 2)
+        layers.append(pooling(f"stage{s}.pool", channels * hw * hw))
+    layers.append(linear("fc", channels, 1000))
+    return ModelSpec(name=name, layers=tuple(layers), seq_len=1,
+                     family="random-convnet")
+
+
+def random_model(seed: int, name: str | None = None) -> ModelSpec:
+    """A seeded random model mixing the layer kinds the planner knows."""
+    rng = numpy.random.default_rng(seed)
+    name = name or f"rand{seed}"
+    if rng.random() < 0.5:
+        return _random_transformer(rng, name)
+    return _random_convnet(rng, name)
+
+
+# ---------------------------------------------------------------------------
+# Differential execution
+# ---------------------------------------------------------------------------
+
+
+def _audited_run(spec: MachineSpec, process_factory
+                 ) -> tuple[float, list[AuditViolation]]:
+    """Run one execution on a fresh audited machine; return finish time."""
+    from repro.simkit import Simulator
+
+    machine = Machine(Simulator(), spec)
+    auditor = MachineAuditor(machine)
+    process = process_factory(machine)
+    machine.sim.run(process.done)
+    auditor.check_quiesce()
+    return machine.sim.now, auditor.violations
+
+
+def run_case(case: DifferentialCase,
+             machine_spec: MachineSpec | None = None,
+             planner: DeepPlan | None = None) -> DifferentialResult:
+    """Execute one differential case: cold and warm, both paths, audited."""
+    spec = machine_spec or p3_8xlarge()
+    planner = planner or DeepPlan(spec, noise=0.0)
+    model = random_model(case.seed)
+    plan = planner.plan(model, case.strategy, batch_size=case.batch_size)
+    secondaries = (planner.secondary_gpus(0, plan)
+                   if plan.num_partitions > 1 else [])
+
+    violations: list[AuditViolation] = []
+    cold = {}
+    for detailed in (True, False):
+        finish, bad = _audited_run(spec, lambda machine: execute_plan(
+            machine, planner.cost_model, plan, 0, secondaries,
+            detailed_traces=detailed))
+        cold[detailed] = finish
+        violations += bad
+    warm = {}
+    for coalesced in (False, True):
+        finish, bad = _audited_run(spec, lambda machine: execute_warm(
+            machine, planner.cost_model, plan, 0, coalesced=coalesced))
+        warm[coalesced] = finish
+        violations += bad
+
+    return DifferentialResult(
+        case=case,
+        model_name=model.name,
+        num_layers=len(model.layers),
+        cold_per_layer=cold[True],
+        cold_coalesced=cold[False],
+        warm_per_layer=warm[False],
+        warm_coalesced=warm[True],
+        predicted_latency=plan.predicted_latency,
+        violations=tuple(violations),
+    )
+
+
+def run_differential_suite(num_cases: int = 20, seed: int = 0,
+                           machine_spec: MachineSpec | None = None
+                           ) -> list[DifferentialResult]:
+    """Run *num_cases* seeded cases cycling through every strategy."""
+    spec = machine_spec or p3_8xlarge()
+    planner = DeepPlan(spec, noise=0.0)
+    strategies = [s.value for s in Strategy]
+    rng = numpy.random.default_rng(seed)
+    results = []
+    for index in range(num_cases):
+        case = DifferentialCase(
+            seed=seed * 10_000 + index,
+            strategy=strategies[index % len(strategies)],
+            batch_size=int(rng.choice([1, 1, 4])),
+        )
+        results.append(run_case(case, spec, planner))
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Differential serving
+# ---------------------------------------------------------------------------
+
+
+def differential_serving(seed: int = 0, num_requests: int = 120,
+                         num_instances: int = 60, rate: float = 60.0,
+                         model_name: str = "bert-large",
+                         machine_spec: MachineSpec | None = None
+                         ) -> tuple[list, list]:
+    """Serve one seeded workload through both execution paths.
+
+    The defaults oversubscribe GPU memory (60 BERT-Large instances on a
+    p3.8xlarge) so the comparison covers cold-start provisioning and
+    eviction, not just warm inference.  Returns the two sorted record
+    lists (coalesced, per-layer); both servers run with the audit layer
+    enabled, so any invariant violation raises
+    :class:`~repro.audit.invariants.AuditError` from ``run()``.
+    """
+    from repro.models import build_model
+    from repro.serving import InferenceServer, PoissonWorkload, ServerConfig
+    from repro.simkit import Simulator
+
+    spec = machine_spec or p3_8xlarge()
+    planner = DeepPlan(spec, noise=0.0)
+    model = build_model(model_name)
+    reports = []
+    for detailed in (False, True):
+        machine = Machine(Simulator(), spec)
+        server = InferenceServer(machine, planner, ServerConfig(
+            audit=True, detailed_traces=detailed))
+        server.deploy([(model, num_instances)])
+        workload = PoissonWorkload(list(server.instances), rate=rate,
+                                   num_requests=num_requests, seed=seed)
+        report = server.run(workload.generate())
+        reports.append(sorted(report.metrics.records,
+                              key=lambda r: r.request_id))
+    return typing.cast(tuple, tuple(reports))

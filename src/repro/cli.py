@@ -8,6 +8,8 @@ simulation commands::
     deepplan plan --model bert-base --strategy pt+dha
     deepplan infer --model bert-base      # simulate one cold-start
     deepplan serve --model bert-base --instances 140 --rate 100
+    deepplan serve ... --audit           # run with invariant auditing on
+    deepplan audit --cases 20            # differential-execution suite
 """
 
 from __future__ import annotations
@@ -87,6 +89,16 @@ def _build_parser() -> argparse.ArgumentParser:
                        choices=("lru", "lfu", "fifo", "random"))
     serve.add_argument("--homing", default="round-robin",
                        choices=("round-robin", "least-loaded"))
+    serve.add_argument("--audit", action="store_true",
+                       help="enable the runtime invariant-audit layer; the "
+                            "run fails loudly on any conservation violation")
+
+    audit = sub.add_parser(
+        "audit", help="run the differential-execution audit suite")
+    _add_machine_arg(audit)
+    audit.add_argument("--cases", type=int, default=20,
+                       help="seeded model/strategy combinations to run")
+    audit.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -99,6 +111,7 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
         "plan": _cmd_plan,
         "infer": _cmd_infer,
         "serve": _cmd_serve,
+        "audit": _cmd_audit,
     }[command]
     try:
         return handler(args)
@@ -188,7 +201,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     machine = Machine(Simulator(), spec)
     server = InferenceServer(machine, planner, ServerConfig(
         strategy=args.strategy, slo=args.slo_ms * MS,
-        eviction_policy=args.eviction, homing=args.homing))
+        eviction_policy=args.eviction, homing=args.homing,
+        audit=args.audit))
     server.deploy([(model, args.instances)])
     workload = PoissonWorkload(list(server.instances), rate=args.rate,
                                num_requests=args.requests, seed=args.seed)
@@ -199,7 +213,38 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ["metric", "value"], rows,
         title=f"{args.instances}x {args.model} @ {args.rate} req/s "
               f"({args.strategy}, SLO {args.slo_ms:.0f} ms)"))
+    if args.audit and server.auditor is not None:
+        print(f"\naudit: {server.auditor.checks} invariant checks, "
+              f"0 violations")
     return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from repro.audit import run_differential_suite
+    from repro.audit.differential import TIME_TOLERANCE
+
+    spec = machine_presets()[args.machine]()
+    results = run_differential_suite(num_cases=args.cases, seed=args.seed,
+                                     machine_spec=spec)
+    rows = []
+    for r in results:
+        rows.append([r.case.strategy, r.case.batch_size, r.model_name,
+                     r.num_layers, f"{r.cold_divergence:.1e}",
+                     f"{r.warm_divergence:.1e}", f"{r.prediction_ratio:.4f}",
+                     len(r.violations), "ok" if r.agrees else "FAIL"])
+    print(format_table(
+        ["strategy", "batch", "model", "layers", "cold div (s)",
+         "warm div (s)", "sim/pred", "violations", "verdict"],
+        rows, title=f"differential audit: coalesced vs per-layer paths "
+                    f"on {args.machine} (tolerance {TIME_TOLERANCE:g} s)"))
+    failed = [r for r in results if not r.agrees]
+    bracket = [r for r in results if not r.prediction_brackets]
+    print(f"\n{len(results) - len(failed)}/{len(results)} cases agree; "
+          f"{len(bracket)} outside the prediction bracket")
+    for r in failed:
+        for v in r.violations[:5]:
+            print(f"  {r.model_name}: {v}")
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -17,6 +17,7 @@ from __future__ import annotations
 import dataclasses
 
 import typing
+import weakref
 
 from repro.core.plan import ExecMethod, ExecutionPlan
 from repro.hw.machine import Machine
@@ -116,15 +117,21 @@ def execute_plan(machine: Machine, cost_model: CostModel,
 
 
 def execute_warm(machine: Machine, cost_model: CostModel,
-                 plan: ExecutionPlan, gpu: int) -> Process:
+                 plan: ExecutionPlan, gpu: int,
+                 coalesced: bool = True) -> Process:
     """Execute one inference on an already-provisioned instance.
 
     Loaded layers run from GPU memory; layers the plan left host-side
     keep paying their DHA traffic on the GPU's PCIe lane *every*
     inference — the recurring cost of DeepPlan's memory savings.
+
+    ``coalesced=False`` selects the per-layer reference path (one timeout
+    per layer): identical timing, one simulator event per layer — the
+    oracle the differential-execution harness checks the fast path
+    against.
     """
     runner = _PlanRunner(machine, cost_model, plan, gpu, ())
-    return machine.sim.process(runner.run_warm(),
+    return machine.sim.process(runner.run_warm(coalesced=coalesced),
                                name=f"warm:{plan.model.name}")
 
 
@@ -183,14 +190,20 @@ class _PlanRunner:
             lane_span=dict(self._lane_span),
         )
 
-    def run_warm(self) -> typing.Generator[Event, object, ExecutionResult]:
+    def run_warm(self, coalesced: bool = True
+                 ) -> typing.Generator[Event, object, ExecutionResult]:
         """Warm inference: consecutive in-memory layers are coalesced into
         single timeouts (their durations just add), so a warm request
         costs a handful of simulator events instead of one per layer —
         the hot path of every serving experiment.  DHA layers still issue
-        their real PCIe flows."""
+        their real PCIe flows.  ``coalesced=False`` runs one timeout per
+        layer instead (the differential harness's reference path)."""
         started_at = self.sim.now
-        for kind, value in _warm_segments(self.plan, self.costs):
+        if coalesced:
+            segments = _warm_segments(self.plan, self.costs)
+        else:
+            segments = _per_layer_warm_segments(self.plan, self.costs)
+        for kind, value in segments:
             if kind == "exec":
                 yield self.sim.timeout(typing.cast(float, value))
             else:
@@ -356,10 +369,11 @@ class _PlanRunner:
 # Segment schedules are cached by *identity* of (plan, cost model): the
 # serving system reuses one plan object across thousands of requests, and
 # hashing a whole frozen ExecutionPlan (hundreds of layer specs) per
-# request would dominate the simulation.  Values keep strong references
-# to their keys so ids cannot be recycled while an entry is live.
-_SEGMENT_CACHE: dict[tuple[str, int, int],
-                     tuple[object, object, tuple]] = {}
+# request would dominate the simulation.  Entries hold no strong
+# references to their keys; instead a finalizer on both objects drops the
+# entry when either dies, so plans discarded by planner sweeps stay
+# collectible and ids cannot be recycled while an entry is live.
+_SEGMENT_CACHE: dict[tuple[str, int, int], tuple[tuple[str, object], ...]] = {}
 
 
 def _cached_segments(kind: str, plan: ExecutionPlan, costs: CostModel,
@@ -367,9 +381,11 @@ def _cached_segments(kind: str, plan: ExecutionPlan, costs: CostModel,
     key = (kind, id(plan), id(costs))
     hit = _SEGMENT_CACHE.get(key)
     if hit is not None:
-        return typing.cast(tuple, hit[2])
+        return hit
     segments = builder(plan, costs)
-    _SEGMENT_CACHE[key] = (plan, costs, segments)
+    _SEGMENT_CACHE[key] = segments
+    for anchor in (plan, costs):
+        weakref.finalize(anchor, _SEGMENT_CACHE.pop, key, None)
     return segments
 
 
@@ -429,3 +445,12 @@ def _build_warm_segments(plan: ExecutionPlan, costs: CostModel
     if accumulated:
         segments.append(("exec", accumulated))
     return tuple(segments)
+
+
+def _per_layer_warm_segments(plan: ExecutionPlan, costs: CostModel
+                             ) -> tuple[tuple[str, object], ...]:
+    """Warm-execution schedule with one segment per layer (uncached)."""
+    return tuple(
+        ("dha", i) if layer.loadable and plan.method(i) is ExecMethod.DHA
+        else ("exec", costs.exec_inmem(layer, plan.batch_size))
+        for i, layer in enumerate(plan.model.layers))

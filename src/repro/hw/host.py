@@ -13,6 +13,8 @@ the OS and the serving process itself.
 
 from __future__ import annotations
 
+import typing
+
 from repro.errors import ReproError
 from repro.units import GB
 
@@ -47,6 +49,9 @@ class HostMemory:
         self.headroom_bytes = int(headroom_bytes)
         self._pinned: dict[str, int] = {}
         self._used = 0
+        #: Optional audit hook (see :mod:`repro.audit`): receives
+        #: ``on_pin/on_unpin`` callbacks; ``None`` by default.
+        self.observer: typing.Any = None
 
     @property
     def pinned_bytes(self) -> int:
@@ -72,6 +77,8 @@ class HostMemory:
             raise OutOfHostMemoryError(nbytes, self.available_bytes)
         self._pinned[tag] = int(nbytes)
         self._used += int(nbytes)
+        if self.observer is not None:
+            self.observer.on_pin(self, tag, int(nbytes))
 
     def unpin(self, tag: str) -> int:
         try:
@@ -79,6 +86,8 @@ class HostMemory:
         except KeyError:
             raise KeyError(f"nothing pinned under {tag!r}") from None
         self._used -= nbytes
+        if self.observer is not None:
+            self.observer.on_unpin(self, tag, nbytes)
         return nbytes
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

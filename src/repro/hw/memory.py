@@ -10,6 +10,8 @@ buffers that parallel transmission requires on secondary GPUs.
 
 from __future__ import annotations
 
+import typing
+
 from repro.errors import OutOfGPUMemoryError
 from repro.units import GB
 
@@ -42,6 +44,10 @@ class GPUMemory:
         self._used = 0
         self._staging: dict[str, int] = {}
         self._staging_used = 0
+        #: Optional audit hook (see :mod:`repro.audit`): receives
+        #: ``on_reserve/on_release/on_reserve_staging/on_release_staging``
+        #: callbacks.  ``None`` (the default) costs one attribute check.
+        self.observer: typing.Any = None
 
     @property
     def used_bytes(self) -> int:
@@ -71,6 +77,8 @@ class GPUMemory:
             raise OutOfGPUMemoryError(nbytes, self.available_bytes, self.device)
         self._reservations[tag] = int(nbytes)
         self._used += int(nbytes)
+        if self.observer is not None:
+            self.observer.on_reserve(self, tag, int(nbytes))
 
     def release(self, tag: str) -> int:
         """Release the reservation under *tag*; returns its size."""
@@ -79,6 +87,8 @@ class GPUMemory:
         except KeyError:
             raise KeyError(f"no reservation {tag!r} on {self.device}") from None
         self._used -= nbytes
+        if self.observer is not None:
+            self.observer.on_release(self, tag, nbytes)
         return nbytes
 
     def tags(self) -> tuple[str, ...]:
@@ -103,6 +113,8 @@ class GPUMemory:
                                       f"{self.device}.staging")
         self._staging[tag] = int(nbytes)
         self._staging_used += int(nbytes)
+        if self.observer is not None:
+            self.observer.on_reserve_staging(self, tag, int(nbytes))
 
     def release_staging(self, tag: str) -> int:
         try:
@@ -111,6 +123,8 @@ class GPUMemory:
             raise KeyError(f"no staging reservation {tag!r} on "
                            f"{self.device}") from None
         self._staging_used -= nbytes
+        if self.observer is not None:
+            self.observer.on_release_staging(self, tag, nbytes)
         return nbytes
 
     @property

@@ -31,6 +31,9 @@ from repro.serving.metrics import DEFAULT_SLO, MetricsCollector, RequestRecord
 from repro.serving.workload import Request
 from repro.simkit import Event, Store
 
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.audit import ServingAuditor
+
 __all__ = ["ServerConfig", "InferenceServer", "ServingReport"]
 
 
@@ -49,6 +52,15 @@ class ServerConfig:
     eviction_policy: str = "lru"
     #: How deploy() assigns instances to home GPUs.
     homing: str = "round-robin"
+    #: Enable the runtime invariant-audit layer (:mod:`repro.audit`):
+    #: link conservation, memory reserve/release balance, drained queues,
+    #: exactly-once request accounting.  ``run()`` raises
+    #: :class:`~repro.audit.AuditError` on any violation.
+    audit: bool = False
+    #: Use the per-layer execution paths (full traces for cold starts,
+    #: one event per layer when warm) instead of the coalesced fast
+    #: paths.  Slow; for debugging and differential testing only.
+    detailed_traces: bool = False
 
     def __post_init__(self) -> None:
         if self.homing not in HOMING_POLICIES:
@@ -99,6 +111,10 @@ class InferenceServer:
         self._outstanding = 0
         self._drained: Event | None = None
         self._workers_started = False
+        self.auditor: "ServingAuditor | None" = None
+        if config.audit:
+            from repro.audit import ServingAuditor
+            self.auditor = ServingAuditor(self)
 
     # -- deployment ----------------------------------------------------------------
 
@@ -192,6 +208,8 @@ class InferenceServer:
         if unknown:
             raise WorkloadError(f"requests target unknown instances: "
                                 f"{sorted(unknown)[:5]}")
+        for request in requests:
+            self._check_batch_size(request)
 
         prewarmed = self._prewarm() if self.config.prewarm else 0
         self._start_workers()
@@ -201,6 +219,8 @@ class InferenceServer:
         self.sim.process(self._arrival_process(list(requests)),
                          name="arrivals")
         self.sim.run(self._drained)
+        if self.auditor is not None:
+            self.auditor.check_quiesce()
         return ServingReport(
             metrics=self.metrics,
             num_instances=len(self._instances),
@@ -244,12 +264,41 @@ class InferenceServer:
             due = base + request.arrival_time
             if due > self.sim.now:
                 yield self.sim.timeout(due - self.sim.now)
+            # The absolute arrival: request.arrival_time is relative to
+            # the run's start, so latency accounting stays correct when
+            # run() begins at sim.now > 0 (e.g., back-to-back runs).
+            request.submitted_at = due
             self.submit(request)
 
     def submit(self, request: Request) -> None:
-        """Enqueue one request at its instance's home GPU."""
+        """Enqueue one request at its instance's home GPU.
+
+        The request's batch size must match its instance's plan (plans
+        are specialized per batch size); mismatches raise
+        :class:`~repro.errors.WorkloadError`.
+        """
         instance = self._instances[request.instance_name]
+        self._check_batch_size(request)
+        if request.submitted_at is None:
+            request.submitted_at = self.sim.now
+        if self.auditor is not None:
+            self.auditor.on_submit(request)
         self._queues[instance.home_gpu].put(request)
+
+    def _check_batch_size(self, request: Request) -> None:
+        try:
+            instance = self._instances[request.instance_name]
+        except KeyError:
+            raise WorkloadError(
+                f"request {request.request_id} targets unknown instance "
+                f"{request.instance_name!r}") from None
+        expected = instance.plan.batch_size
+        if request.batch_size != expected:
+            raise WorkloadError(
+                f"request {request.request_id} has batch size "
+                f"{request.batch_size}, but instance {instance.name} was "
+                f"deployed with a plan for batch size {expected}; deploy a "
+                f"plan for the desired batch size instead")
 
     def _worker(self, gpu_index: int) -> typing.Generator[Event, object, None]:
         queue = self._queues[gpu_index]
@@ -277,16 +326,18 @@ class InferenceServer:
             secondaries = self._cold_start_secondaries(instance)
             yield execute_plan(self.machine, self.planner.cost_model,
                                instance.plan, gpu_index, secondaries,
-                               detailed_traces=False)
+                               detailed_traces=self.config.detailed_traces)
         else:
             cache.touch(instance)
             yield execute_warm(self.machine, self.planner.cost_model,
-                               instance.plan, gpu_index)
+                               instance.plan, gpu_index,
+                               coalesced=not self.config.detailed_traces)
         request.finished_at = self.sim.now
         self.metrics.record(RequestRecord(
             request_id=request.request_id,
             instance_name=request.instance_name,
             arrival_time=request.arrival_time,
+            submitted_at=typing.cast(float, request.submitted_at),
             started_at=request.started_at,
             finished_at=request.finished_at,
             cold_start=cold,

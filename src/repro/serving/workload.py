@@ -21,13 +21,28 @@ __all__ = ["Request", "PoissonWorkload", "TraceWorkload"]
 
 @dataclasses.dataclass
 class Request:
-    """One inference request."""
+    """One inference request.
+
+    Time convention: ``arrival_time`` is *relative* to the start of the
+    run that serves the request (workload generators emit offsets from
+    zero).  All other timestamps are *absolute* simulator times —
+    ``submitted_at`` is stamped by the server as
+    ``run-start + arrival_time``, so latency math stays correct when
+    ``InferenceServer.run()`` begins at ``sim.now > 0`` (e.g.,
+    back-to-back runs on one simulator).
+
+    ``batch_size`` must match the batch size of the execution plan the
+    target instance was deployed with; the server rejects mismatches at
+    submission (plans are specialized per batch size).
+    """
 
     request_id: int
     instance_name: str
     arrival_time: float
     batch_size: int = 1
-    #: Filled in by the server as the request moves through the system.
+    #: Filled in by the server as the request moves through the system
+    #: (absolute simulator times).
+    submitted_at: float | None = None
     started_at: float | None = None
     finished_at: float | None = None
     cold_start: bool = False
@@ -36,7 +51,9 @@ class Request:
     def latency(self) -> float:
         if self.finished_at is None:
             raise WorkloadError(f"request {self.request_id} not finished")
-        return self.finished_at - self.arrival_time
+        if self.submitted_at is None:
+            raise WorkloadError(f"request {self.request_id} never submitted")
+        return self.finished_at - self.submitted_at
 
 
 class PoissonWorkload:

@@ -103,6 +103,11 @@ class FlowNetwork:
         self._active: set[Flow] = set()
         self._last_settle = sim.now
         self._timer_token = 0
+        #: Optional audit hook (see :mod:`repro.audit`).  When set, it
+        #: receives ``on_flow_started(flow)``, ``on_flow_completed(flow)``
+        #: and ``on_rates_assigned(network)`` callbacks; ``None`` (the
+        #: default) costs one attribute check per rate change.
+        self.observer: typing.Any = None
 
     # -- public API -----------------------------------------------------------
 
@@ -177,12 +182,21 @@ class FlowNetwork:
 
     def _start(self, flow: Flow) -> None:
         flow.started_at = self.sim.now
+        if self.observer is not None:
+            self.observer.on_flow_started(flow)
         if flow.remaining <= _EPSILON_BYTES:
             flow.fire_due_milestones()
             flow.done.succeed(flow)
+            if self.observer is not None:
+                self.observer.on_flow_completed(flow)
             return
         self._settle()
         self._active.add(flow)
+        # Milestones sitting at the flow's current progress (offset 0, or
+        # an offset equal to bytes already credited) are due immediately;
+        # fire them here so the wake-up timer below targets the *next*
+        # unfired milestone instead of deferring them to flow completion.
+        flow.fire_due_milestones()
         self._rebalance()
 
     def _settle(self) -> None:
@@ -210,16 +224,37 @@ class FlowNetwork:
             flow.remaining = 0.0
             flow.fire_due_milestones()
             flow.done.succeed(flow)
+            if self.observer is not None:
+                self.observer.on_flow_completed(flow)
         if not self._active:
             return
 
         self._assign_fair_rates()
+        if self.observer is not None:
+            self.observer.on_rates_assigned(self)
         token = self._timer_token
-        next_event = min(min(f.remaining, f.next_milestone_bytes()
-                             or f.remaining) / f.rate
-                         for f in self._active)
+        waits = [self._bytes_to_next_event(f) / f.rate
+                 for f in self._active if f.rate > 0.0]
+        if not waits:
+            # Every active flow is rate-starved (e.g. links drained to a
+            # zero residual by float-exhausted allocations); rates will be
+            # reassigned when another flow starts or finishes.
+            return
         self.sim._schedule_callback(
-            lambda: self._on_timer(token), next_event)
+            lambda: self._on_timer(token), max(0.0, min(waits)))
+
+    @staticmethod
+    def _bytes_to_next_event(flow: Flow) -> float:
+        """Bytes until *flow* completes or crosses its next milestone.
+
+        A pending milestone distance of ``0.0`` is a real target (the
+        milestone sits exactly at the current progress offset), so it must
+        not be collapsed into "no milestone" by truthiness.
+        """
+        to_milestone = flow.next_milestone_bytes()
+        if to_milestone is None:
+            return flow.remaining
+        return min(flow.remaining, to_milestone)
 
     def _assign_fair_rates(self) -> None:
         """Weighted progressive filling: freeze flows at bottlenecks.
@@ -230,17 +265,25 @@ class FlowNetwork:
         """
         residual: dict[Link, float] = {}
         load: dict[Link, float] = {}
+        # Unfrozen-flow count per link.  The "link still contested" test
+        # must use this integer, not ``load > 0``: fractional weights
+        # (e.g. 0.4) leave float residue when subtracted back out, and a
+        # drained link with residual load but no unfrozen flows would be
+        # picked as a bottleneck that no iteration can freeze — an
+        # infinite loop.
+        count: dict[Link, int] = {}
         for flow in self._active:
             for link in flow.path:
                 residual.setdefault(link, link.bandwidth)
                 load[link] = load.get(link, 0.0) + flow.weight
+                count[link] = count.get(link, 0) + 1
 
         unfrozen = set(self._active)
         while unfrozen:
             # The next bottleneck is the smallest per-unit-weight share,
             # considering links and per-flow rate caps.
             share = min(residual[link] / load[link]
-                        for link in residual if load[link] > 0)
+                        for link in residual if count[link] > 0)
             capped = [f for f in unfrozen
                       if f.max_rate is not None
                       and f.max_rate <= f.weight * share]
@@ -249,22 +292,24 @@ class FlowNetwork:
                 # share is redistributed on the next iteration.
                 for flow in capped:
                     self._freeze(flow, typing.cast(float, flow.max_rate),
-                                 unfrozen, residual, load)
+                                 unfrozen, residual, load, count)
                 continue
-            bottleneck = min((link for link in residual if load[link] > 0),
+            bottleneck = min((link for link in residual if count[link] > 0),
                              key=lambda link: residual[link] / load[link])
             for flow in [f for f in unfrozen if bottleneck in f.path]:
                 self._freeze(flow, flow.weight * share, unfrozen, residual,
-                             load)
+                             load, count)
 
     @staticmethod
     def _freeze(flow: Flow, rate: float, unfrozen: set[Flow],
-                residual: dict[Link, float], load: dict[Link, float]) -> None:
+                residual: dict[Link, float], load: dict[Link, float],
+                count: dict[Link, int]) -> None:
         flow.rate = rate
         unfrozen.remove(flow)
         for link in flow.path:
             residual[link] = max(0.0, residual[link] - rate)
-            load[link] -= flow.weight
+            count[link] -= 1
+            load[link] = load[link] - flow.weight if count[link] else 0.0
 
     def _on_timer(self, token: int) -> None:
         if token != self._timer_token:

@@ -90,12 +90,18 @@ class Store:
         self.name = name
         self._items: collections.deque[object] = collections.deque()
         self._getters: collections.deque[Event] = collections.deque()
+        #: Lifetime counters; ``total_put - total_got == len(store)`` is an
+        #: invariant the audit layer verifies at quiesce.
+        self.total_put = 0
+        self.total_got = 0
 
     def __len__(self) -> int:
         return len(self._items)
 
     def put(self, item: object) -> None:
+        self.total_put += 1
         if self._getters:
+            self.total_got += 1
             self._getters.popleft().succeed(item)
         else:
             self._items.append(item)
@@ -103,6 +109,7 @@ class Store:
     def get(self) -> Event:
         event = Event(self.sim, name=f"{self.name}.get")
         if self._items:
+            self.total_got += 1
             event.succeed(self._items.popleft())
         else:
             self._getters.append(event)

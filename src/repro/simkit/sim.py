@@ -121,6 +121,11 @@ class Simulator:
         """Current simulated time, in seconds."""
         return self._now
 
+    @property
+    def pending_actions(self) -> int:
+        """Number of scheduled-but-unexecuted actions (audit introspection)."""
+        return len(self._queue)
+
     # -- scheduling ----------------------------------------------------------
 
     def _push(self, at: float, action: typing.Callable[[], None]) -> None:

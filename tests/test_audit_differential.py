@@ -1,0 +1,81 @@
+"""Differential-execution tests: fast paths vs per-layer references.
+
+These are the acceptance checks for the audit tentpole: over 20 seeded
+random model/plan combinations covering every strategy, the coalesced
+fast paths and the per-layer reference paths must agree to better than
+a nanosecond of simulated time, with zero invariant violations, and the
+planner's cost prediction must bracket the simulated latency.
+"""
+
+import pytest
+
+from repro.audit import (
+    DifferentialCase,
+    differential_serving,
+    random_model,
+    run_case,
+    run_differential_suite,
+)
+from repro.audit.differential import PREDICTION_BRACKET, TIME_TOLERANCE
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return run_differential_suite(num_cases=20, seed=0)
+
+
+class TestRandomModels:
+    def test_same_seed_same_model(self):
+        a, b = random_model(42), random_model(42)
+        assert a.layers == b.layers
+        assert a.seq_len == b.seq_len
+
+    def test_seeds_cover_both_families(self):
+        families = {random_model(seed).family for seed in range(12)}
+        assert families == {"random-transformer", "random-convnet"}
+
+
+class TestDifferentialSuite:
+    def test_covers_twenty_cases_and_all_strategies(self, suite):
+        assert len(suite) == 20
+        assert len({r.case.strategy for r in suite}) == 5
+
+    def test_fast_paths_agree_with_reference_paths(self, suite):
+        for result in suite:
+            assert result.cold_divergence < TIME_TOLERANCE, result.case
+            assert result.warm_divergence < TIME_TOLERANCE, result.case
+
+    def test_zero_invariant_violations(self, suite):
+        assert all(result.violations == () for result in suite)
+
+    def test_predictions_bracket_simulated_latency(self, suite):
+        lo, hi = PREDICTION_BRACKET
+        for result in suite:
+            assert lo <= result.prediction_ratio <= hi, result.case
+
+    def test_agrees_property_summarizes_all_checks(self, suite):
+        assert all(result.agrees for result in suite)
+
+
+class TestSingleCase:
+    def test_case_reports_timings_for_both_paths(self):
+        result = run_case(DifferentialCase(seed=5, strategy="pt+dha",
+                                           batch_size=1))
+        assert result.cold_per_layer > 0
+        assert result.warm_per_layer > 0
+        assert result.cold_coalesced == pytest.approx(result.cold_per_layer,
+                                                      abs=TIME_TOLERANCE)
+
+
+class TestDifferentialServing:
+    def test_serving_paths_agree_per_request(self):
+        fast, reference = differential_serving(seed=1, num_requests=60)
+        assert len(fast) == len(reference) == 60
+        cold = sum(r.cold_start for r in fast)
+        assert cold > 0, "scenario must exercise cold-start provisioning"
+        assert cold == sum(r.cold_start for r in reference)
+        for a, b in zip(fast, reference):
+            assert a.request_id == b.request_id
+            assert a.finished_at == pytest.approx(b.finished_at,
+                                                  abs=TIME_TOLERANCE)
+            assert a.cold_start == b.cold_start

@@ -1,0 +1,152 @@
+"""Tests for the runtime invariant-audit layer."""
+
+import pytest
+
+from repro.audit import AuditError, MachineAuditor, ServingAuditor
+from repro.core import DeepPlan, Strategy
+from repro.engine import execute_plan, execute_warm
+from repro.hw.machine import Machine
+from repro.hw.specs import p3_8xlarge
+from repro.models import build_model
+from repro.serving import (
+    InferenceServer,
+    PoissonWorkload,
+    Request,
+    ServerConfig,
+)
+from repro.simkit import Simulator
+
+
+@pytest.fixture(scope="module")
+def planner():
+    return DeepPlan(p3_8xlarge(), noise=0.0)
+
+
+@pytest.fixture(scope="module")
+def bert():
+    return build_model("bert-base")
+
+
+def audited_machine():
+    machine = Machine(Simulator(), p3_8xlarge())
+    return machine, MachineAuditor(machine)
+
+
+class TestMachineAuditor:
+    @pytest.mark.parametrize("strategy", list(Strategy))
+    def test_cold_start_runs_clean(self, planner, bert, strategy):
+        plan = planner.plan(bert, strategy)
+        machine, auditor = audited_machine()
+        process = execute_plan(machine, planner.cost_model, plan, 0,
+                               planner.secondary_gpus(0, plan))
+        machine.sim.run(process.done)
+        assert auditor.check_quiesce() == []
+        assert auditor.checks > 0
+
+    def test_warm_execution_runs_clean(self, planner, bert):
+        plan = planner.plan(bert, Strategy.PT_DHA)
+        machine, auditor = audited_machine()
+        process = execute_warm(machine, planner.cost_model, plan, 0)
+        machine.sim.run(process.done)
+        assert auditor.check_quiesce() == []
+
+    def test_must_attach_before_traffic(self):
+        machine = Machine(Simulator(), p3_8xlarge())
+        machine.host_to_device(0, 1e9)
+        machine.sim.run(until=1e-3)  # past copy setup; the flow is active
+        with pytest.raises(ValueError, match="before traffic"):
+            MachineAuditor(machine)
+
+    def test_detach_removes_hooks(self):
+        machine, auditor = audited_machine()
+        auditor.detach()
+        assert machine.network.observer is None
+        assert machine.host.observer is None
+        assert all(gpu.memory.observer is None for gpu in machine.gpus)
+
+    def test_unbalanced_reserve_release_is_flagged(self):
+        machine, auditor = audited_machine()
+        memory = machine.gpus[0].memory
+        memory.reserve("model-a", 1024)
+        # Fault injection: bypass the accounting the auditor shadows.
+        memory._used += 512
+        memory.reserve("model-b", 2048)
+        assert any(v.invariant == "memory.balance"
+                   for v in auditor.violations)
+
+    def test_unknown_release_is_flagged(self):
+        machine, auditor = audited_machine()
+        memory = machine.gpus[0].memory
+        memory.reserve("model-a", 1024)
+        auditor.on_release(memory, "never-reserved", 1)
+        assert any(v.invariant == "memory.unknown_release"
+                   for v in auditor.violations)
+
+    def test_leaked_staging_tag_is_flagged_at_quiesce(self):
+        machine, auditor = audited_machine()
+        machine.gpus[1].memory.reserve_staging("stage:part1", 4096)
+        violations = auditor.check_quiesce()
+        assert any(v.invariant == "memory.staging_leak" for v in violations)
+
+    def test_active_flow_at_quiesce_is_flagged(self):
+        machine, auditor = audited_machine()
+        machine.host_to_device(0, 1e9)
+        machine.sim.run(until=1e-3)  # flow started but far from done
+        violations = auditor.check_quiesce()
+        assert any(v.invariant == "network.quiesced" for v in violations)
+
+    def test_link_conservation_holds_under_contention(self, planner, bert):
+        plan = planner.plan(bert, Strategy.PT_DHA)
+        machine, auditor = audited_machine()
+        first = execute_plan(machine, planner.cost_model, plan, 0,
+                             planner.secondary_gpus(0, plan))
+        second = execute_plan(machine, planner.cost_model, plan, 2,
+                              planner.secondary_gpus(2, plan))
+        machine.sim.run(first.done)
+        machine.sim.run(second.done)
+        assert auditor.check_quiesce() == []
+
+
+class TestServingAuditor:
+    def make_audited_server(self, planner):
+        machine = Machine(Simulator(), p3_8xlarge())
+        server = InferenceServer(machine, planner, ServerConfig(audit=True))
+        return server
+
+    def test_config_flag_creates_auditor(self, planner):
+        server = self.make_audited_server(planner)
+        assert isinstance(server.auditor, ServingAuditor)
+
+    def test_run_is_clean(self, planner, bert):
+        server = self.make_audited_server(planner)
+        server.deploy([(bert, 6)])
+        workload = PoissonWorkload(list(server.instances), rate=30.0,
+                                   num_requests=60, seed=2)
+        report = server.run(workload.generate())
+        assert len(report.metrics) == 60
+        assert server.auditor.violations == []
+
+    def test_lost_record_raises_audit_error(self, planner, bert):
+        server = self.make_audited_server(planner)
+        server.deploy([(bert, 2)])
+        server.run([Request(0, "bert-base#0", 0.0)])
+        server.metrics.records.pop()  # simulate a dropped record
+        with pytest.raises(AuditError, match="exactly_once"):
+            server.auditor.check_quiesce()
+
+    def test_double_submission_raises_audit_error(self, planner, bert):
+        server = self.make_audited_server(planner)
+        server.deploy([(bert, 2)])
+        server.run([Request(0, "bert-base#0", 0.0)])
+        server.auditor.on_submit(Request(1, "bert-base#0", 0.0))
+        with pytest.raises(AuditError, match="exactly_once"):
+            server.auditor.check_quiesce()
+
+    def test_check_quiesce_can_report_without_raising(self, planner, bert):
+        server = self.make_audited_server(planner)
+        server.deploy([(bert, 2)])
+        server.run([Request(0, "bert-base#0", 0.0)])
+        server.metrics.records.pop()
+        violations = server.auditor.check_quiesce(raise_on_violation=False)
+        assert any(v.invariant == "requests.exactly_once"
+                   for v in violations)

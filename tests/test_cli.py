@@ -68,6 +68,23 @@ class TestServe:
         assert "p99_ms" in out
 
 
+class TestServeAudit:
+    def test_audited_serving_run(self, capsys):
+        assert main(["serve", "--model", "bert-base", "--instances", "6",
+                     "--rate", "40", "--requests", "30", "--audit"]) == 0
+        out = capsys.readouterr().out
+        assert "invariant checks" in out
+        assert "0 violations" in out
+
+
+class TestAudit:
+    def test_differential_suite_passes(self, capsys):
+        assert main(["audit", "--cases", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "5/5 cases agree" in out
+        assert "0 outside the prediction bracket" in out
+
+
 class TestParser:
     def test_no_command_rejected(self):
         with pytest.raises(SystemExit):

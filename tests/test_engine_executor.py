@@ -176,3 +176,48 @@ class TestCoalescedFastPath:
             assert fast_result.total_stall == pytest.approx(
                 detailed_result.total_stall, rel=1e-6, abs=1e-9), strategy
             assert fast_result.layer_traces == []
+
+
+class TestSegmentCache:
+    """The coalesced-segment cache must not keep dead plans alive."""
+
+    def test_warm_per_layer_path_matches_coalesced(self, planner, bert):
+        plan = planner.plan(bert, Strategy.PT_DHA)
+        times = []
+        for coalesced in (True, False):
+            machine = fresh_machine()
+            run(machine, execute_warm(machine, planner.cost_model, plan, 0,
+                                      coalesced=coalesced))
+            times.append(machine.sim.now)
+        assert times[0] == pytest.approx(times[1], rel=1e-12)
+
+    def test_repeat_executions_reuse_cached_segments(self, planner, bert):
+        from repro.engine import executor
+
+        plan = planner.plan(bert, Strategy.PT_DHA)
+        machine = fresh_machine()
+        run(machine, execute_warm(machine, planner.cost_model, plan, 0))
+        populated = len(executor._SEGMENT_CACHE)
+        run(machine, execute_warm(machine, planner.cost_model, plan, 0))
+        assert len(executor._SEGMENT_CACHE) == populated
+
+    def test_dropped_plans_are_collected_with_their_cache_entries(
+            self, planner, bert):
+        import gc
+        import weakref
+
+        from repro.engine import executor
+
+        plan = planner.plan(bert, Strategy.PT_DHA)
+        machine = fresh_machine()
+        run(machine, execute_warm(machine, planner.cost_model, plan, 0))
+        run(machine, execute_plan(machine, planner.cost_model, plan, 0,
+                                  planner.secondary_gpus(0, plan),
+                                  detailed_traces=False))
+        before = len(executor._SEGMENT_CACHE)
+        assert before >= 2  # warm + cold segments for this plan
+        ref = weakref.ref(plan)
+        del plan
+        gc.collect()
+        assert ref() is None, "cache kept a strong reference to the plan"
+        assert len(executor._SEGMENT_CACHE) <= before - 2

@@ -89,3 +89,93 @@ class TestPrewarm:
         instance = make_instance(plan, 0)
         cache.admit(instance)
         assert cache.prewarm([instance, make_instance(plan, 1)]) == 1
+
+
+def make_cache(plan, policy, slots=3, seed=0):
+    from repro.serving.cache import InstanceCache
+
+    memory = GPUMemory(capacity_bytes=plan.gpu_resident_bytes * slots + 1024,
+                       workspace_bytes=0, device="gpu0")
+    return InstanceCache(memory, policy=policy, seed=seed)
+
+
+class TestEvictionPolicies:
+    def test_unknown_policy_rejected(self, plan):
+        with pytest.raises(ValueError, match="unknown eviction policy"):
+            make_cache(plan, "mru")
+
+    def test_lru_touch_rescues_oldest(self, plan):
+        cache = make_cache(plan, "lru")
+        a, b, c, d = (make_instance(plan, k) for k in range(4))
+        for inst in (a, b, c):
+            cache.admit(inst)
+        cache.touch(a)  # a becomes most recent; b is now the LRU victim
+        evicted = cache.admit(d)
+        assert [v.name for v in evicted] == [b.name]
+        assert not b.resident and a.resident
+
+    def test_lfu_evicts_least_frequently_used(self, plan):
+        cache = make_cache(plan, "lfu")
+        a, b, c, d = (make_instance(plan, k) for k in range(4))
+        for inst in (a, b, c):
+            cache.admit(inst)
+        for _ in range(3):
+            cache.touch(a)
+        cache.touch(c)
+        # Frequencies: a=4, b=1, c=2 (admit counts as first touch).
+        evicted = cache.admit(d)
+        assert [v.name for v in evicted] == [b.name]
+
+    def test_lfu_breaks_frequency_ties_by_name(self, plan):
+        cache = make_cache(plan, "lfu")
+        instances = [make_instance(plan, k) for k in range(3)]
+        for inst in instances:
+            cache.admit(inst)
+        evicted = cache.admit(make_instance(plan, 3))
+        assert [v.name for v in evicted] == \
+            [min(i.name for i in instances)]
+
+    def test_fifo_ignores_touches(self, plan):
+        cache = make_cache(plan, "fifo")
+        a, b, c, d = (make_instance(plan, k) for k in range(4))
+        for inst in (a, b, c):
+            cache.admit(inst)
+        cache.touch(a)
+        cache.touch(a)
+        evicted = cache.admit(d)  # a entered first, so a leaves first
+        assert [v.name for v in evicted] == [a.name]
+
+    def test_random_policy_is_seed_deterministic(self, plan):
+        def victim_sequence(seed):
+            cache = make_cache(plan, "random", seed=seed)
+            for k in range(3):
+                cache.admit(make_instance(plan, k))
+            names = []
+            for k in range(3, 8):
+                names += [v.name for v in
+                          cache.admit(make_instance(plan, k))]
+            return names
+
+        assert victim_sequence(7) == victim_sequence(7)
+        sequences = {tuple(victim_sequence(seed)) for seed in range(6)}
+        assert len(sequences) > 1  # different seeds pick different victims
+
+    def test_eviction_counter_counts_every_eviction(self, plan):
+        cache = make_cache(plan, "lru")
+        for k in range(3):
+            cache.admit(make_instance(plan, k))
+        assert cache.evictions == 0
+        cache.admit(make_instance(plan, 3))
+        assert cache.evictions == 1
+        explicit = make_instance(plan, 4)
+        cache.admit(explicit)
+        cache.evict(explicit)
+        assert cache.evictions == 3
+
+    def test_prewarm_agrees_with_memory_capacity(self, plan):
+        cache = make_cache(plan, "lru", slots=3)
+        group = [make_instance(plan, k) for k in range(5)]
+        admitted = cache.prewarm(group)
+        assert admitted == 3
+        assert len(cache) == 3
+        assert [i.resident for i in group] == [True] * 3 + [False] * 2

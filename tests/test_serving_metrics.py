@@ -7,13 +7,15 @@ from repro.units import MS
 
 
 def record(i=0, arrival=0.0, start=None, finish=None, cold=False,
-           latency=None):
+           latency=None, submitted=None):
+    submitted = arrival if submitted is None else submitted
     if latency is not None:
-        finish = arrival + latency
-    start = arrival if start is None else start
-    finish = arrival + 0.01 if finish is None else finish
+        finish = submitted + latency
+    start = submitted if start is None else start
+    finish = submitted + 0.01 if finish is None else finish
     return RequestRecord(request_id=i, instance_name="m", arrival_time=arrival,
-                         started_at=start, finished_at=finish, cold_start=cold)
+                         submitted_at=submitted, started_at=start,
+                         finished_at=finish, cold_start=cold)
 
 
 class TestAggregates:
@@ -82,6 +84,35 @@ class TestWindows:
         metrics = MetricsCollector()
         with pytest.raises(ValueError):
             metrics.windows(0)
+
+
+class TestAbsoluteTimeConvention:
+    """Metrics subtract absolute from absolute (the PR 1 time-base fix)."""
+
+    def test_latency_measured_from_submit_not_run_relative_arrival(self):
+        # A request generated for offset 5 s within a run that began at
+        # sim time 100 s: latency is 0.2 s, not 95.2 s.
+        rec = record(0, arrival=5.0, submitted=105.0, finish=105.2)
+        assert rec.latency == pytest.approx(0.2)
+        assert rec.queueing_delay == pytest.approx(0.0)
+
+    def test_throughput_uses_absolute_span(self):
+        metrics = MetricsCollector()
+        metrics.record(record(0, arrival=0.0, submitted=100.0, latency=0.5))
+        metrics.record(record(1, arrival=1.0, submitted=101.0, latency=0.5))
+        assert metrics.throughput == pytest.approx(2 / 1.5)
+
+    def test_windows_bucket_by_submit_time(self):
+        # Two back-to-back runs recorded into one collector: identical
+        # run-relative arrivals, but distinct submit times must land in
+        # distinct windows instead of aliasing together.
+        metrics = MetricsCollector()
+        metrics.record(record(0, arrival=10.0, submitted=10.0, latency=10 * MS))
+        metrics.record(record(1, arrival=10.0, submitted=310.0, latency=10 * MS))
+        windows = metrics.windows(60.0)
+        assert len(windows) == 2
+        assert [w.num_requests for w in windows] == [1, 1]
+        assert windows[1].window_start == 300.0
 
 
 class TestMerge:

@@ -219,3 +219,100 @@ class TestAccountingInvariants:
         assert report.evictions > 0
         assert server.machine.host.pinned_bytes == \
             len(instances) * bert.param_bytes
+
+
+class TestTimeBase:
+    """Latency accounting must be invariant to the run's start time."""
+
+    def test_back_to_back_runs_report_identical_latencies(self, planner,
+                                                          bert):
+        server = make_server(planner)
+        server.deploy([(bert, 8)])
+        workload = PoissonWorkload(list(server.instances), rate=40.0,
+                                   num_requests=60, seed=3)
+        first = server.run(workload.generate())
+        assert server.sim.now > 0  # the second run starts mid-timeline
+        latencies_first = sorted(
+            (r.request_id, r.latency) for r in first.metrics.records)
+        server.run(workload.generate())
+        latencies_second = sorted(
+            (r.request_id, r.latency)
+            for r in server.metrics.records[len(latencies_first):])
+        for (_, a), (_, b) in zip(latencies_first, latencies_second):
+            assert a == pytest.approx(b, rel=1e-9)
+
+    def test_goodput_invariant_across_runs(self, planner, bert):
+        server = make_server(planner)
+        server.deploy([(bert, 8)])
+        workload = PoissonWorkload(list(server.instances), rate=40.0,
+                                   num_requests=60, seed=3)
+        first_goodput = server.run(workload.generate()).metrics.goodput
+        server.run(workload.generate())
+        assert server.metrics.goodput == pytest.approx(first_goodput)
+
+    def test_submitted_at_is_absolute_arrival(self, planner, bert):
+        server = make_server(planner)
+        server.deploy([(bert, 2)])
+        server.run([Request(0, "bert-base#0", 0.5)])
+        base = server.sim.now
+        server.run([Request(1, "bert-base#1", 0.25)])
+        records = sorted(server.metrics.records, key=lambda r: r.request_id)
+        assert records[0].submitted_at == pytest.approx(0.5)
+        assert records[1].submitted_at == pytest.approx(base + 0.25)
+        assert records[1].arrival_time == pytest.approx(0.25)
+
+    def test_windows_keep_consecutive_runs_distinct(self, planner, bert):
+        server = make_server(planner)
+        server.deploy([(bert, 2)])
+        server.run([Request(0, "bert-base#0", 0.5)])
+        server.sim.run(until=server.sim.now + 120.0)
+        server.run([Request(1, "bert-base#1", 0.5)])
+        assert len(server.metrics.windows(60.0)) == 2
+
+
+class TestBatchSizeValidation:
+    def test_mismatched_batch_size_rejected_at_run(self, planner, bert):
+        server = make_server(planner)
+        server.deploy([(bert, 2)])
+        with pytest.raises(WorkloadError, match="batch"):
+            server.run([Request(0, "bert-base#0", 0.0, batch_size=4)])
+
+    def test_mismatched_batch_size_rejected_at_submit(self, planner, bert):
+        server = make_server(planner)
+        server.deploy([(bert, 2)])
+        with pytest.raises(WorkloadError, match="batch"):
+            server.submit(Request(0, "bert-base#0", 0.0, batch_size=8))
+
+    def test_matching_batch_size_accepted(self, planner, bert):
+        server = make_server(planner)
+        server.deploy([(bert, 2)])
+        report = server.run([Request(0, "bert-base#0", 0.0, batch_size=1)])
+        assert len(report.metrics) == 1
+
+
+class TestAuditedServing:
+    def test_audited_run_is_clean_and_counts_checks(self, planner, bert):
+        machine = Machine(Simulator(), p3_8xlarge())
+        server = InferenceServer(machine, planner, ServerConfig(audit=True))
+        server.deploy([(bert, 8)])
+        workload = PoissonWorkload(list(server.instances), rate=40.0,
+                                   num_requests=100, seed=5)
+        report = server.run(workload.generate())
+        assert len(report.metrics) == 100
+        assert server.auditor is not None
+        assert server.auditor.violations == []
+        assert server.auditor.checks > 100
+
+    def test_audit_off_installs_no_observers(self, planner, bert):
+        server = make_server(planner)
+        assert server.auditor is None
+        assert server.machine.network.observer is None
+        assert all(gpu.memory.observer is None
+                   for gpu in server.machine.gpus)
+
+    def test_prewarm_matches_dry_run_capacity(self, planner, bert):
+        server = make_server(planner)
+        server.deploy([(bert, 140)])
+        capacity = server.warm_capacity()
+        report = server.run([Request(0, "bert-base#0", 0.0)])
+        assert report.prewarmed == capacity

@@ -120,6 +120,54 @@ class TestLinkValidation:
             Link("bad", 0.0)
 
 
+class TestRebalanceRobustness:
+    def test_fractional_weights_terminate(self, sim):
+        """Regression: float residue in per-link load must not hang.
+
+        Freezing flows with fractional weights leaves residue in the
+        shared link's summed load (0.1 + 0.2 + 0.3 subtracts back to
+        ~3e-17, not 0.0).  Progressive filling then picked the drained
+        link as the bottleneck forever, since no unfrozen flow crossed
+        it — an infinite loop inside a single rebalance.
+        """
+        import signal
+
+        network, (shared, private) = make_network(sim, 1.0, 10.0)
+        for weight in (0.1, 0.2, 0.3):
+            network.transfer([shared], 100.0, weight=weight)
+        done = network.transfer([private], 1000.0)
+
+        def bail(signum, frame):
+            raise TimeoutError("progressive filling did not terminate")
+
+        previous = signal.signal(signal.SIGALRM, bail)
+        signal.alarm(20)
+        try:
+            sim.run(done)
+        finally:
+            signal.alarm(0)
+            signal.signal(signal.SIGALRM, previous)
+        assert sim.now == pytest.approx(100.0)
+
+    def test_zero_max_rate_flow_does_not_crash_rebalance(self, sim):
+        """A fully rate-starved flow set must not divide by zero.
+
+        With every active flow frozen at rate 0 there is no next event to
+        arm a timer for; the rebalance simply waits for the next flow
+        start or finish.
+        """
+        network, (link,) = make_network(sim, 100.0)
+        starved = network.transfer([link], 500.0, max_rate=0.0)
+        sim.run()
+        assert not starved.triggered
+        assert len(network.active_flows) == 1
+        # A normal flow still gets the full link alongside the starved one.
+        done = network.transfer([link], 1000.0)
+        sim.run(done)
+        assert sim.now == pytest.approx(10.0)
+        assert not starved.triggered
+
+
 @settings(max_examples=60, deadline=None)
 @given(
     sizes=st.lists(st.floats(min_value=1.0, max_value=1e6), min_size=1,

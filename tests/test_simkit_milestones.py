@@ -67,6 +67,45 @@ class TestMilestones:
         sim.run(done)
         assert events[0].triggered
 
+    def test_zero_offset_milestone_fires_at_start_of_nonzero_flow(self, sim):
+        """Regression: a milestone at the flow's current progress offset.
+
+        A 0.0-byte milestone distance is a real, immediately-due target;
+        collapsing it into "no milestone" by truthiness deferred the
+        event to flow completion.
+        """
+        network, link = network_with_link(sim)
+        times = {}
+        done, events = network.transfer_with_milestones(
+            [link], 1000.0, [0.0, 500.0])
+        events[0].add_callback(lambda e: times.setdefault("zero", sim.now))
+        events[1].add_callback(lambda e: times.setdefault("mid", sim.now))
+        sim.run(done)
+        assert times["zero"] == pytest.approx(0.0)
+        assert times["mid"] == pytest.approx(5.0)
+
+    def test_zero_offset_milestone_respects_setup_delay(self, sim):
+        network, link = network_with_link(sim)
+        times = {}
+        done, events = network.transfer_with_milestones(
+            [link], 1000.0, [0.0], setup_delay=2.0)
+        events[0].add_callback(lambda e: times.setdefault("zero", sim.now))
+        sim.run(done)
+        assert times["zero"] == pytest.approx(2.0)
+
+    def test_milestone_fires_on_time_when_joiner_lands_on_crossing(self, sim):
+        """A flow joining exactly at a milestone crossing must not defer it."""
+        network, link = network_with_link(sim)
+        times = {}
+        done, events = network.transfer_with_milestones(
+            [link], 1000.0, [500.0])
+        events[0].add_callback(lambda e: times.setdefault("mid", sim.now))
+        # Joins at t=5.0, the instant the first flow's progress hits 500.
+        sim._schedule_callback(
+            lambda: network.transfer([link], 100.0), 5.0)
+        sim.run(done)
+        assert times["mid"] == pytest.approx(5.0)
+
     def test_unsorted_offsets_rejected(self, sim):
         network, link = network_with_link(sim)
         with pytest.raises(ValueError, match="ascending"):
