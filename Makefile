@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-full examples clean
+.PHONY: install test bench bench-full examples regolden clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -17,6 +17,11 @@ bench:
 # point); expect a multi-hour run.
 bench-full:
 	REPRO_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Regenerate tests/golden/paper_figures.json after a deliberate
+# cost-model recalibration; review and commit the diff.
+regolden:
+	PYTHONPATH=src $(PYTHON) tests/make_golden.py
 
 examples:
 	for script in examples/*.py; do \

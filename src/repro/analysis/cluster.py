@@ -1,0 +1,57 @@
+"""Render a cluster run's report: fleet summary plus per-machine rows."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.analysis.tables import format_table
+from repro.units import MS
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.cluster import ClusterReport
+
+__all__ = ["format_cluster_report"]
+
+
+def format_cluster_report(report: "ClusterReport") -> str:
+    """A human-readable breakdown of one cluster run."""
+    summary = report.summary()
+    lines = [
+        f"cluster: {report.submitted} submitted, {report.completed} "
+        f"completed, {len(report.dropped)} dropped, {report.retries} "
+        f"retries over {report.duration:.2f} s",
+    ]
+    if report.metrics.records:
+        lines.append(
+            f"  p99 {summary['p99_ms']:.2f} ms | goodput "
+            f"{summary['goodput']:.3f} | cold-start rate "
+            f"{summary['cold_start_rate']:.3f}")
+    rows = []
+    for stats in report.per_machine:
+        rows.append([
+            stats.name,
+            stats.state,
+            stats.served,
+            f"{stats.p99 / MS:.2f}" if stats.p99 is not None else "-",
+            f"{stats.cold_start_rate:.3f}",
+            f"{stats.utilization:.3f}",
+            stats.crashes,
+        ])
+    lines.append(format_table(
+        ["machine", "state", "served", "p99 (ms)", "cold rate",
+         "util", "crashes"], rows))
+    if report.fault_log:
+        applied = sum(1 for _, ok in report.fault_log if ok)
+        lines.append(f"  faults: {applied}/{len(report.fault_log)} "
+                     f"schedule entries applied")
+        for event, ok in report.fault_log:
+            marker = "" if ok else " (skipped)"
+            lines.append(f"    t={event.time:8.2f}  {event.action:7s} "
+                         f"{event.machine_name}{marker}")
+    if report.scaling_events:
+        lines.append(f"  autoscaler: {len(report.scaling_events)} action(s)")
+        for event in report.scaling_events:
+            lines.append(f"    t={event.time:8.2f}  {event.action:10s} "
+                         f"{event.machine_name}  "
+                         f"(p99 {event.p99 / MS:.1f} ms)")
+    return "\n".join(lines)

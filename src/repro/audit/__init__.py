@@ -30,6 +30,7 @@ from repro.audit.invariants import (
     MachineAuditor,
     ServingAuditor,
 )
+from repro.audit.cluster import ClusterAuditor
 from repro.audit.differential import (
     DifferentialCase,
     DifferentialResult,
@@ -42,6 +43,7 @@ from repro.audit.differential import (
 __all__ = [
     "AuditError",
     "AuditViolation",
+    "ClusterAuditor",
     "DifferentialCase",
     "DifferentialResult",
     "MachineAuditor",

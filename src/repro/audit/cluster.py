@@ -1,0 +1,143 @@
+"""Cluster-level audit: exactly-once accounting across retries.
+
+Machine failures plus retries make double-execution and request loss the
+two easy bugs of any cluster serving layer.  :class:`ClusterAuditor`
+observes every submit, dispatch, failure, completion and drop, attaches
+one :class:`~repro.audit.invariants.MachineAuditor` per machine, and at
+quiesce proves:
+
+* **exactly-once** — each submitted request completed exactly once
+  cluster-wide, or was dropped exactly once, never both and never
+  neither;
+* **conservation** — ``submitted == completed + dropped``;
+* **bounded retries** — no request failed more than ``max_retries + 1``
+  times, and dropped requests used *exactly* their full attempt budget;
+* **provenance** — every completion and failure refers to a request that
+  was actually submitted, on a machine it was actually dispatched to;
+* **machine invariants** — each machine's flow-network and memory
+  conservation checks (from :class:`MachineAuditor`) also hold.
+"""
+
+from __future__ import annotations
+
+import collections
+import typing
+
+from repro.audit.invariants import AuditError, AuditViolation, MachineAuditor
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.cluster import Cluster
+    from repro.serving.workload import Request
+
+__all__ = ["ClusterAuditor"]
+
+
+class ClusterAuditor:
+    """Observes one cluster's request lifecycle end to end."""
+
+    def __init__(self, cluster: "Cluster") -> None:
+        self.cluster = cluster
+        self.machine_auditors = {
+            cm.name: MachineAuditor(cm.machine) for cm in cluster.machines}
+        self.violations: list[AuditViolation] = []
+        self.checks = 0
+        self._submitted: set[int] = set()
+        self._dispatched: dict[int, list[str]] = {}
+        self._completions: collections.Counter[int] = collections.Counter()
+        self._completed_on: dict[int, str] = {}
+        self._failures: collections.Counter[int] = collections.Counter()
+        self._dropped: collections.Counter[int] = collections.Counter()
+
+    def _flag(self, invariant: str, subject: str, detail: str) -> None:
+        self.violations.append(AuditViolation(invariant, subject, detail))
+
+    # -- lifecycle hooks (called by the cluster) ------------------------------------
+
+    def on_submit(self, request: "Request") -> None:
+        if request.request_id in self._submitted:
+            self._flag("cluster.duplicate_submit", "router",
+                       f"request {request.request_id} submitted twice")
+        self._submitted.add(request.request_id)
+
+    def on_dispatch(self, request: "Request", machine_name: str) -> None:
+        self._dispatched.setdefault(request.request_id, []) \
+            .append(machine_name)
+        if request.request_id not in self._submitted:
+            self._flag("cluster.dispatch_provenance", machine_name,
+                       f"request {request.request_id} dispatched without "
+                       f"submission")
+
+    def on_failure(self, request: "Request", where: str) -> None:
+        self._failures[request.request_id] += 1
+
+    def on_complete(self, request: "Request", machine_name: str) -> None:
+        self._completions[request.request_id] += 1
+        self._completed_on[request.request_id] = machine_name
+        if machine_name not in self._dispatched.get(request.request_id, []):
+            self._flag("cluster.completion_provenance", machine_name,
+                       f"request {request.request_id} completed on a "
+                       f"machine it was never dispatched to")
+
+    def on_drop(self, request: "Request") -> None:
+        self._dropped[request.request_id] += 1
+
+    # -- quiesce ---------------------------------------------------------------------
+
+    def check_quiesce(self, raise_on_violation: bool = True
+                      ) -> list[AuditViolation]:
+        """Verify end-of-run invariants; raise :class:`AuditError` on any."""
+        for name, auditor in self.machine_auditors.items():
+            auditor.check_quiesce()
+            self.checks += auditor.checks
+            for violation in auditor.violations:
+                self.violations.append(AuditViolation(
+                    violation.invariant, f"{name}:{violation.subject}",
+                    violation.detail))
+        max_attempts = self.cluster.config.max_retries + 1
+        for request_id in self._submitted:
+            self.checks += 1
+            outcomes = (self._completions[request_id]
+                        + self._dropped[request_id])
+            if outcomes != 1:
+                self._flag(
+                    "cluster.exactly_once", f"request {request_id}",
+                    f"{self._completions[request_id]} completion(s) + "
+                    f"{self._dropped[request_id]} drop(s); expected "
+                    f"exactly one outcome")
+            if self._failures[request_id] > max_attempts:
+                self._flag(
+                    "cluster.bounded_retries", f"request {request_id}",
+                    f"{self._failures[request_id]} failed attempts exceed "
+                    f"the budget of {max_attempts}")
+            if (self._dropped[request_id]
+                    and self._failures[request_id] != max_attempts):
+                self._flag(
+                    "cluster.drop_budget", f"request {request_id}",
+                    f"dropped after {self._failures[request_id]} failed "
+                    f"attempts; drops must exhaust all {max_attempts}")
+        for request_id in (set(self._completions) | set(self._dropped)) \
+                - self._submitted:
+            self._flag("cluster.outcome_provenance", f"request {request_id}",
+                       "completed or dropped but never submitted")
+        self.checks += 1
+        completed = sum(self._completions.values())
+        dropped = sum(self._dropped.values())
+        if completed + dropped != len(self._submitted):
+            self._flag(
+                "cluster.conservation", "cluster",
+                f"{len(self._submitted)} submitted != {completed} "
+                f"completed + {dropped} dropped")
+        for cm in self.cluster.machines:
+            for queue in cm.server._queues.values():
+                self.checks += 1
+                if len(queue):
+                    self._flag("cluster.queue_drained",
+                               f"{cm.name}:{queue.name}",
+                               f"{len(queue)} requests still queued")
+                if queue.total_put != queue.total_got:
+                    self._flag(
+                        "cluster.queue_balance", f"{cm.name}:{queue.name}",
+                        f"{queue.total_put} puts vs {queue.total_got} gets")
+        if self.violations and raise_on_violation:
+            raise AuditError(self.violations)
+        return list(self.violations)

@@ -93,6 +93,41 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="enable the runtime invariant-audit layer; the "
                             "run fails loudly on any conservation violation")
 
+    cluster = sub.add_parser(
+        "cluster", help="simulate a multi-machine serving fleet")
+    _add_machine_arg(cluster)
+    _add_model_arg(cluster)
+    cluster.add_argument("--strategy", default="pt+dha",
+                         choices=[s.value for s in Strategy])
+    cluster.add_argument("--machines", type=int, default=2,
+                         help="base fleet size")
+    cluster.add_argument("--standby", type=int, default=0,
+                         help="standby machines the autoscaler may activate")
+    cluster.add_argument("--replication", type=int, default=2,
+                         help="replicas per logical instance")
+    cluster.add_argument("--policy", default="affinity",
+                         choices=("round-robin", "least-loaded", "affinity"))
+    cluster.add_argument("--instances", type=int, default=24,
+                         help="logical instances of the model")
+    cluster.add_argument("--trace", default="poisson",
+                         choices=("poisson", "maf"))
+    cluster.add_argument("--rate", type=float, default=100.0,
+                         help="aggregate request rate (req/s)")
+    cluster.add_argument("--requests", type=int, default=1000,
+                         help="request count (poisson trace)")
+    cluster.add_argument("--duration", type=float, default=120.0,
+                         help="trace duration in seconds (maf trace)")
+    cluster.add_argument("--faults", type=int, default=0,
+                         help="random crash/recover pairs to inject")
+    cluster.add_argument("--max-retries", type=int, default=3)
+    cluster.add_argument("--slo-ms", type=float, default=100.0)
+    cluster.add_argument("--seed", type=int, default=0)
+    cluster.add_argument("--autoscale", action="store_true",
+                         help="enable the windowed-p99 autoscaler")
+    cluster.add_argument("--audit", action="store_true",
+                         help="prove exactly-once request accounting "
+                              "across machine failures")
+
     audit = sub.add_parser(
         "audit", help="run the differential-execution audit suite")
     _add_machine_arg(audit)
@@ -111,6 +146,7 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
         "plan": _cmd_plan,
         "infer": _cmd_infer,
         "serve": _cmd_serve,
+        "cluster": _cmd_cluster,
         "audit": _cmd_audit,
     }[command]
     try:
@@ -216,6 +252,56 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.audit and server.auditor is not None:
         print(f"\naudit: {server.auditor.checks} invariant checks, "
               f"0 violations")
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    from repro.analysis.cluster import format_cluster_report
+    from repro.cluster import (
+        AutoscalerConfig,
+        Cluster,
+        ClusterConfig,
+        random_fault_schedule,
+    )
+    from repro.serving.workload import TraceWorkload
+
+    spec = machine_presets()[args.machine]()
+    config = ClusterConfig(
+        num_machines=args.machines,
+        num_standby=args.standby,
+        replication=min(args.replication, args.machines),
+        policy=args.policy,
+        strategy=args.strategy,
+        slo=args.slo_ms * MS,
+        max_retries=args.max_retries,
+        audit=args.audit,
+        autoscale=AutoscalerConfig() if args.autoscale else None,
+    )
+    cluster = Cluster(spec, config)
+    model = build_model(args.model)
+    names = cluster.deploy([(model, args.instances)])
+    if args.trace == "maf":
+        from repro.serving.maf import MAFTraceConfig, synthesize_maf_trace
+        trace = synthesize_maf_trace(names, MAFTraceConfig(
+            duration=args.duration, target_rps=args.rate, seed=args.seed))
+        requests = TraceWorkload(trace.arrivals).generate()
+        duration = args.duration
+    else:
+        workload = PoissonWorkload(names, rate=args.rate,
+                                   num_requests=args.requests,
+                                   seed=args.seed)
+        requests = workload.generate()
+        duration = requests[-1].arrival_time
+    schedule = random_fault_schedule(
+        [m.name for m in cluster.machines[:args.machines]],
+        args.faults, duration, seed=args.seed)
+    report = cluster.run(requests, fault_schedule=schedule)
+    print(format_cluster_report(report))
+    if args.audit and cluster.auditor is not None:
+        print(f"\naudit: {cluster.auditor.checks} invariant checks, "
+              f"{len(cluster.auditor.violations)} violations — every "
+              f"request completed exactly once or was dropped after "
+              f"{args.max_retries + 1} failed attempts")
     return 0
 
 

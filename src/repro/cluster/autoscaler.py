@@ -1,0 +1,113 @@
+"""Reactive autoscaling: windowed-p99-driven standby activation.
+
+The autoscaler wakes every ``interval`` seconds, computes the p99
+latency over the trailing ``window`` of completed requests, and:
+
+* **scales up** when p99 exceeds ``scale_up_p99`` — the next standby
+  machine is activated and the full catalog is deployed on it (its GPUs
+  are cold, so its first request per instance pays the provision
+  penalty; that is precisely why the affinity policy must weigh spilling
+  carefully);
+* **scales down** when p99 falls below ``scale_down_p99`` — the most
+  recently activated standby drains (finishes in-flight work, accepting
+  nothing new) and returns to the reserve pool.
+
+Only standby-origin machines are ever drained; the base fleet holds the
+catalog's primary replicas and never shrinks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.errors import WorkloadError
+from repro.simkit import Event
+from repro.units import MS
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.cluster import Cluster
+
+__all__ = ["Autoscaler", "AutoscalerConfig", "ScalingEvent"]
+
+
+@dataclasses.dataclass(frozen=True)
+class AutoscalerConfig:
+    """Thresholds and cadence for the reactive autoscaler."""
+
+    #: Seconds between scaling decisions.
+    interval: float = 5.0
+    #: Trailing window over which p99 is computed.
+    window: float = 30.0
+    #: Activate a standby when windowed p99 exceeds this (seconds).
+    scale_up_p99: float = 200 * MS
+    #: Drain an activated standby when windowed p99 falls below this.
+    scale_down_p99: float = 50 * MS
+    #: Ignore windows with fewer completions than this (too noisy).
+    min_window_requests: int = 10
+    #: Seconds after a scaling action before the next is considered.
+    cooldown: float = 15.0
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0 or self.window <= 0:
+            raise WorkloadError("interval and window must be positive")
+        if self.scale_down_p99 >= self.scale_up_p99:
+            raise WorkloadError(
+                f"scale_down_p99 ({self.scale_down_p99}) must be below "
+                f"scale_up_p99 ({self.scale_up_p99})")
+
+
+@dataclasses.dataclass(frozen=True)
+class ScalingEvent:
+    """One scaling action taken during a run."""
+
+    time: float
+    action: str  # "scale-up" | "scale-down"
+    machine_name: str
+    p99: float
+
+
+class Autoscaler:
+    """Periodic scaling loop over a cluster's standby pool."""
+
+    def __init__(self, cluster: "Cluster",
+                 config: AutoscalerConfig = AutoscalerConfig()) -> None:
+        self.cluster = cluster
+        self.config = config
+        self.events: list[ScalingEvent] = []
+        self._stopped = False
+        self._last_action_at = float("-inf")
+
+    def stop(self) -> None:
+        """End the scaling loop after its current sleep."""
+        self._stopped = True
+
+    def process(self) -> typing.Generator[Event, object, None]:
+        sim = self.cluster.sim
+        while True:
+            yield sim.timeout(self.config.interval)
+            if self._stopped:
+                return
+            self._decide()
+
+    def _decide(self) -> None:
+        config = self.config
+        sim = self.cluster.sim
+        if sim.now - self._last_action_at < config.cooldown:
+            return
+        p99 = self.cluster.windowed_p99(config.window,
+                                        config.min_window_requests)
+        if p99 is None:
+            return
+        if p99 > config.scale_up_p99:
+            machine = self.cluster.activate_standby()
+            if machine is not None:
+                self._last_action_at = sim.now
+                self.events.append(ScalingEvent(sim.now, "scale-up",
+                                                machine.name, p99))
+        elif p99 < config.scale_down_p99:
+            machine = self.cluster.drain_activated_standby()
+            if machine is not None:
+                self._last_action_at = sim.now
+                self.events.append(ScalingEvent(sim.now, "scale-down",
+                                                machine.name, p99))

@@ -1,0 +1,469 @@
+"""The cluster: fleet construction, placement, dispatch, and reporting.
+
+One :class:`~repro.simkit.sim.Simulator` drives every machine, so
+cross-machine coordination (routing, retries, failover, autoscaling) is
+ordinary event scheduling — no wall-clock races to reason about.
+
+Request lifecycle:
+
+1. the arrival process stamps ``submitted_at`` and hands the request to
+   the :class:`~repro.cluster.router.Router`;
+2. the chosen machine's :class:`~repro.serving.server.InferenceServer`
+   queues and serves it; a completion callback settles the router's
+   backlog charge and records cluster-wide metrics;
+3. if the machine crashes first, the request is orphaned by
+   ``fail_over()`` and retried on a surviving replica after exponential
+   backoff, up to ``max_retries`` times; beyond that it is *dropped* —
+   recorded, counted, and (under audit) proven to terminate the
+   request's lifecycle exactly once.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import typing
+
+import numpy
+
+from repro.cluster.autoscaler import Autoscaler, AutoscalerConfig, ScalingEvent
+from repro.cluster.faults import FaultEvent, FaultInjector
+from repro.cluster.machine import ClusterMachine, MachineState
+from repro.cluster.router import ROUTING_POLICIES, Router
+from repro.core.deepplan import DeepPlan, Strategy
+from repro.errors import WorkloadError
+from repro.hw.machine import Machine
+from repro.hw.specs import MachineSpec
+from repro.models.graph import ModelSpec
+from repro.serving.metrics import DEFAULT_SLO, MetricsCollector, RequestRecord
+from repro.serving.server import InferenceServer, ServerConfig
+from repro.serving.workload import Request
+from repro.simkit import Event, Simulator
+from repro.units import MS
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.audit.cluster import ClusterAuditor
+
+__all__ = ["Cluster", "ClusterConfig", "ClusterReport", "MachineStats"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ClusterConfig:
+    """Fleet-level configuration."""
+
+    #: Base fleet size (always-active machines).
+    num_machines: int = 2
+    #: Reserve machines the autoscaler may activate.
+    num_standby: int = 0
+    #: Replicas per logical instance across the base fleet.
+    replication: int = 1
+    #: Routing policy: round-robin, least-loaded, or affinity.
+    policy: str = "affinity"
+    strategy: "Strategy | str" = Strategy.PT_DHA
+    slo: float = DEFAULT_SLO
+    #: Warm the base fleet's caches before traffic (the paper's warm-up).
+    prewarm: bool = True
+    #: Failed dispatch attempts beyond the first before a request drops.
+    max_retries: int = 3
+    #: Base delay before a retry; doubles per subsequent failure.
+    retry_backoff: float = 5 * MS
+    #: Prove exactly-once request accounting across machine failures.
+    audit: bool = False
+    autoscale: AutoscalerConfig | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_machines < 1:
+            raise WorkloadError(
+                f"need at least one machine, got {self.num_machines}")
+        if self.num_standby < 0:
+            raise WorkloadError(
+                f"num_standby must be >= 0, got {self.num_standby}")
+        if self.replication < 1:
+            raise WorkloadError(
+                f"replication must be >= 1, got {self.replication}")
+        if self.replication > self.num_machines:
+            raise WorkloadError(
+                f"replication {self.replication} exceeds the base fleet "
+                f"of {self.num_machines} machine(s)")
+        if self.policy not in ROUTING_POLICIES:
+            raise WorkloadError(
+                f"unknown routing policy {self.policy!r}; options: "
+                f"{', '.join(ROUTING_POLICIES)}")
+        if self.max_retries < 0:
+            raise WorkloadError(
+                f"max_retries must be >= 0, got {self.max_retries}")
+        if self.retry_backoff <= 0:
+            raise WorkloadError(
+                f"retry_backoff must be positive, got {self.retry_backoff}")
+
+
+@dataclasses.dataclass(frozen=True)
+class MachineStats:
+    """Per-machine breakdown for the cluster report."""
+
+    name: str
+    state: str
+    served: int
+    p99: float | None
+    cold_start_rate: float
+    busy_time: float
+    #: GPU busy time over (run duration x GPU count).
+    utilization: float
+    crashes: int
+
+
+@dataclasses.dataclass
+class ClusterReport:
+    """Outcome of one cluster run."""
+
+    metrics: MetricsCollector
+    per_machine: list[MachineStats]
+    dropped: list[Request]
+    retries: int
+    duration: float
+    submitted: int
+    scaling_events: list[ScalingEvent]
+    fault_log: list[tuple[FaultEvent, bool]]
+
+    @property
+    def completed(self) -> int:
+        return len(self.metrics.records)
+
+    def summary(self) -> dict[str, float]:
+        data = {
+            "submitted": float(self.submitted),
+            "completed": float(self.completed),
+            "dropped": float(len(self.dropped)),
+            "retries": float(self.retries),
+            "machines": float(len(self.per_machine)),
+            "crashes": float(sum(m.crashes for m in self.per_machine)),
+        }
+        if self.metrics.records:
+            data.update(
+                p99_ms=self.metrics.p99_latency / MS,
+                goodput=self.metrics.goodput,
+                cold_start_rate=self.metrics.cold_start_rate,
+            )
+        return data
+
+
+class Cluster:
+    """A fleet of serving machines behind one router, on one simulator."""
+
+    def __init__(self, spec: MachineSpec,
+                 config: ClusterConfig = ClusterConfig(),
+                 planner: DeepPlan | None = None) -> None:
+        self.spec = spec
+        self.config = config
+        self.sim = Simulator()
+        # One planner for the (homogeneous) fleet: plans are
+        # machine-shape-specific, so every machine shares them.
+        self.planner = planner if planner is not None else DeepPlan(spec)
+        server_config = ServerConfig(strategy=config.strategy,
+                                     slo=config.slo, prewarm=False)
+        self.machines: list[ClusterMachine] = []
+        for index in range(config.num_machines + config.num_standby):
+            standby = index >= config.num_machines
+            machine = Machine(self.sim, spec)
+            server = InferenceServer(machine, self.planner, server_config)
+            self.machines.append(ClusterMachine(
+                name=f"m{index}", machine=machine, server=server,
+                state=(MachineState.STANDBY if standby
+                       else MachineState.ACTIVE),
+                standby_origin=standby))
+        self._by_name = {cm.name: cm for cm in self.machines}
+        self.router = Router(self.machines, config.policy)
+        self.metrics = MetricsCollector(slo=config.slo)
+        self.autoscaler = (Autoscaler(self, config.autoscale)
+                           if config.autoscale is not None else None)
+        self.auditor: "ClusterAuditor | None" = None
+        if config.audit:
+            from repro.audit.cluster import ClusterAuditor
+            self.auditor = ClusterAuditor(self)
+        #: Logical instances: (name, model), in deployment order.
+        self._instance_models: list[tuple[str, ModelSpec]] = []
+        self._model_counts: collections.Counter[str] = collections.Counter()
+        # -- per-run state --
+        self._done: Event | None = None
+        self._total = 0
+        self._completed = 0
+        self.dropped: list[Request] = []
+        self.retries = 0
+        self._failures: collections.Counter[int] = collections.Counter()
+        for cm in self.machines:
+            cm.server.add_completion_callback(self._make_on_complete(cm))
+            cm.server.on_orphan = self._make_on_orphan(cm)
+
+    # -- placement -------------------------------------------------------------------
+
+    @property
+    def instance_names(self) -> list[str]:
+        return [name for name, _ in self._instance_models]
+
+    def active_machines(self) -> list[ClusterMachine]:
+        return [cm for cm in self.machines
+                if cm.state is MachineState.ACTIVE]
+
+    def machine(self, name: str) -> ClusterMachine:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise WorkloadError(f"no machine {name!r} in the cluster") \
+                from None
+
+    def deploy(self, catalog: typing.Sequence[tuple[ModelSpec, int]]
+               ) -> list[str]:
+        """Place ``count`` logical instances of each model on the fleet.
+
+        Every logical instance ``model#k`` gets ``config.replication``
+        replicas, assigned round-robin over the base fleet so replicas of
+        one instance land on distinct machines.  Returns the new logical
+        instance names.
+        """
+        actives = [cm for cm in self.machines if not cm.standby_origin]
+        created = []
+        slot = len(self._instance_models)
+        for model, count in catalog:
+            if count < 1:
+                raise WorkloadError(
+                    f"instance count must be >= 1, got {count}")
+            start = self._model_counts[model.name]
+            for k in range(start, start + count):
+                name = f"{model.name}#{k}"
+                for r in range(self.config.replication):
+                    actives[(slot + r) % len(actives)] \
+                        .server.deploy_instance(model, name)
+                self._instance_models.append((name, model))
+                self._model_counts[model.name] += 1
+                created.append(name)
+                slot += 1
+        return created
+
+    # -- fleet transitions -------------------------------------------------------------
+
+    def crash_machine(self, name: str) -> bool:
+        """Crash *name*: orphan its work and retry it elsewhere.
+
+        Returns False (no-op) if the machine is not currently running
+        traffic (already down, or standby).
+        """
+        cm = self.machine(name)
+        if cm.state not in (MachineState.ACTIVE, MachineState.DRAINING):
+            return False
+        cm.state = MachineState.DOWN
+        cm.crashes += 1
+        for request in cm.server.fail_over():
+            self.router.settle(cm, request)
+            self._attempt_failed(request, cm.name)
+        return True
+
+    def recover_machine(self, name: str) -> bool:
+        """Bring a crashed machine back into rotation, cold."""
+        cm = self.machine(name)
+        if cm.state is not MachineState.DOWN:
+            return False
+        cm.server.recover()
+        cm.state = MachineState.ACTIVE
+        return True
+
+    def activate_standby(self) -> ClusterMachine | None:
+        """Turn the next standby active, deploying the full catalog on it.
+
+        The new machine's GPUs are cold: its first request per instance
+        pays the provision penalty, which is why the affinity policy only
+        spills there once warm backlogs exceed that penalty.
+        """
+        for cm in self.machines:
+            if cm.state is MachineState.STANDBY:
+                for name, model in self._instance_models:
+                    if not cm.has_replica(name):
+                        cm.server.deploy_instance(model, name)
+                cm.state = MachineState.ACTIVE
+                return cm
+        return None
+
+    def drain_activated_standby(self) -> ClusterMachine | None:
+        """Start draining the most recently activated standby machine."""
+        candidates = [cm for cm in self.machines
+                      if cm.state is MachineState.ACTIVE and cm.standby_origin]
+        if not candidates:
+            return None
+        cm = candidates[-1]
+        cm.state = MachineState.DRAINING
+        self.sim.process(self._drain_process(cm), name=f"drain-{cm.name}")
+        return cm
+
+    def _drain_process(self, cm: ClusterMachine
+                       ) -> typing.Generator[Event, object, None]:
+        yield cm.server.drain()
+        if cm.state is not MachineState.DRAINING:
+            return  # a crash interrupted the drain
+        cm.state = MachineState.STANDBY
+        cm.server.resume()
+
+    # -- signals ---------------------------------------------------------------------
+
+    def windowed_p99(self, window: float,
+                     min_requests: int = 1) -> float | None:
+        """p99 latency over the trailing *window* seconds of completions.
+
+        Returns ``None`` when fewer than *min_requests* completions fall
+        in the window (the signal is too noisy to act on).
+        """
+        cutoff = self.sim.now - window
+        latencies = []
+        for record in reversed(self.metrics.records):
+            if record.finished_at < cutoff:
+                break
+            latencies.append(record.latency)
+        if len(latencies) < min_requests:
+            return None
+        return float(numpy.percentile(latencies, 99))
+
+    # -- running ---------------------------------------------------------------------
+
+    def run(self, requests: typing.Sequence[Request],
+            fault_schedule: typing.Sequence[FaultEvent] = ()
+            ) -> ClusterReport:
+        """Serve *requests* to termination (completed or dropped)."""
+        if not self._instance_models:
+            raise WorkloadError("no instances deployed")
+        if not requests:
+            raise WorkloadError("no requests to serve")
+        known = {name for name, _ in self._instance_models}
+        unknown = {r.instance_name for r in requests} - known
+        if unknown:
+            raise WorkloadError(f"requests target unknown instances: "
+                                f"{sorted(unknown)[:5]}")
+        self._total = len(requests)
+        self._completed = 0
+        self.dropped = []
+        self.retries = 0
+        self._failures = collections.Counter()
+        done = self._done = self.sim.event(name="cluster-done")
+        for cm in self.machines:
+            cm.server.failure_event = done
+            cm.server.start()
+            if cm.state is MachineState.ACTIVE and self.config.prewarm:
+                cm.server.prewarm()
+        injector = FaultInjector(self, fault_schedule) \
+            if fault_schedule else None
+        if injector is not None:
+            self.sim.process(injector.process(), name="fault-injector")
+        if self.autoscaler is not None:
+            self.sim.process(self.autoscaler.process(), name="autoscaler")
+        start_time = self.sim.now
+        self.sim.process(self._arrival_process(list(requests)),
+                         name="cluster-arrivals")
+        self.sim.run(done)
+        duration = self.sim.now - start_time
+        if self.autoscaler is not None:
+            self.autoscaler.stop()
+        # Run the simulator dry: phantom executions, pending recoveries
+        # and drains finish, so the audit sees a quiesced fleet.
+        self.sim.run()
+        if self.auditor is not None:
+            self.auditor.check_quiesce()
+        return self._build_report(duration, injector)
+
+    def _arrival_process(self, requests: list[Request]
+                         ) -> typing.Generator[Event, object, None]:
+        requests.sort(key=lambda r: r.arrival_time)
+        base = self.sim.now
+        for request in requests:
+            due = base + request.arrival_time
+            if due > self.sim.now:
+                yield self.sim.timeout(due - self.sim.now)
+            request.submitted_at = due
+            if self.auditor is not None:
+                self.auditor.on_submit(request)
+            self._dispatch(request)
+
+    def _dispatch(self, request: Request) -> None:
+        machine = self.router.route(request)
+        if machine is None:
+            # Every replica is down or draining: count a failed attempt
+            # and back off — a recovery may land before retries run out.
+            self._attempt_failed(request, "unroutable")
+            return
+        self.router.charge(machine, request)
+        if self.auditor is not None:
+            self.auditor.on_dispatch(request, machine.name)
+        machine.server.submit(request)
+
+    def _attempt_failed(self, request: Request, where: str) -> None:
+        if self.auditor is not None:
+            self.auditor.on_failure(request, where)
+        self._failures[request.request_id] += 1
+        if self._failures[request.request_id] > self.config.max_retries:
+            self.dropped.append(request)
+            if self.auditor is not None:
+                self.auditor.on_drop(request)
+            self._check_done()
+            return
+        self.retries += 1
+        delay = self.config.retry_backoff \
+            * (2 ** (self._failures[request.request_id] - 1))
+        self.sim.process(self._retry_process(request, delay),
+                         name=f"retry{request.request_id}")
+
+    def _retry_process(self, request: Request, delay: float
+                       ) -> typing.Generator[Event, object, None]:
+        yield self.sim.timeout(delay)
+        self._dispatch(request)
+
+    def _make_on_complete(self, cm: ClusterMachine
+                          ) -> typing.Callable[[Request, RequestRecord], None]:
+        def on_complete(request: Request, record: RequestRecord) -> None:
+            self.router.settle(cm, request)
+            self.metrics.record(record)
+            if self.auditor is not None:
+                self.auditor.on_complete(request, cm.name)
+            self._completed += 1
+            self._check_done()
+        return on_complete
+
+    def _make_on_orphan(self, cm: ClusterMachine
+                        ) -> typing.Callable[[Request], None]:
+        def on_orphan(request: Request) -> None:
+            self.router.settle(cm, request)
+            self._attempt_failed(request, cm.name)
+        return on_orphan
+
+    def _check_done(self) -> None:
+        if (self._done is not None and not self._done.triggered
+                and self._completed + len(self.dropped) >= self._total):
+            self._done.succeed()
+
+    # -- reporting -------------------------------------------------------------------
+
+    def _build_report(self, duration: float,
+                      injector: FaultInjector | None) -> ClusterReport:
+        per_machine = []
+        for cm in self.machines:
+            server = cm.server
+            gpu_seconds = duration * len(cm.machine.gpus)
+            has_records = bool(server.metrics.records)
+            per_machine.append(MachineStats(
+                name=cm.name,
+                state=cm.state.value,
+                served=server.requests_served,
+                p99=server.metrics.p99_latency if has_records else None,
+                cold_start_rate=(server.metrics.cold_start_rate
+                                 if has_records else 0.0),
+                busy_time=server.busy_time,
+                utilization=(server.busy_time / gpu_seconds
+                             if gpu_seconds > 0 else 0.0),
+                crashes=cm.crashes,
+            ))
+        return ClusterReport(
+            metrics=self.metrics,
+            per_machine=per_machine,
+            dropped=list(self.dropped),
+            retries=self.retries,
+            duration=duration,
+            submitted=self._total,
+            scaling_events=(list(self.autoscaler.events)
+                            if self.autoscaler is not None else []),
+            fault_log=list(injector.log) if injector is not None else [],
+        )

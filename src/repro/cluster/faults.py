@@ -1,0 +1,104 @@
+"""Fault injection: crash and recover machines mid-run.
+
+A :class:`FaultInjector` replays a schedule of :class:`FaultEvent`\\ s
+inside the cluster simulation.  :func:`random_fault_schedule` builds a
+seeded schedule of non-overlapping crash/recover pairs over the base
+fleet — the randomized counterpart the property-based conservation test
+drives with hundreds of seeds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+import numpy
+
+from repro.errors import WorkloadError
+from repro.simkit import Event
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.cluster import Cluster
+
+__all__ = ["FaultEvent", "FaultInjector", "random_fault_schedule"]
+
+FAULT_ACTIONS = ("crash", "recover")
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class FaultEvent:
+    """One scheduled fault action."""
+
+    time: float
+    machine_name: str
+    action: str
+
+    def __post_init__(self) -> None:
+        if self.action not in FAULT_ACTIONS:
+            raise WorkloadError(f"unknown fault action {self.action!r}; "
+                                f"options: {', '.join(FAULT_ACTIONS)}")
+        if self.time < 0:
+            raise WorkloadError(f"fault time must be >= 0, got {self.time}")
+
+
+class FaultInjector:
+    """Replays a fault schedule against a cluster."""
+
+    def __init__(self, cluster: "Cluster",
+                 schedule: typing.Sequence[FaultEvent]) -> None:
+        self.cluster = cluster
+        self.schedule = sorted(schedule)
+        #: (time, event, applied) log — an event is skipped (not applied)
+        #: when its machine is not in a state the action makes sense for,
+        #: e.g. crashing a machine that is already down.
+        self.log: list[tuple[FaultEvent, bool]] = []
+
+    def process(self) -> typing.Generator[Event, object, None]:
+        sim = self.cluster.sim
+        base = sim.now
+        for event in self.schedule:
+            due = base + event.time
+            if due > sim.now:
+                yield sim.timeout(due - sim.now)
+            if event.action == "crash":
+                applied = self.cluster.crash_machine(event.machine_name)
+            else:
+                applied = self.cluster.recover_machine(event.machine_name)
+            self.log.append((event, applied))
+
+
+def random_fault_schedule(machine_names: typing.Sequence[str],
+                          num_faults: int, duration: float,
+                          seed: int = 0) -> list[FaultEvent]:
+    """A seeded schedule of *num_faults* crash/recover pairs.
+
+    Crashes land in the middle 60 % of the run with outages of 5-15 % of
+    its duration.  Machines are picked round-robin over a seeded shuffle
+    and a machine's next crash never starts before its previous recovery,
+    so the schedule is always applicable; it can still take several
+    machines down simultaneously — the retry path (and, at the limit,
+    bounded drops) is exactly what the injector exists to exercise.
+    """
+    if num_faults < 0:
+        raise WorkloadError(f"num_faults must be >= 0, got {num_faults}")
+    if duration <= 0:
+        raise WorkloadError(f"duration must be positive, got {duration}")
+    if num_faults and not machine_names:
+        raise WorkloadError("no machines to inject faults into")
+    rng = numpy.random.default_rng(seed)
+    order = list(machine_names)
+    rng.shuffle(order)
+    busy_until = {name: 0.0 for name in order}
+    events: list[FaultEvent] = []
+    for k in range(num_faults):
+        name = order[k % len(order)]
+        earliest = max(0.1 * duration, busy_until[name])
+        latest = 0.7 * duration
+        if earliest >= latest:
+            continue  # this machine's outages already fill the window
+        start = float(rng.uniform(earliest, latest))
+        outage = float(rng.uniform(0.05, 0.15)) * duration
+        events.append(FaultEvent(start, name, "crash"))
+        events.append(FaultEvent(start + outage, name, "recover"))
+        busy_until[name] = start + outage
+    return sorted(events)

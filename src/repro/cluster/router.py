@@ -1,0 +1,88 @@
+"""Request routing across replicas: who serves this request?
+
+Three policies, in increasing awareness of serving economics:
+
+* ``round-robin`` — rotate over replicas, blind to load and residency;
+* ``least-loaded`` — fewest outstanding requests wins;
+* ``affinity`` — cache-affinity with cold-start-aware spill.  Each
+  machine's score is its estimated backlog (``pending_cost``) plus what
+  *this* request would cost there: the plan's predicted warm latency if
+  the instance is GPU-resident, the full predicted cold-start latency if
+  not.  A warm replica therefore keeps its traffic until its backlog
+  exceeds the planner's
+  :attr:`~repro.core.plan.ExecutionPlan.provision_penalty`, at which
+  point spilling to a cold machine is predicted cheaper than queueing —
+  the routing-level analogue of the paper's cold-start/latency trade-off.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.cluster.machine import ClusterMachine
+from repro.errors import WorkloadError
+from repro.serving.workload import Request
+
+__all__ = ["ROUTING_POLICIES", "Router"]
+
+ROUTING_POLICIES = ("round-robin", "least-loaded", "affinity")
+
+
+class Router:
+    """Stateless-per-request replica selection with backlog accounting."""
+
+    def __init__(self, machines: typing.Sequence[ClusterMachine],
+                 policy: str = "affinity") -> None:
+        if policy not in ROUTING_POLICIES:
+            raise WorkloadError(
+                f"unknown routing policy {policy!r}; options: "
+                f"{', '.join(ROUTING_POLICIES)}")
+        self.machines = list(machines)
+        self.policy = policy
+        self._rr_counter = 0
+        #: Outstanding charge per (machine, request) dispatch, so settles
+        #: subtract exactly what was charged even if residency changed.
+        self._charges: dict[tuple[str, int], float] = {}
+
+    def candidates(self, instance_name: str) -> list[ClusterMachine]:
+        """Routable machines holding a replica of *instance_name*."""
+        return [m for m in self.machines
+                if m.routable and m.has_replica(instance_name)]
+
+    def estimated_service(self, machine: ClusterMachine,
+                          instance_name: str) -> float:
+        """Predicted service time of one request on *machine* right now."""
+        plan = machine.server.plan_of(instance_name)
+        if machine.server.is_warm(instance_name):
+            return plan.predicted_warm_latency
+        return plan.predicted_latency
+
+    def route(self, request: Request) -> ClusterMachine | None:
+        """Pick the replica for *request*, or ``None`` if none is up."""
+        candidates = self.candidates(request.instance_name)
+        if not candidates:
+            return None
+        candidates.sort(key=lambda m: m.name)
+        if self.policy == "round-robin":
+            choice = candidates[self._rr_counter % len(candidates)]
+            self._rr_counter += 1
+        elif self.policy == "least-loaded":
+            choice = min(candidates,
+                         key=lambda m: (m.outstanding, m.name))
+        else:
+            choice = min(
+                candidates,
+                key=lambda m: (m.pending_cost + self.estimated_service(
+                    m, request.instance_name), m.name))
+        return choice
+
+    def charge(self, machine: ClusterMachine, request: Request) -> None:
+        """Record the estimated backlog this dispatch adds to *machine*."""
+        cost = self.estimated_service(machine, request.instance_name)
+        self._charges[(machine.name, request.request_id)] = cost
+        machine.charge(cost)
+
+    def settle(self, machine: ClusterMachine, request: Request) -> None:
+        """Remove a dispatch's backlog charge (completion or failure)."""
+        cost = self._charges.pop((machine.name, request.request_id), 0.0)
+        machine.settle(cost)

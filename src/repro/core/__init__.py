@@ -21,7 +21,12 @@ the steps together.
 from repro.core.plan import ExecMethod, ExecutionPlan, Partition
 from repro.core.serialization import load_plan, save_plan
 from repro.core.profiler import LayerProfiler, ProfileReport
-from repro.core.stall import LayerTiming, Timeline, baseline_latency
+from repro.core.stall import (
+    LayerTiming,
+    Timeline,
+    baseline_latency,
+    warm_latency,
+)
 from repro.core.planner import LayerExecutionPlanner, initial_approach
 from repro.core.partitioner import choose_secondary_gpus, partition_model
 from repro.core.deepplan import DeepPlan, Strategy
@@ -46,4 +51,5 @@ __all__ = [
     "partition_model",
     "save_plan",
     "validate_plan_on_machine",
+    "warm_latency",
 ]

@@ -27,7 +27,7 @@ from repro.core.partitioner import (
 from repro.core.plan import ExecutionPlan, Partition
 from repro.core.planner import LayerExecutionPlanner
 from repro.core.profiler import LayerProfiler, ProfileReport
-from repro.core.stall import baseline_latency, compute_timeline
+from repro.core.stall import baseline_latency, compute_timeline, warm_latency
 from repro.errors import PlanError
 from repro.hw.machine import Machine
 from repro.hw.specs import MachineSpec
@@ -130,7 +130,19 @@ class DeepPlan:
             strategy=strategy.value,
             machine_name=self.machine_spec.name,
             predicted_latency=predicted,
+            predicted_warm_latency=warm_latency(costs, decisions),
         )
+
+    def provision_penalty(self, model: ModelSpec,
+                          strategy: "Strategy | str" = Strategy.PT_DHA,
+                          batch_size: int = 1) -> float:
+        """Predicted cold-start cost over a warm hit, as a routing signal.
+
+        Cluster routers use this to decide when spilling a request to a
+        machine that must first provision the model beats queueing behind
+        a warm replica's backlog.
+        """
+        return self.plan(model, strategy, batch_size).provision_penalty
 
     def best_plan(self, model: ModelSpec, batch_size: int = 1) -> ExecutionPlan:
         """The plan with the lowest predicted cold-start latency.

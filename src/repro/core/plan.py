@@ -72,9 +72,23 @@ class ExecutionPlan:
     machine_name: str
     #: Planner-predicted cold-start latency (contention-free), seconds.
     predicted_latency: float = 0.0
+    #: Planner-predicted warm-hit latency (instance already resident),
+    #: seconds.  ``provision_penalty`` derives the routing signal.
+    predicted_warm_latency: float = 0.0
 
     def __post_init__(self) -> None:
         self._validate()
+
+    @property
+    def provision_penalty(self) -> float:
+        """Predicted extra latency of a cold start over a warm hit.
+
+        This is the cost a cluster router weighs when deciding whether to
+        spill a request to a machine where the instance is not resident:
+        a warm replica with more than ``provision_penalty`` of queued work
+        loses to an idle cold one.
+        """
+        return max(0.0, self.predicted_latency - self.predicted_warm_latency)
 
     def _validate(self) -> None:
         if len(self.decisions) != len(self.model.layers):

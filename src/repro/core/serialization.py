@@ -64,6 +64,7 @@ def plan_to_dict(plan: ExecutionPlan) -> dict[str, object]:
         "machine": plan.machine_name,
         "batch_size": plan.batch_size,
         "predicted_latency": plan.predicted_latency,
+        "predicted_warm_latency": plan.predicted_warm_latency,
         "model": {
             "name": plan.model.name,
             "family": plan.model.family,
@@ -105,6 +106,8 @@ def plan_from_dict(data: dict[str, object]) -> ExecutionPlan:
             machine_name=typing.cast(str, data["machine"]),
             predicted_latency=typing.cast(float,
                                           data.get("predicted_latency", 0.0)),
+            predicted_warm_latency=typing.cast(
+                float, data.get("predicted_warm_latency", 0.0)),
         )
     except (KeyError, TypeError, ValueError) as error:
         raise PlanError(f"malformed plan record: {error}") from error

@@ -31,7 +31,8 @@ import typing
 from repro.core.plan import ExecMethod, Partition
 from repro.models.costs import EVENT_SYNC_OVERHEAD, LayerCosts
 
-__all__ = ["LayerTiming", "Timeline", "compute_timeline", "baseline_latency"]
+__all__ = ["LayerTiming", "Timeline", "compute_timeline", "baseline_latency",
+           "warm_latency"]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -156,3 +157,24 @@ def baseline_latency(costs: typing.Sequence[LayerCosts]) -> float:
     """Non-pipelined provisioning: load everything, then execute."""
     return (sum(c.load_time for c in costs)
             + sum(c.exec_inmem for c in costs))
+
+
+def warm_latency(costs: typing.Sequence[LayerCosts],
+                 decisions: typing.Sequence[ExecMethod]) -> float:
+    """Predicted warm-hit latency for a decision vector.
+
+    Once provisioned, loaded layers run from GPU memory while DHA layers
+    keep paying their host reads on every inference — so the warm cost of
+    a plan depends on its decisions, and ``cold - warm`` is the price of
+    provisioning.  The cluster router uses that difference as the
+    cold-start spill signal.
+    """
+    if len(decisions) != len(costs):
+        raise ValueError(f"{len(decisions)} decisions for {len(costs)} layers")
+    total = 0.0
+    for cost, method in zip(costs, decisions):
+        if cost.load_pcie_bytes > 0 and method is ExecMethod.DHA:
+            total += cost.exec_dha
+        else:
+            total += cost.exec_inmem
+    return total

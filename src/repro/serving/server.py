@@ -111,6 +111,28 @@ class InferenceServer:
         self._outstanding = 0
         self._drained: Event | None = None
         self._workers_started = False
+        # -- lifecycle state (drain / crash / recover) --
+        self._draining = False
+        self._down = False
+        #: Bumped on every fail_over(); in-flight executions from an older
+        #: epoch finish silently (no metrics, no callbacks) — the cluster
+        #: re-runs their requests elsewhere.
+        self._epoch = 0
+        self._drain_event: Event | None = None
+        #: The request each GPU worker is currently executing.
+        self._active: dict[int, Request] = {}
+        self._completion_callbacks: list[
+            typing.Callable[[Request, RequestRecord], None]] = []
+        #: Called with each request orphaned by a crash race (popped from
+        #: its queue but not yet started when the machine went down).
+        self.on_orphan: typing.Callable[[Request], None] | None = None
+        #: Where worker exceptions surface when no run() is in progress
+        #: (the cluster points this at its own completion event).
+        self.failure_event: Event | None = None
+        #: Accumulated GPU busy time and completions across the server's
+        #: lifetime (utilization accounting for cluster reports).
+        self.busy_time = 0.0
+        self.requests_served = 0
         self.auditor: "ServingAuditor | None" = None
         if config.audit:
             from repro.audit import ServingAuditor
@@ -133,20 +155,29 @@ class InferenceServer:
         for model, count in models:
             if count < 1:
                 raise WorkloadError(f"instance count must be >= 1, got {count}")
-            plan = self._plan_for(model)
-            validate_plan_on_machine(plan, self.machine)
             existing = sum(1 for i in self._instances.values()
                            if i.model_name == model.name)
             for k in range(existing, existing + count):
-                name = f"{model.name}#{k}"
-                self.machine.host.pin(name, model.param_bytes)
-                instance = ModelInstance(name=name, plan=plan,
-                                         home_gpu=self._choose_home(plan))
-                self._instances[instance.name] = instance
-                self._deployed_bytes[instance.home_gpu] += \
-                    plan.gpu_resident_bytes
-                created.append(instance)
+                created.append(self.deploy_instance(model,
+                                                    f"{model.name}#{k}"))
         return created
+
+    def deploy_instance(self, model: ModelSpec, name: str) -> ModelInstance:
+        """Deploy one instance under an explicit name.
+
+        Cluster placement uses this so the *same* logical instance name
+        (e.g. ``bert-base#3``) can exist as a replica on several machines.
+        """
+        if name in self._instances:
+            raise WorkloadError(f"instance {name!r} already deployed")
+        plan = self._plan_for(model)
+        validate_plan_on_machine(plan, self.machine)
+        self.machine.host.pin(name, model.param_bytes)
+        instance = ModelInstance(name=name, plan=plan,
+                                 home_gpu=self._choose_home(plan))
+        self._instances[instance.name] = instance
+        self._deployed_bytes[instance.home_gpu] += plan.gpu_resident_bytes
+        return instance
 
     def undeploy(self, instance_name: str) -> None:
         """Decommission one instance: evict it and release its host pin."""
@@ -192,6 +223,125 @@ class InferenceServer:
         """How many deployed instances fit resident simultaneously."""
         return self._prewarm(dry_run=True)
 
+    def plan_of(self, instance_name: str) -> ExecutionPlan:
+        """The execution plan a deployed instance was provisioned with."""
+        try:
+            return self._instances[instance_name].plan
+        except KeyError:
+            raise WorkloadError(f"no deployed instance {instance_name!r}") \
+                from None
+
+    def is_warm(self, instance_name: str) -> bool:
+        """Whether the instance is currently GPU-resident."""
+        try:
+            return self._instances[instance_name].resident
+        except KeyError:
+            raise WorkloadError(f"no deployed instance {instance_name!r}") \
+                from None
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    @property
+    def outstanding(self) -> int:
+        """Requests submitted but not yet completed (or orphaned)."""
+        return self._outstanding
+
+    @property
+    def is_down(self) -> bool:
+        return self._down
+
+    @property
+    def is_draining(self) -> bool:
+        return self._draining
+
+    def prewarm(self) -> int:
+        """Admit instances until GPU memory is full; returns the count."""
+        return self._prewarm()
+
+    def start(self) -> None:
+        """Start the per-GPU worker processes (idempotent).
+
+        ``run()`` calls this implicitly; open-ended callers (the cluster)
+        start workers once and then ``submit()`` at will.
+        """
+        self._start_workers()
+
+    def drain(self) -> Event:
+        """Stop accepting work; the event fires once in-flight work ends.
+
+        Requests submitted after this point raise
+        :class:`~repro.errors.WorkloadError` instead of silently queueing
+        behind a server that will never pick them up.  ``resume()``
+        reopens the server.
+        """
+        self._draining = True
+        if self._drain_event is None:
+            self._drain_event = self.sim.event(name="server-drain")
+        if self._outstanding == 0 and not self._drain_event.triggered:
+            self._drain_event.succeed()
+        return self._drain_event
+
+    def resume(self) -> None:
+        """Accept work again after a drain()."""
+        self._draining = False
+        self._drain_event = None
+
+    def fail_over(self) -> list[Request]:
+        """Crash the machine: orphan all queued and in-flight requests.
+
+        Queued requests are pulled back out of every GPU queue; in-flight
+        executions become *phantoms* — their simulated work completes (the
+        events are already scheduled) but an epoch check discards the
+        results.  Returns the orphans, which the caller re-routes.  The
+        server rejects submissions until :meth:`recover`.
+        """
+        self._epoch += 1
+        self._down = True
+        orphans: list[Request] = []
+        for queue in self._queues.values():
+            orphans.extend(typing.cast(Request, item)
+                           for item in queue.drain())
+        for gpu_index in sorted(self._active):
+            orphans.append(self._active.pop(gpu_index))
+        self._outstanding -= len(orphans)
+        self._maybe_finish_drain()
+        return orphans
+
+    def recover(self) -> None:
+        """Bring a crashed machine back, with cold GPUs.
+
+        The crash lost all GPU state, so every previously resident
+        instance is evicted — the first request per instance after
+        recovery pays a full cold start.
+        """
+        if not self._down:
+            raise WorkloadError("recover() on a machine that is not down")
+        self._down = False
+        self.invalidate_residency()
+
+    def invalidate_residency(self) -> None:
+        """Evict every resident instance (models GPU memory loss)."""
+        for instance in self._instances.values():
+            if instance.resident:
+                self._caches[instance.home_gpu].evict(instance)
+
+    def add_completion_callback(
+            self, callback: typing.Callable[[Request, RequestRecord], None]
+    ) -> None:
+        """Call *callback* with each request and its record on completion."""
+        self._completion_callbacks.append(callback)
+
+    def remove_completion_callback(
+            self, callback: typing.Callable[[Request, RequestRecord], None]
+    ) -> None:
+        self._completion_callbacks.remove(callback)
+
+    def _maybe_finish_drain(self) -> None:
+        if (self._outstanding == 0 and self._draining
+                and self._drain_event is not None
+                and not self._drain_event.triggered):
+            self._drain_event.succeed()
+
     # -- running --------------------------------------------------------------------
 
     def run(self, requests: typing.Sequence[Request]) -> ServingReport:
@@ -213,12 +363,24 @@ class InferenceServer:
 
         prewarmed = self._prewarm() if self.config.prewarm else 0
         self._start_workers()
-        self._outstanding = len(requests)
-        self._drained = self.sim.event(name="drained")
+        remaining = len(requests)
+        drained = self._drained = self.sim.event(name="drained")
+
+        def _count_down(request: Request, record: RequestRecord) -> None:
+            nonlocal remaining
+            remaining -= 1
+            if remaining == 0 and not drained.triggered:
+                drained.succeed()
+
+        self._completion_callbacks.append(_count_down)
         start_time = self.sim.now
         self.sim.process(self._arrival_process(list(requests)),
                          name="arrivals")
-        self.sim.run(self._drained)
+        try:
+            self.sim.run(drained)
+        finally:
+            self._completion_callbacks.remove(_count_down)
+            self._drained = None
         if self.auditor is not None:
             self.auditor.check_quiesce()
         return ServingReport(
@@ -275,14 +437,24 @@ class InferenceServer:
 
         The request's batch size must match its instance's plan (plans
         are specialized per batch size); mismatches raise
-        :class:`~repro.errors.WorkloadError`.
+        :class:`~repro.errors.WorkloadError`.  A draining or crashed
+        server rejects submissions outright (also ``WorkloadError``) —
+        silently queueing behind a server that will never run them would
+        strand the requests.
         """
-        instance = self._instances[request.instance_name]
+        if self._draining:
+            raise WorkloadError(
+                f"request {request.request_id} rejected: server is draining")
+        if self._down:
+            raise WorkloadError(
+                f"request {request.request_id} rejected: server is down")
         self._check_batch_size(request)
+        instance = self._instances[request.instance_name]
         if request.submitted_at is None:
             request.submitted_at = self.sim.now
         if self.auditor is not None:
             self.auditor.on_submit(request)
+        self._outstanding += 1
         self._queues[instance.home_gpu].put(request)
 
     def _check_batch_size(self, request: Request) -> None:
@@ -304,21 +476,38 @@ class InferenceServer:
         queue = self._queues[gpu_index]
         while True:
             request = yield queue.get()
+            if self._down:
+                # The crash hit between this request leaving the queue and
+                # the worker resuming: it is in neither the queue (so
+                # fail_over's drain missed it) nor _active.  Orphan it
+                # here so it is retried like the rest.
+                request = typing.cast(Request, request)
+                self._outstanding -= 1
+                self._maybe_finish_drain()
+                if self.on_orphan is not None:
+                    self.on_orphan(request)
+                continue
             try:
                 yield from self._serve(gpu_index,
                                        typing.cast(Request, request))
             except Exception as error:
-                # Surface worker failures to run() instead of letting the
-                # simulation hang with an undrained queue.
+                # Surface worker failures to run() (or the cluster)
+                # instead of letting the simulation hang.
                 if self._drained is not None and not self._drained.triggered:
                     self._drained.fail(error)
+                elif (self.failure_event is not None
+                        and not self.failure_event.triggered):
+                    self.failure_event.fail(error)
                 raise
 
     def _serve(self, gpu_index: int, request: Request
                ) -> typing.Generator[Event, object, None]:
         instance = self._instances[request.instance_name]
         cache = self._caches[gpu_index]
+        epoch = self._epoch
+        self._active[gpu_index] = request
         request.started_at = self.sim.now
+        started = self.sim.now
         cold = instance not in cache
         request.cold_start = cold
         if cold:
@@ -332,8 +521,17 @@ class InferenceServer:
             yield execute_warm(self.machine, self.planner.cost_model,
                                instance.plan, gpu_index,
                                coalesced=not self.config.detailed_traces)
+        if epoch != self._epoch:
+            # The machine crashed mid-execution.  The simulated work ran
+            # to completion (its events were already in flight), but the
+            # result is lost: fail_over() already orphaned this request,
+            # so record nothing and notify no one.
+            return
+        self._active.pop(gpu_index, None)
         request.finished_at = self.sim.now
-        self.metrics.record(RequestRecord(
+        self.busy_time += self.sim.now - started
+        self.requests_served += 1
+        record = RequestRecord(
             request_id=request.request_id,
             instance_name=request.instance_name,
             arrival_time=request.arrival_time,
@@ -341,10 +539,12 @@ class InferenceServer:
             started_at=request.started_at,
             finished_at=request.finished_at,
             cold_start=cold,
-        ))
+        )
+        self.metrics.record(record)
         self._outstanding -= 1
-        if self._outstanding == 0 and self._drained is not None:
-            self._drained.succeed()
+        for callback in list(self._completion_callbacks):
+            callback(request, record)
+        self._maybe_finish_drain()
 
     def _cold_start_secondaries(self, instance: ModelInstance) -> list[int]:
         needed = instance.plan.num_partitions - 1

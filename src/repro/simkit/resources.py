@@ -115,6 +115,19 @@ class Store:
             self._getters.append(event)
         return event
 
+    def drain(self) -> tuple[object, ...]:
+        """Remove and return every queued item (oldest first).
+
+        Blocked getters stay blocked; the drained items count as got, so
+        the audit layer's put/got balance still holds.  Used for
+        machine-failure handling: a crashed machine's queue is emptied and
+        its requests are re-routed elsewhere.
+        """
+        items = tuple(self._items)
+        self._items.clear()
+        self.total_got += len(items)
+        return items
+
     def peek_all(self) -> tuple[object, ...]:
         """A snapshot of queued items (oldest first), for metrics."""
         return tuple(self._items)

@@ -1,0 +1,43 @@
+"""Shared test configuration: seed counts for the property-test layer.
+
+The seeded property tests in ``test_properties.py`` parametrize over a
+``*_seed`` fixture.  By default (CI per-commit runs and local ``pytest``)
+they run a reduced seed set via ``--quick``-style counts; the nightly CI
+job and ``pytest --full-seeds`` run the full 200-seed sweep the issue
+specifies.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: (fixture name, quick count, full count).  Plan-validity checks are
+#: cheap, so they carry the bulk of the 200-seed budget; machine-level
+#: and cluster-level sweeps instantiate simulators per seed and run
+#: fewer, deeper cases.
+SEED_FIXTURES = {
+    "property_seed": (20, 200),
+    "bandwidth_seed": (5, 30),
+    "cluster_seed": (3, 15),
+}
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--full-seeds", action="store_true", default=False,
+        help="run the property-based tests over the full seed sweep "
+             "(nightly CI); the default is the quick subset")
+    parser.addoption(
+        "--quick", action="store_true", default=False,
+        help="explicitly request the quick seed subset (the default; "
+             "provided so CI invocations are self-documenting)")
+
+
+def pytest_generate_tests(metafunc: pytest.Metafunc) -> None:
+    full = metafunc.config.getoption("--full-seeds")
+    if full and metafunc.config.getoption("--quick"):
+        raise pytest.UsageError("--quick and --full-seeds are exclusive")
+    for fixture, (quick_count, full_count) in SEED_FIXTURES.items():
+        if fixture in metafunc.fixturenames:
+            count = full_count if full else quick_count
+            metafunc.parametrize(fixture, range(count))

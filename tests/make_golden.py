@@ -1,0 +1,103 @@
+"""Regenerate the golden paper-figure ratios (``make regolden``).
+
+Computes the headline *ratios* behind Figure 11 (single-inference
+speedups) and Figure 6 (transmission-mode speedups) with a noise-free
+planner and writes them to ``tests/golden/paper_figures.json``.
+``test_golden_regression.py`` recomputes the same ratios on every run
+and asserts each stays within ±10% of the committed value (and that the
+speedup *direction* itself holds) — so a planner or simulator change
+that silently shifts the paper's headline numbers fails CI until the
+goldens are deliberately regenerated and the diff reviewed.
+
+Ratios, not absolute latencies, are committed: they are what the paper
+claims, and they are robust to intentional cost-model recalibration.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.core import Strategy
+from repro.engine import run_single_inference, transmit_model
+from repro.hw.machine import Machine
+from repro.hw.specs import p3_8xlarge
+from repro.models import build_model
+from repro.simkit import Simulator
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "golden" / "paper_figures.json"
+
+#: Figure 11 subset: two transformers with the paper's headline gains,
+#: GPT-2 (little PT benefit) and a ResNet (DHA ~neutral).
+FIG11_MODELS = ("bert-base", "roberta-base", "gpt2", "resnet101")
+
+#: Figure 6 subset: one transformer, one CNN.
+FIG06_MODELS = ("bert-base", "resnet50")
+
+
+def compute_fig11_ratios() -> dict[str, dict[str, float]]:
+    """Speedup ratios per model: pipeswitch/dha, pipeswitch/pt+dha,
+    baseline/pt+dha."""
+    from repro.core import DeepPlan
+
+    planner = DeepPlan(p3_8xlarge(), noise=0.0)
+    ratios: dict[str, dict[str, float]] = {}
+    for name in FIG11_MODELS:
+        model = build_model(name)
+        latency = {
+            strategy: run_single_inference(p3_8xlarge(), model, strategy,
+                                           planner=planner).latency
+            for strategy in (Strategy.BASELINE, Strategy.PIPESWITCH,
+                             Strategy.DHA, Strategy.PT_DHA)
+        }
+        ratios[name] = {
+            "pipeswitch_over_dha":
+                latency[Strategy.PIPESWITCH] / latency[Strategy.DHA],
+            "pipeswitch_over_pt_dha":
+                latency[Strategy.PIPESWITCH] / latency[Strategy.PT_DHA],
+            "baseline_over_pt_dha":
+                latency[Strategy.BASELINE] / latency[Strategy.PT_DHA],
+        }
+    return ratios
+
+
+def compute_fig06_ratios() -> dict[str, dict[str, float]]:
+    """Transmission speedups per model: serial over parallel(2) and
+    over parallel-pipeline(2)."""
+
+    def load_time(model, mode, num_gpus):
+        machine = Machine(Simulator(), p3_8xlarge())
+        process = transmit_model(machine, model, target=0, mode=mode,
+                                 num_gpus=num_gpus)
+        return machine.sim.run(process.done).load_time
+
+    ratios: dict[str, dict[str, float]] = {}
+    for name in FIG06_MODELS:
+        model = build_model(name)
+        serial = load_time(model, "serial", 1)
+        ratios[name] = {
+            "serial_over_parallel2":
+                serial / load_time(model, "parallel", 2),
+            "serial_over_parallel_pipeline2":
+                serial / load_time(model, "parallel-pipeline", 2),
+        }
+    return ratios
+
+
+def compute_golden() -> dict:
+    return {
+        "fig11_speedup_ratios": compute_fig11_ratios(),
+        "fig06_transmission_ratios": compute_fig06_ratios(),
+    }
+
+
+def main() -> None:
+    golden = compute_golden()
+    GOLDEN_PATH.parent.mkdir(exist_ok=True)
+    GOLDEN_PATH.write_text(json.dumps(golden, indent=2, sort_keys=True)
+                           + "\n")
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    main()

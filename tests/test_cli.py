@@ -77,6 +77,28 @@ class TestServeAudit:
         assert "0 violations" in out
 
 
+class TestCluster:
+    def test_small_cluster_run(self, capsys):
+        assert main(["cluster", "--machines", "2", "--instances", "6",
+                     "--rate", "50", "--requests", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "machine" in out
+        assert "m0" in out and "m1" in out
+        assert "p99" in out
+
+    def test_faulty_audited_cluster_run(self, capsys):
+        assert main(["cluster", "--machines", "3", "--policy", "affinity",
+                     "--instances", "9", "--rate", "60", "--requests", "80",
+                     "--faults", "1", "--seed", "3", "--audit"]) == 0
+        out = capsys.readouterr().out
+        assert "crash" in out
+        assert "0 violations" in out
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["cluster", "--policy", "nearest"])
+
+
 class TestAudit:
     def test_differential_suite_passes(self, capsys):
         assert main(["audit", "--cases", "5"]) == 0

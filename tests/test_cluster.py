@@ -1,0 +1,286 @@
+"""Unit and integration tests for the cluster serving layer."""
+
+import pytest
+
+from repro.audit import AuditError
+from repro.cluster import (
+    Autoscaler,
+    AutoscalerConfig,
+    Cluster,
+    ClusterConfig,
+    FaultEvent,
+    MachineState,
+    random_fault_schedule,
+)
+from repro.errors import WorkloadError
+from repro.hw.specs import p3_8xlarge
+from repro.models import build_model
+from repro.serving.workload import PoissonWorkload, Request
+from repro.units import MS
+
+
+@pytest.fixture(scope="module")
+def bert():
+    return build_model("bert-base")
+
+
+def make_cluster(bert, instances=8, **kwargs):
+    kwargs.setdefault("num_machines", 2)
+    kwargs.setdefault("replication", 2)
+    cluster = Cluster(p3_8xlarge(), ClusterConfig(**kwargs))
+    cluster.deploy([(bert, instances)])
+    return cluster
+
+
+class TestConfigValidation:
+    def test_replication_beyond_fleet_rejected(self):
+        with pytest.raises(WorkloadError, match="replication"):
+            ClusterConfig(num_machines=2, replication=3)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(WorkloadError, match="policy"):
+            ClusterConfig(policy="random")
+
+    def test_bad_retry_settings_rejected(self):
+        with pytest.raises(WorkloadError):
+            ClusterConfig(max_retries=-1)
+        with pytest.raises(WorkloadError):
+            ClusterConfig(retry_backoff=0.0)
+
+
+class TestPlacement:
+    def test_replicas_land_on_distinct_machines(self, bert):
+        cluster = make_cluster(bert, num_machines=3, replication=2,
+                               instances=6)
+        for name in cluster.instance_names:
+            holders = [cm.name for cm in cluster.machines
+                       if cm.has_replica(name)]
+            assert len(holders) == 2
+            assert len(set(holders)) == 2
+
+    def test_standby_machines_start_empty(self, bert):
+        cluster = make_cluster(bert, num_machines=2, num_standby=1)
+        standby = cluster.machines[-1]
+        assert standby.state is MachineState.STANDBY
+        assert standby.server.instances == {}
+
+    def test_incremental_deploy_continues_numbering(self, bert):
+        cluster = make_cluster(bert, instances=3)
+        more = cluster.deploy([(bert, 2)])
+        assert more == ["bert-base#3", "bert-base#4"]
+
+
+class TestRouting:
+    def test_round_robin_alternates(self, bert):
+        cluster = make_cluster(bert, policy="round-robin", instances=2)
+        name = cluster.instance_names[0]
+        picks = [cluster.router.route(
+            Request(request_id=k, instance_name=name, arrival_time=0.0)).name
+            for k in range(4)]
+        assert picks == ["m0", "m1", "m0", "m1"]
+
+    def test_least_loaded_prefers_idle_machine(self, bert):
+        cluster = make_cluster(bert, policy="least-loaded", instances=2)
+        name = cluster.instance_names[0]
+        busy = cluster.machines[0]
+        busy.server.start()
+        # Queue work on m0 without running the simulator.
+        busy.server.submit(Request(request_id=90, instance_name=name,
+                                   arrival_time=0.0))
+        choice = cluster.router.route(
+            Request(request_id=0, instance_name=name, arrival_time=0.0))
+        assert choice.name == "m1"
+
+    def test_affinity_prefers_warm_replica(self, bert):
+        cluster = make_cluster(bert, policy="affinity", instances=2)
+        name = cluster.instance_names[0]
+        # Warm only m1's replica.
+        cluster.machines[1].server.prewarm()
+        choice = cluster.router.route(
+            Request(request_id=0, instance_name=name, arrival_time=0.0))
+        assert choice.name == "m1"
+
+    def test_affinity_spills_once_backlog_exceeds_penalty(self, bert):
+        cluster = make_cluster(bert, policy="affinity", instances=2)
+        name = cluster.instance_names[0]
+        warm = cluster.machines[1]
+        warm.server.prewarm()
+        penalty = warm.server.plan_of(name).provision_penalty
+        # Pile synthetic backlog on the warm machine beyond the penalty:
+        # the cold machine becomes the cheaper predicted choice.
+        warm.pending_cost = penalty * 2
+        choice = cluster.router.route(
+            Request(request_id=0, instance_name=name, arrival_time=0.0))
+        assert choice.name == "m0"
+
+    def test_no_routable_replica_returns_none(self, bert):
+        cluster = make_cluster(bert, instances=2)
+        for cm in cluster.machines:
+            cm.state = MachineState.DOWN
+        assert cluster.router.route(
+            Request(request_id=0, instance_name=cluster.instance_names[0],
+                    arrival_time=0.0)) is None
+
+
+class TestFaultSchedules:
+    def test_schedule_pairs_crash_with_recover(self):
+        schedule = random_fault_schedule(["m0", "m1"], 3, 100.0, seed=5)
+        by_machine = {}
+        for event in schedule:
+            by_machine.setdefault(event.machine_name, []).append(event)
+        for events in by_machine.values():
+            actions = [e.action for e in events]
+            assert actions == ["crash", "recover"] * (len(actions) // 2)
+
+    def test_same_machine_outages_never_overlap(self):
+        schedule = random_fault_schedule(["m0"], 4, 100.0, seed=1)
+        times = [e.time for e in schedule]
+        assert times == sorted(times)
+
+    def test_bad_action_rejected(self):
+        with pytest.raises(WorkloadError):
+            FaultEvent(1.0, "m0", "explode")
+
+    def test_crash_skipped_when_machine_already_down(self, bert):
+        cluster = make_cluster(bert, instances=2)
+        assert cluster.crash_machine("m0")
+        assert not cluster.crash_machine("m0")
+        assert cluster.machines[0].crashes == 1
+
+    def test_recover_requires_down(self, bert):
+        cluster = make_cluster(bert, instances=2)
+        assert not cluster.recover_machine("m0")
+        cluster.crash_machine("m0")
+        assert cluster.recover_machine("m0")
+        assert cluster.machines[0].state is MachineState.ACTIVE
+
+
+class TestClusterRuns:
+    def test_fault_free_run_completes_everything(self, bert):
+        cluster = make_cluster(bert, audit=True)
+        workload = PoissonWorkload(cluster.instance_names, rate=50.0,
+                                   num_requests=120, seed=0)
+        report = cluster.run(workload.generate())
+        assert report.completed == 120
+        assert report.dropped == []
+        assert report.retries == 0
+        assert sum(m.served for m in report.per_machine) == 120
+
+    def test_exactly_once_across_injected_failures(self, bert):
+        cluster = make_cluster(bert, num_machines=3, replication=2,
+                               instances=12, audit=True, max_retries=3)
+        workload = PoissonWorkload(cluster.instance_names, rate=150.0,
+                                   num_requests=300, seed=4)
+        requests = workload.generate()
+        duration = max(r.arrival_time for r in requests)
+        schedule = random_fault_schedule(
+            [cm.name for cm in cluster.machines], 2, duration, seed=4)
+        report = cluster.run(requests, fault_schedule=schedule)
+        # run() performs the audit (raising on violation); the report
+        # must additionally balance to the request count.
+        assert report.submitted == 300
+        assert report.completed + len(report.dropped) == 300
+        assert sum(m.crashes for m in report.per_machine) >= 1
+
+    def test_whole_fleet_down_drops_after_budget(self, bert):
+        cluster = make_cluster(bert, instances=4, audit=True,
+                               max_retries=1, retry_backoff=10 * MS)
+        workload = PoissonWorkload(cluster.instance_names, rate=50.0,
+                                   num_requests=40, seed=2)
+        schedule = [FaultEvent(0.05, "m0", "crash"),
+                    FaultEvent(0.05, "m1", "crash"),
+                    FaultEvent(10.0, "m0", "recover"),
+                    FaultEvent(10.0, "m1", "recover")]
+        report = cluster.run(workload.generate(), fault_schedule=schedule)
+        assert len(report.dropped) > 0
+        assert report.completed + len(report.dropped) == 40
+        # Each dropped request used its full attempt budget.
+        for request in report.dropped:
+            assert cluster._failures[request.request_id] == 2
+
+    def test_audit_catches_double_completion(self, bert):
+        cluster = make_cluster(bert, instances=2, audit=True)
+        workload = PoissonWorkload(cluster.instance_names, rate=50.0,
+                                   num_requests=10, seed=0)
+        requests = workload.generate()
+        # Sabotage: pre-record a completion for request 0, so it ends the
+        # run with two outcomes.
+        cluster.auditor.on_dispatch(requests[0], "m0")
+        cluster.auditor.on_complete(requests[0], "m0")
+        with pytest.raises(AuditError, match="exactly_once"):
+            cluster.run(requests)
+
+    def test_report_utilization_bounded(self, bert):
+        cluster = make_cluster(bert)
+        workload = PoissonWorkload(cluster.instance_names, rate=100.0,
+                                   num_requests=100, seed=1)
+        report = cluster.run(workload.generate())
+        for stats in report.per_machine:
+            assert 0.0 <= stats.utilization <= 1.0
+
+
+class TestAutoscaler:
+    def test_scale_up_activates_standby_under_load(self, bert):
+        autoscale = AutoscalerConfig(interval=0.2, window=2.0,
+                                     scale_up_p99=20 * MS,
+                                     scale_down_p99=1 * MS,
+                                     min_window_requests=5, cooldown=0.5)
+        cluster = make_cluster(bert, num_machines=2, replication=2,
+                               num_standby=1, instances=40,
+                               autoscale=autoscale, audit=True)
+        # Oversubscribed: 40 instances on 2 machines thrash the caches,
+        # pushing p99 over the threshold.
+        workload = PoissonWorkload(cluster.instance_names, rate=300.0,
+                                   num_requests=600, seed=3)
+        report = cluster.run(workload.generate())
+        ups = [e for e in report.scaling_events if e.action == "scale-up"]
+        assert ups, "expected the autoscaler to activate the standby"
+        standby = cluster.machines[-1]
+        assert standby.server.instances  # catalog deployed on activation
+        assert report.completed == 600
+
+    def test_scale_down_returns_standby_to_pool(self, bert):
+        cluster = make_cluster(bert, num_machines=2, num_standby=1,
+                               instances=4)
+        activated = cluster.activate_standby()
+        assert activated is not None
+        assert activated.state is MachineState.ACTIVE
+        drained = cluster.drain_activated_standby()
+        assert drained is activated
+        cluster.sim.run()
+        assert activated.state is MachineState.STANDBY
+
+    def test_base_fleet_never_drained(self, bert):
+        cluster = make_cluster(bert, num_machines=2)
+        assert cluster.drain_activated_standby() is None
+
+    def test_windowed_p99_requires_min_requests(self, bert):
+        cluster = make_cluster(bert)
+        assert cluster.windowed_p99(10.0, min_requests=1) is None
+
+    def test_autoscaler_stop_ends_loop(self, bert):
+        cluster = make_cluster(bert, autoscale=AutoscalerConfig())
+        scaler = Autoscaler(cluster, AutoscalerConfig())
+        cluster.sim.process(scaler.process(), name="scaler")
+        scaler.stop()
+        cluster.sim.run()  # terminates: the loop exits after one tick
+        assert scaler.events == []
+
+
+class TestValidation:
+    def test_run_without_deploy_rejected(self, bert):
+        cluster = Cluster(p3_8xlarge(), ClusterConfig())
+        with pytest.raises(WorkloadError, match="deployed"):
+            cluster.run([Request(request_id=0, instance_name="x",
+                                 arrival_time=0.0)])
+
+    def test_unknown_instance_rejected(self, bert):
+        cluster = make_cluster(bert, instances=2)
+        with pytest.raises(WorkloadError, match="unknown"):
+            cluster.run([Request(request_id=0, instance_name="nope#0",
+                                 arrival_time=0.0)])
+
+    def test_unknown_machine_rejected(self, bert):
+        cluster = make_cluster(bert, instances=2)
+        with pytest.raises(WorkloadError, match="no machine"):
+            cluster.crash_machine("m99")

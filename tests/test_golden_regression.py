@@ -1,0 +1,96 @@
+"""Golden regression tests for the paper's headline figures.
+
+Recompute the Figure 11 / Figure 6 speedup ratios and compare against
+the committed goldens in ``tests/golden/paper_figures.json``.  Two
+layers of assertion:
+
+* **direction** — every committed speedup claim still holds (ratio > 1
+  where the paper reports a gain), independent of the golden values;
+* **stability** — each ratio is within ±10% of the committed value, so
+  an accidental cost-model or simulator change that shifts the paper's
+  numbers fails loudly.
+
+Deliberate recalibrations regenerate the goldens with ``make regolden``
+and commit the reviewed diff.
+"""
+
+import json
+import pathlib
+import sys
+
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+from make_golden import (  # noqa: E402
+    GOLDEN_PATH,
+    compute_fig06_ratios,
+    compute_fig11_ratios,
+)
+
+TOLERANCE = 0.10
+
+
+@pytest.fixture(scope="module")
+def golden():
+    assert GOLDEN_PATH.exists(), \
+        "tests/golden/paper_figures.json missing — run `make regolden`"
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def fig11():
+    return compute_fig11_ratios()
+
+
+@pytest.fixture(scope="module")
+def fig06():
+    return compute_fig06_ratios()
+
+
+class TestFig11Golden:
+    def test_speedup_directions_hold(self, fig11):
+        for name, ratios in fig11.items():
+            # DHA beats PipeSwitch, PT+DHA beats both and Baseline.
+            assert ratios["pipeswitch_over_dha"] > 1.0, name
+            assert ratios["pipeswitch_over_pt_dha"] >= \
+                ratios["pipeswitch_over_dha"] - 1e-9, name
+            assert ratios["baseline_over_pt_dha"] > 1.0, name
+
+    def test_headline_bert_speedup_band(self, fig11):
+        # The paper's headline claim: ~1.94x for BERT-Base (PT+DHA over
+        # PipeSwitch).  Keep a generous band; the ±10% golden check
+        # below pins the exact value.
+        assert 1.7 < fig11["bert-base"]["pipeswitch_over_pt_dha"] < 2.2
+
+    def test_ratios_match_golden(self, golden, fig11):
+        committed = golden["fig11_speedup_ratios"]
+        assert set(fig11) == set(committed)
+        for name, ratios in fig11.items():
+            for key, value in ratios.items():
+                assert value == pytest.approx(
+                    committed[name][key], rel=TOLERANCE), (name, key)
+
+
+class TestFig06Golden:
+    def test_speedup_directions_hold(self, fig06):
+        for name, ratios in fig06.items():
+            assert ratios["serial_over_parallel2"] > 1.0, name
+            # Pipelined forwarding never loses to plain parallel.
+            assert ratios["serial_over_parallel_pipeline2"] >= \
+                ratios["serial_over_parallel2"] - 1e-9, name
+
+    def test_parallel_cut_is_in_paper_band(self, fig06):
+        # Figure 6: parallel(2) cuts load time 30-45%, i.e. the serial /
+        # parallel ratio lands in [1/0.70, 1/0.55].
+        for name, ratios in fig06.items():
+            cut = 1.0 - 1.0 / ratios["serial_over_parallel2"]
+            assert 0.25 < cut < 0.50, name
+
+    def test_ratios_match_golden(self, golden, fig06):
+        committed = golden["fig06_transmission_ratios"]
+        assert set(fig06) == set(committed)
+        for name, ratios in fig06.items():
+            for key, value in ratios.items():
+                assert value == pytest.approx(
+                    committed[name][key], rel=TOLERANCE), (name, key)

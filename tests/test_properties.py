@@ -1,17 +1,30 @@
-"""Cross-cutting property-based tests (hypothesis).
+"""Cross-cutting property-based tests.
 
-These pin down invariants of the planner, the timeline model, and the
-executor that must hold for *any* layer cost structure, not just the
-paper's models.
+Two layers:
+
+* hypothesis-driven invariants of the planner and timeline model that
+  must hold for *any* layer cost structure;
+* seeded-random sweeps (``property_seed`` / ``bandwidth_seed`` /
+  ``cluster_seed``, parametrized in ``conftest.py``) over random models,
+  machines and fault schedules — plan validity, bandwidth monotonicity,
+  and cluster-wide request conservation.  ``--full-seeds`` runs the full
+  200-seed sweep (nightly CI); the default is the quick subset.
 """
 
+import dataclasses
+
+import numpy
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.audit.differential import random_model
+from repro.core.deepplan import DeepPlan, Strategy
 from repro.core.plan import ExecMethod, Partition
 from repro.core.planner import LayerExecutionPlanner, initial_approach
+from repro.core.serialization import plan_from_dict, plan_to_dict
 from repro.core.stall import baseline_latency, compute_timeline
+from repro.hw.specs import p3_8xlarge
 from repro.models.costs import LayerCosts
 from repro.models.layers import LayerKind
 
@@ -125,3 +138,150 @@ class TestPlannerProperties:
                 assert cost.exec_dha <= alone_load
             else:
                 assert cost.exec_dha >= alone_load
+
+
+# ---------------------------------------------------------------------------
+# Seeded-random sweeps (counts set in conftest.py; --full-seeds for nightly)
+# ---------------------------------------------------------------------------
+
+_PLANNER_CACHE: dict[str, DeepPlan] = {}
+
+
+def _shared_planner() -> DeepPlan:
+    """One noise-free planner over the paper's testbed, built lazily."""
+    if "p3" not in _PLANNER_CACHE:
+        _PLANNER_CACHE["p3"] = DeepPlan(p3_8xlarge(), noise=0.0)
+    return _PLANNER_CACHE["p3"]
+
+
+_STRATEGIES = (Strategy.BASELINE, Strategy.PIPESWITCH, Strategy.DHA,
+               Strategy.PT, Strategy.PT_DHA)
+
+
+class TestSeededPlanValidity:
+    """Every plan over a random model is a valid, legal layer cover."""
+
+    def test_plan_is_valid_cover(self, property_seed):
+        planner = _shared_planner()
+        model = random_model(property_seed)
+        strategy = _STRATEGIES[property_seed % len(_STRATEGIES)]
+        plan = planner.plan(model, strategy)
+
+        # One decision per layer, and partitions tile the model exactly.
+        assert len(plan.decisions) == len(model.layers)
+        covered = []
+        for partition in plan.partitions:
+            covered.extend(range(partition.start, partition.stop))
+        assert covered == list(range(len(model.layers)))
+
+        for i, (layer, method) in enumerate(zip(model.layers,
+                                                plan.decisions)):
+            assert method in (LOAD, DHA)
+            if not layer.loadable:
+                # Parameter-free layers have nothing to load.
+                assert method is DHA
+            elif method is DHA:
+                # DHA is only legal in the primary partition (Section
+                # 4.3.3: secondary partitions are overridden to loads).
+                assert plan.partition_of(i) == 0
+            if not strategy.uses_dha and layer.loadable:
+                assert method is LOAD
+
+        # The planner's two latency predictions order correctly: a warm
+        # hit never costs more than a cold start.
+        assert plan.predicted_warm_latency <= plan.predicted_latency + 1e-12
+        assert plan.provision_penalty >= 0.0
+
+    def test_plan_round_trips_through_serialization(self, property_seed):
+        planner = _shared_planner()
+        model = random_model(property_seed)
+        strategy = _STRATEGIES[property_seed % len(_STRATEGIES)]
+        plan = planner.plan(model, strategy)
+        clone = plan_from_dict(plan_to_dict(plan))
+        assert clone.decisions == plan.decisions
+        assert clone.partitions == plan.partitions
+        assert clone.predicted_latency == plan.predicted_latency
+        assert clone.predicted_warm_latency == plan.predicted_warm_latency
+        assert [layer.name for layer in clone.model.layers] \
+            == [layer.name for layer in plan.model.layers]
+
+
+class TestBandwidthMonotonicity:
+    """Faster PCIe never makes a plan's predicted latency worse."""
+
+    def _latencies_over_bandwidth(self, seed, strategy):
+        model = random_model(seed)
+        spec = p3_8xlarge()
+        latencies = []
+        for factor in (0.5, 1.0, 2.0, 4.0):
+            scaled = dataclasses.replace(
+                spec,
+                name=f"{spec.name}-x{factor}",
+                pcie_lane_bandwidth=spec.pcie_lane_bandwidth * factor,
+                pcie_uplink_bandwidth=spec.pcie_uplink_bandwidth * factor)
+            planner = DeepPlan(scaled, noise=0.0)
+            latencies.append(planner.plan(model, strategy).predicted_latency)
+        return latencies
+
+    def test_pipeswitch_monotone_in_pcie_bandwidth(self, bandwidth_seed):
+        # Fixed decision vector (everything loaded): transfer times scale
+        # down with bandwidth, so latency is exactly non-increasing.
+        latencies = self._latencies_over_bandwidth(bandwidth_seed,
+                                                   Strategy.PIPESWITCH)
+        for slower, faster in zip(latencies, latencies[1:]):
+            assert faster <= slower + 1e-12
+
+    def test_dha_monotone_in_pcie_bandwidth(self, bandwidth_seed):
+        # Algorithm 1 re-plans per bandwidth; the chosen plan can only
+        # improve on pipeswitch at that bandwidth, so the envelope is
+        # still non-increasing.
+        latencies = self._latencies_over_bandwidth(bandwidth_seed,
+                                                   Strategy.DHA)
+        for slower, faster in zip(latencies, latencies[1:]):
+            assert faster <= slower + 1e-9
+
+
+class TestClusterConservation:
+    """submitted == completed + dropped under random fault schedules."""
+
+    def test_conservation_under_faults(self, cluster_seed):
+        from repro.cluster import (
+            Cluster,
+            ClusterConfig,
+            random_fault_schedule,
+        )
+        from repro.models.zoo import build_model
+        from repro.serving.workload import PoissonWorkload
+
+        rng = numpy.random.default_rng(cluster_seed)
+        num_machines = int(rng.integers(2, 4))
+        config = ClusterConfig(
+            num_machines=num_machines,
+            replication=int(rng.integers(1, num_machines + 1)),
+            policy=("round-robin", "least-loaded",
+                    "affinity")[cluster_seed % 3],
+            max_retries=int(rng.integers(0, 4)),
+            audit=True,
+        )
+        cluster = Cluster(p3_8xlarge(), config)
+        names = cluster.deploy([(build_model("bert-base"),
+                                 int(rng.integers(4, 13)))])
+        rate = float(rng.uniform(40.0, 150.0))
+        num_requests = int(rng.integers(60, 180))
+        workload = PoissonWorkload(names, rate=rate,
+                                   num_requests=num_requests,
+                                   seed=cluster_seed)
+        requests = workload.generate()
+        duration = max(r.arrival_time for r in requests)
+        schedule = random_fault_schedule(
+            [m.name for m in cluster.machines],
+            int(rng.integers(1, 4)), duration, seed=cluster_seed)
+
+        # run() already raises AuditError on any violation; re-assert the
+        # headline conservation law explicitly.
+        report = cluster.run(requests, fault_schedule=schedule)
+        assert report.submitted == num_requests
+        assert report.completed + len(report.dropped) == report.submitted
+        assert report.completed == len(report.metrics.records)
+        served_total = sum(m.served for m in report.per_machine)
+        assert served_total == report.completed

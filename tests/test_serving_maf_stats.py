@@ -1,0 +1,145 @@
+"""Statistical validation of the synthetic MAF trace generator.
+
+``synthesize_maf_trace`` is the workload behind Figures 13-15; these
+tests check the *distributions* it promises, not individual arrivals:
+class fractions, Zipf popularity skew, the normalized offered load, and
+the agreement between the analytic per-bucket rates and the realized
+(thinned) Poisson arrivals.  Stochastic assertions use wide bands
+(several standard deviations) across multiple seeds, so they are
+deterministic in practice.
+"""
+
+import collections
+
+import numpy
+import pytest
+
+from repro.errors import WorkloadError
+from repro.serving.maf import (
+    MAFTraceConfig,
+    SyntheticTrace,
+    _zipf_weights,
+    synthesize_maf_trace,
+)
+
+NAMES = [f"inst-{i}" for i in range(40)]
+SEEDS = (0, 1, 2)
+
+
+def quick_config(seed=0, **kwargs):
+    kwargs.setdefault("duration", 600.0)
+    kwargs.setdefault("target_rps", 80.0)
+    return MAFTraceConfig(seed=seed, **kwargs)
+
+
+@pytest.fixture(scope="module", params=SEEDS)
+def trace(request) -> SyntheticTrace:
+    return synthesize_maf_trace(NAMES, quick_config(seed=request.param))
+
+
+class TestClassAssignment:
+    def test_class_counts_match_fractions(self, trace):
+        counts = collections.Counter(trace.instance_classes.values())
+        n = len(NAMES)
+        config = trace.config
+        assert counts["sustained"] == round(n * config.sustained_fraction)
+        assert counts["fluctuating"] == round(n * config.fluctuating_fraction)
+        assert counts["spiky"] == round(n * config.spiky_fraction)
+        assert sum(counts.values()) == n
+        assert counts["rare"] == n - counts["sustained"] \
+            - counts["fluctuating"] - counts["spiky"]
+
+    def test_every_instance_classified(self, trace):
+        assert set(trace.instance_classes) == set(NAMES)
+
+    def test_overcommitted_fractions_rejected(self):
+        with pytest.raises(WorkloadError, match="fractions"):
+            MAFTraceConfig(sustained_fraction=0.5, fluctuating_fraction=0.4,
+                           spiky_fraction=0.3)
+
+
+class TestZipfPopularity:
+    def test_weights_follow_power_law(self):
+        rng = numpy.random.default_rng(0)
+        exponent = 0.9
+        weights = _zipf_weights(200, exponent, rng)
+        ordered = numpy.sort(weights)[::-1]
+        ranks = numpy.arange(1, 201, dtype=float)
+        # Sorted weights must be exactly 1 / rank^s.
+        assert ordered == pytest.approx(1.0 / ranks**exponent)
+
+    def test_weights_are_a_permutation_over_instances(self):
+        rng = numpy.random.default_rng(3)
+        weights = _zipf_weights(50, 0.9, rng)
+        assert len(numpy.unique(weights)) == 50
+
+    def test_popularity_skew_shows_in_arrivals(self, trace):
+        per_instance = collections.Counter(name for _, name
+                                           in trace.arrivals)
+        counts = numpy.sort(numpy.array(
+            [per_instance[name] for name in NAMES]))[::-1]
+        top_decile = counts[: len(NAMES) // 10].sum()
+        # Zipf(0.9) over 40 instances: the top 10% of instances carry
+        # far more than their 10% share of the traffic.
+        assert top_decile > 0.2 * counts.sum()
+
+
+class TestOfferedLoad:
+    def test_mean_offered_load_is_normalized(self, trace):
+        assert trace.offered_load.mean() == pytest.approx(
+            trace.config.target_rps)
+
+    def test_offered_load_nonnegative(self, trace):
+        assert (trace.offered_load >= 0).all()
+
+    def test_realized_rate_tracks_target(self, trace):
+        # Thinned-Poisson total: expectation lambda = target_rps *
+        # duration; allow a 5-sigma band.
+        expected = trace.config.target_rps * trace.config.duration
+        assert abs(trace.num_requests - expected) < 5 * numpy.sqrt(expected)
+        assert trace.mean_rps == pytest.approx(
+            trace.config.target_rps,
+            rel=5 * numpy.sqrt(expected) / expected)
+
+    def test_per_bucket_arrivals_match_rate_curve(self, trace):
+        # Chi-square-style check: realized arrivals per bucket against
+        # the analytic offered load, aggregated over coarse windows so
+        # each window has enough mass for the normal approximation.
+        config = trace.config
+        times = numpy.array([t for t, _ in trace.arrivals])
+        n_buckets = len(trace.bucket_times)
+        realized = numpy.histogram(
+            times, bins=n_buckets,
+            range=(0.0, n_buckets * config.bucket_seconds))[0]
+        expected = trace.offered_load * config.bucket_seconds
+        window = 6  # 1-minute windows
+        deviations = []
+        for start in range(0, n_buckets - window + 1, window):
+            lam = expected[start:start + window].sum()
+            got = realized[start:start + window].sum()
+            if lam > 20:
+                deviations.append(abs(got - lam) / numpy.sqrt(lam))
+        assert deviations, "no windows with enough expected mass"
+        # Mean absolute z-score of a Poisson count is ~0.8; allow slack.
+        assert numpy.mean(deviations) < 2.0
+        assert max(deviations) < 6.0
+
+
+class TestArrivalStream:
+    def test_arrivals_sorted_and_in_range(self, trace):
+        times = [t for t, _ in trace.arrivals]
+        assert times == sorted(times)
+        assert all(0.0 <= t < trace.config.duration for t in times)
+
+    def test_arrivals_target_known_instances(self, trace):
+        assert {name for _, name in trace.arrivals} <= set(NAMES)
+
+    def test_same_seed_reproduces_trace(self):
+        first = synthesize_maf_trace(NAMES, quick_config(seed=7))
+        second = synthesize_maf_trace(NAMES, quick_config(seed=7))
+        assert first.arrivals == second.arrivals
+
+    def test_different_seeds_differ(self):
+        first = synthesize_maf_trace(NAMES, quick_config(seed=7))
+        second = synthesize_maf_trace(NAMES, quick_config(seed=8))
+        assert first.arrivals != second.arrivals

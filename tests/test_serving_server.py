@@ -316,3 +316,118 @@ class TestAuditedServing:
         capacity = server.warm_capacity()
         report = server.run([Request(0, "bert-base#0", 0.0)])
         assert report.prewarmed == capacity
+
+
+class TestLifecycle:
+    """drain / resume / fail_over / recover semantics."""
+
+    def test_submit_after_drain_rejected(self, planner, bert):
+        """Regression: a draining server must reject new work loudly, not
+        queue it behind workers that will never run it."""
+        server = make_server(planner)
+        server.deploy([(bert, 2)])
+        server.drain()
+        with pytest.raises(WorkloadError, match="draining"):
+            server.submit(Request(request_id=0, instance_name="bert-base#0",
+                                  arrival_time=0.0))
+
+    def test_drain_event_fires_immediately_when_idle(self, planner, bert):
+        server = make_server(planner)
+        server.deploy([(bert, 2)])
+        event = server.drain()
+        assert event.triggered
+
+    def test_resume_reopens_submission(self, planner, bert):
+        server = make_server(planner)
+        server.deploy([(bert, 2)])
+        server.drain()
+        server.resume()
+        server.start()
+        server.submit(Request(request_id=0, instance_name="bert-base#0",
+                              arrival_time=0.0))
+        assert server.outstanding == 1
+
+    def test_drain_event_fires_after_inflight_completes(self, planner, bert):
+        server = make_server(planner)
+        server.deploy([(bert, 2)])
+        server.start()
+        server.prewarm()
+        server.submit(Request(request_id=0, instance_name="bert-base#0",
+                              arrival_time=0.0))
+        event = server.drain()
+        assert not event.triggered
+        server.sim.run(event)
+        assert server.outstanding == 0
+        assert len(server.metrics.records) == 1
+
+    def test_fail_over_orphans_queued_requests(self, planner, bert):
+        server = make_server(planner)
+        server.deploy([(bert, 2)])
+        # Workers not started: everything stays queued.
+        for k in range(4):
+            server.submit(Request(request_id=k, instance_name="bert-base#0",
+                                  arrival_time=0.0))
+        orphans = server.fail_over()
+        assert [r.request_id for r in orphans] == [0, 1, 2, 3]
+        assert server.outstanding == 0
+        assert server.is_down
+
+    def test_submit_while_down_rejected(self, planner, bert):
+        server = make_server(planner)
+        server.deploy([(bert, 2)])
+        server.fail_over()
+        with pytest.raises(WorkloadError, match="down"):
+            server.submit(Request(request_id=0, instance_name="bert-base#0",
+                                  arrival_time=0.0))
+
+    def test_recover_evicts_residency(self, planner, bert):
+        server = make_server(planner)
+        server.deploy([(bert, 2)])
+        server.prewarm()
+        assert server.is_warm("bert-base#0")
+        server.fail_over()
+        server.recover()
+        assert not server.is_warm("bert-base#0")
+        assert not server.is_down
+
+    def test_phantom_execution_discarded_on_crash(self, planner, bert):
+        """Work in flight at crash time completes in the simulator but is
+        never recorded; the orphaned request is returned for retry."""
+        server = make_server(planner)
+        server.deploy([(bert, 2)])
+        server.start()
+        server.prewarm()
+        request = Request(request_id=7, instance_name="bert-base#0",
+                          arrival_time=0.0)
+        server.submit(request)
+
+        def crasher(sim, server):
+            yield sim.timeout(0.0005)  # mid-execution
+            orphans = server.fail_over()
+            assert [r.request_id for r in orphans] == [7]
+
+        server.sim.process(crasher(server.sim, server), name="crasher")
+        server.sim.run()
+        assert server.metrics.records == []
+        assert server.requests_served == 0
+        assert server.outstanding == 0
+
+    def test_completion_callbacks_fire(self, planner, bert):
+        server = make_server(planner)
+        server.deploy([(bert, 2)])
+        seen = []
+        server.add_completion_callback(
+            lambda request, record: seen.append(record.request_id))
+        workload = PoissonWorkload(list(server.instances), rate=100.0,
+                                   num_requests=5, seed=0)
+        server.run(workload.generate())
+        assert sorted(seen) == [0, 1, 2, 3, 4]
+
+    def test_busy_time_accumulates(self, planner, bert):
+        server = make_server(planner)
+        server.deploy([(bert, 2)])
+        workload = PoissonWorkload(list(server.instances), rate=100.0,
+                                   num_requests=5, seed=0)
+        server.run(workload.generate())
+        assert server.requests_served == 5
+        assert server.busy_time > 0
