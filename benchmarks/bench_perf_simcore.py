@@ -1,0 +1,423 @@
+"""Wall-clock performance harness for the simulation fast path.
+
+Unlike the ``bench_fig*`` modules (which reproduce the *paper's* numbers,
+i.e. simulated milliseconds), this harness measures how fast the
+simulator itself runs: how many wall-clock seconds it takes to push
+simulated traffic through the kernel.  Four probes:
+
+* **events/sec** — raw event-loop throughput (timeout churn across many
+  concurrent processes);
+* **flows/sec** — ``FlowNetwork`` churn: contended transfers starting
+  and finishing, each triggering a fair-share rebalance;
+* **plans/sec** — ``DeepPlan.plan`` throughput, cold (fresh planner
+  state) and repeat (same planner asked again — the plan-cache path);
+* **fig13/fig15 runtime** — end-to-end wall time of reduced versions of
+  the two serving benchmarks, together with their *simulated* outputs so
+  the fast path can be proven behavior-preserving.
+
+Modes (run as a script)::
+
+    python benchmarks/bench_perf_simcore.py --measure -o out.json
+        Run the probe suite on the current tree and dump raw metrics.
+    python benchmarks/bench_perf_simcore.py --emit-bench
+        Run the suite with the fast path ON and OFF, compare simulated
+        outputs, fold in the checked-in pre-change measurement
+        (benchmarks/results/perf_prechange.json), and write BENCH_perf.json
+        at the repo root.
+    python benchmarks/bench_perf_simcore.py --smoke --check
+        Reduced workload; fail if events/sec regresses >30% against
+        benchmarks/results/perf_baseline.json (the CI perf-smoke job).
+
+Under ``pytest benchmarks/`` the module contributes a smoke test that
+asserts the fast and slow paths produce identical simulated results.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import pathlib
+import sys
+import time
+
+_HERE = pathlib.Path(__file__).resolve().parent
+_ROOT = _HERE.parent
+if str(_ROOT / "src") not in sys.path:  # script-mode convenience
+    sys.path.insert(0, str(_ROOT / "src"))
+
+from repro.core import DeepPlan  # noqa: E402
+from repro.hw.machine import Machine  # noqa: E402
+from repro.hw.specs import p3_8xlarge  # noqa: E402
+from repro.models import build_model  # noqa: E402
+from repro.serving import (  # noqa: E402
+    InferenceServer,
+    MAFTraceConfig,
+    PoissonWorkload,
+    ServerConfig,
+    TraceWorkload,
+    synthesize_maf_trace,
+)
+from repro.simkit import Simulator  # noqa: E402
+from repro.units import MS  # noqa: E402
+
+try:  # The fast-path switch lands with this harness; tolerate its absence
+    from repro import fastpath  # noqa: E402
+except ImportError:  # pragma: no cover - pre-change capture only
+    fastpath = None
+
+PRECHANGE_PATH = _HERE / "results" / "perf_prechange.json"
+BASELINE_PATH = _HERE / "results" / "perf_baseline.json"
+BENCH_PATH = _ROOT / "BENCH_perf.json"
+
+#: events/sec may regress this much against the checked-in baseline
+#: before the smoke check fails (hardware jitter allowance is on top,
+#: inside the baseline file).
+SMOKE_REGRESSION_LIMIT = 0.30
+
+STRATEGIES = ("pipeswitch", "dha", "pt+dha")
+INSTANCE_MIX = (("bert-base", 64), ("roberta-base", 64), ("gpt2", 16))
+
+
+# -- probes -----------------------------------------------------------------
+
+
+def measure_event_churn(processes: int = 50, timeouts: int = 2000) -> dict:
+    """Raw event-loop throughput: concurrent processes yielding timeouts."""
+    sim = Simulator()
+
+    def ticker(period: float):
+        for _ in range(timeouts):
+            yield sim.timeout(period)
+
+    for k in range(processes):
+        sim.process(ticker(0.0005 * (k + 1)), name=f"ticker{k}")
+    gc.collect()  # don't bill this probe for a previous probe's garbage
+    start = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - start
+    events = processes * timeouts
+    return {"events": events, "wall_s": wall,
+            "events_per_sec": events / wall}
+
+
+def measure_flow_churn(flows: int = 4000, concurrency: int = 16) -> dict:
+    """FlowNetwork churn: contended transfers with per-flow rebalances."""
+    sim = Simulator()
+    machine = Machine(sim, p3_8xlarge())
+    per_proc = flows // concurrency
+
+    def churn(seed: int):
+        # Deterministic LCG so the schedule is identical across runs and
+        # across fast/slow paths without importing random.
+        state = seed * 2654435761 % 2**32
+        for _ in range(per_proc):
+            state = (1103515245 * state + 12345) % 2**31
+            gpu = state % 4
+            nbytes = 1e6 + (state % 997) * 5e4
+            yield machine.network.transfer(machine.pcie_path(gpu), nbytes)
+
+    for k in range(concurrency):
+        sim.process(churn(k + 1), name=f"churn{k}")
+    gc.collect()
+    start = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - start
+    total = per_proc * concurrency
+    return {"flows": total, "wall_s": wall, "flows_per_sec": total / wall}
+
+
+def measure_plan_throughput(rounds: int = 12) -> dict:
+    """DeepPlan.plan wall throughput, cold and repeat-keyed."""
+    spec = p3_8xlarge()
+    models = [build_model(name) for name, _ in INSTANCE_MIX]
+    pairs = [(m, s) for m in models for s in ("dha", "pt+dha")]
+
+    gc.collect()
+    start = time.perf_counter()
+    for _ in range(3):
+        planner = DeepPlan(spec, noise=0.0)
+        for model, strategy in pairs:
+            planner.plan(model, strategy)
+    cold_wall = time.perf_counter() - start
+    cold_plans = 3 * len(pairs)
+
+    planner = DeepPlan(spec, noise=0.0)
+    for model, strategy in pairs:  # prime profiles (and cache, if any)
+        planner.plan(model, strategy)
+    start = time.perf_counter()
+    for _ in range(rounds):
+        for model, strategy in pairs:
+            planner.plan(model, strategy)
+    repeat_wall = time.perf_counter() - start
+    repeat_plans = rounds * len(pairs)
+
+    return {
+        "cold_plans": cold_plans, "cold_wall_s": cold_wall,
+        "cold_plans_per_sec": cold_plans / cold_wall,
+        "repeat_plans": repeat_plans, "repeat_wall_s": repeat_wall,
+        "repeat_plans_per_sec": repeat_plans / repeat_wall,
+    }
+
+
+def _summarize(report) -> dict:
+    metrics = report.metrics
+    records = metrics.records
+    return {
+        "completed": len(records),
+        "cold_starts": sum(1 for r in records if r.cold_start),
+        "p99_ms": metrics.p99_latency / MS,
+        "goodput": metrics.goodput,
+        "cold_start_rate": metrics.cold_start_rate,
+        # Order-insensitive checksum over every request latency: any
+        # behavioral drift in the simulation shows up here.
+        "latency_sum_s": float(sum(sorted(r.latency for r in records))),
+    }
+
+
+def measure_fig15(duration: float = 120.0) -> dict:
+    """Reduced fig15 MAF-trace replay: wall time + simulated outputs."""
+    planner = DeepPlan(p3_8xlarge(), noise=0.0)
+    config = MAFTraceConfig(duration=duration, target_rps=150.0, seed=7)
+    walls, outputs = {}, {}
+    gc.collect()
+    start_all = time.perf_counter()
+    for strategy in STRATEGIES:
+        machine = Machine(Simulator(), p3_8xlarge())
+        server = InferenceServer(machine, planner,
+                                 ServerConfig(strategy=strategy))
+        server.deploy([(build_model(name), count)
+                       for name, count in INSTANCE_MIX])
+        trace = synthesize_maf_trace(list(server.instances), config)
+        workload = TraceWorkload(trace.arrivals)
+        start = time.perf_counter()
+        report = server.run(workload.generate())
+        walls[strategy] = time.perf_counter() - start
+        outputs[strategy] = _summarize(report)
+    return {"duration_simulated_s": duration,
+            "wall_s": time.perf_counter() - start_all,
+            "wall_by_strategy_s": walls, "outputs": outputs}
+
+
+def measure_fig13(num_requests: int = 400,
+                  concurrencies: tuple[int, ...] = (120, 180)) -> dict:
+    """Reduced fig13 concurrency sweep: wall time + simulated outputs."""
+    planner = DeepPlan(p3_8xlarge(), noise=0.0)
+    outputs = {}
+    gc.collect()
+    start_all = time.perf_counter()
+    for strategy in STRATEGIES:
+        for concurrency in concurrencies:
+            machine = Machine(Simulator(), p3_8xlarge())
+            server = InferenceServer(machine, planner,
+                                     ServerConfig(strategy=strategy))
+            server.deploy([(build_model("bert-base"), concurrency)])
+            workload = PoissonWorkload(list(server.instances), rate=100.0,
+                                       num_requests=num_requests, seed=11)
+            report = server.run(workload.generate())
+            outputs[f"{strategy}@{concurrency}"] = _summarize(report)
+    return {"num_requests": num_requests,
+            "wall_s": time.perf_counter() - start_all, "outputs": outputs}
+
+
+def run_suite(smoke: bool = False) -> dict:
+    """Run every probe at smoke or full scale."""
+    if smoke:
+        return {
+            "scale": "smoke",
+            "event_churn": measure_event_churn(processes=20, timeouts=1000),
+            "flow_churn": measure_flow_churn(flows=1200, concurrency=8),
+            "plan_throughput": measure_plan_throughput(rounds=3),
+            "fig15": measure_fig15(duration=30.0),
+        }
+    return {
+        "scale": "full",
+        "event_churn": measure_event_churn(),
+        "flow_churn": measure_flow_churn(),
+        "plan_throughput": measure_plan_throughput(),
+        "fig15": measure_fig15(),
+        "fig13": measure_fig13(),
+    }
+
+
+# -- comparison -------------------------------------------------------------
+
+
+def _outputs_equal(a: dict, b: dict, rel_tol: float = 1e-9
+                   ) -> tuple[bool, bool, list[str]]:
+    """Compare simulated-output dicts: (identical, within_tol, diffs)."""
+    bit_identical = True
+    within = True
+    diffs = []
+    for key in sorted(set(a) | set(b)):
+        left, right = a.get(key), b.get(key)
+        if isinstance(left, dict) and isinstance(right, dict):
+            sub_bit, sub_within, sub_diffs = _outputs_equal(left, right,
+                                                            rel_tol)
+            bit_identical &= sub_bit
+            within &= sub_within
+            diffs.extend(f"{key}.{d}" for d in sub_diffs)
+            continue
+        if left == right:
+            continue
+        bit_identical = False
+        if (isinstance(left, float) and isinstance(right, float)
+                and abs(left - right)
+                <= rel_tol * max(abs(left), abs(right))):
+            continue
+        within = False
+        diffs.append(f"{key}: {left!r} != {right!r}")
+    return bit_identical, within, diffs
+
+
+def compare_runs(fast: dict, other: dict, label: str) -> dict:
+    """Speedups + simulated-output identity between two suite runs."""
+    result: dict = {"against": label, "speedup": {}, "identity": {}}
+    for probe, metric in (("event_churn", "events_per_sec"),
+                          ("flow_churn", "flows_per_sec")):
+        if probe in fast and probe in other:
+            result["speedup"][metric] = (fast[probe][metric]
+                                         / other[probe][metric])
+    if "plan_throughput" in fast and "plan_throughput" in other:
+        plans = result["speedup"]
+        plans["cold_plans_per_sec"] = (
+            fast["plan_throughput"]["cold_plans_per_sec"]
+            / other["plan_throughput"]["cold_plans_per_sec"])
+        plans["repeat_plans_per_sec"] = (
+            fast["plan_throughput"]["repeat_plans_per_sec"]
+            / other["plan_throughput"]["repeat_plans_per_sec"])
+    for figure in ("fig15", "fig13"):
+        if figure not in fast or figure not in other:
+            continue
+        result["speedup"][figure] = (other[figure]["wall_s"]
+                                     / fast[figure]["wall_s"])
+        bit, within, diffs = _outputs_equal(fast[figure]["outputs"],
+                                            other[figure]["outputs"])
+        result["identity"][figure] = {
+            "bit_identical": bit,
+            "within_1e-9": within,
+            "diffs": diffs[:20],
+        }
+    return result
+
+
+def emit_bench(smoke: bool = False) -> dict:
+    """Fast vs slow vs checked-in pre-change; writes BENCH_perf.json."""
+    if fastpath is None:
+        raise SystemExit("--emit-bench requires the fast-path build "
+                         "(repro.fastpath is missing)")
+    print("== fast path ==")
+    fast = run_suite(smoke=smoke)
+    print(json.dumps({k: v for k, v in fast.items() if k != "scale"},
+                     indent=2, default=str)[:2000])
+    print("== slow path (fast path disabled) ==")
+    with fastpath.forced(False):
+        slow = run_suite(smoke=smoke)
+    payload: dict = {
+        "generated_by": "benchmarks/bench_perf_simcore.py --emit-bench",
+        "scale": fast["scale"],
+        "fast": fast,
+        "slow_path": slow,
+        "comparison_vs_slow_path": compare_runs(fast, slow, "slow_path"),
+    }
+    if PRECHANGE_PATH.exists():
+        prechange = json.loads(PRECHANGE_PATH.read_text())
+        payload["prechange"] = prechange
+        payload["comparison_vs_prechange"] = compare_runs(
+            fast, prechange, "prechange (measured on the pre-change tree, "
+            "same machine)")
+        payload["speedup"] = payload["comparison_vs_prechange"]["speedup"]
+    else:  # pragma: no cover - prechange capture missing
+        payload["speedup"] = payload["comparison_vs_slow_path"]["speedup"]
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {BENCH_PATH}")
+    print("speedups:", json.dumps(payload["speedup"], indent=2))
+    return payload
+
+
+def check_baseline(measured: dict, baseline_path: pathlib.Path) -> None:
+    """Fail (SystemExit) if events/sec regressed >30% vs the baseline."""
+    baseline = json.loads(baseline_path.read_text())
+    floor = baseline["events_per_sec"] * (1.0 - SMOKE_REGRESSION_LIMIT)
+    got = measured["event_churn"]["events_per_sec"]
+    print(f"perf-smoke: events/sec {got:,.0f} "
+          f"(baseline {baseline['events_per_sec']:,.0f}, floor {floor:,.0f})")
+    if got < floor:
+        raise SystemExit(
+            f"perf-smoke FAILED: events/sec {got:,.0f} is more than "
+            f"{SMOKE_REGRESSION_LIMIT:.0%} below the baseline "
+            f"{baseline['events_per_sec']:,.0f} "
+            f"(see benchmarks/results/perf_baseline.json)")
+    print("perf-smoke OK")
+
+
+# -- pytest entry points ----------------------------------------------------
+
+
+def test_perf_simcore_smoke(benchmark, emit):
+    """Fast and slow paths must produce identical simulated results."""
+    from conftest import run_once
+
+    def run():
+        fast = measure_fig15(duration=20.0)
+        if fastpath is not None:
+            with fastpath.forced(False):
+                slow = measure_fig15(duration=20.0)
+        else:  # pragma: no cover - pre-change tree
+            slow = fast
+        return fast, slow
+
+    fast, slow = run_once(benchmark, run)
+    bit, within, diffs = _outputs_equal(fast["outputs"], slow["outputs"])
+    lines = [f"fig15 20s slice: fast {fast['wall_s']:.2f}s "
+             f"slow {slow['wall_s']:.2f}s "
+             f"speedup {slow['wall_s'] / fast['wall_s']:.2f}x",
+             f"bit identical: {bit}; within 1e-9: {within}"]
+    emit("perf_simcore_smoke", "\n".join(lines))
+    assert within, f"fast path changed simulated results: {diffs}"
+
+
+# -- CLI --------------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--measure", action="store_true",
+                        help="run the probe suite on the current tree")
+    parser.add_argument("--emit-bench", action="store_true",
+                        help="fast-vs-slow comparison; writes BENCH_perf.json")
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced workloads (CI)")
+    parser.add_argument("--check", action="store_true",
+                        help="compare events/sec against the checked-in "
+                             "baseline; exit non-zero on >30%% regression")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="refresh benchmarks/results/perf_baseline.json "
+                             "from this run")
+    parser.add_argument("-o", "--output", type=pathlib.Path, default=None)
+    args = parser.parse_args(argv)
+
+    if args.emit_bench:
+        emit_bench(smoke=args.smoke)
+        return
+
+    measured = run_suite(smoke=args.smoke)
+    print(json.dumps(measured, indent=2))
+    if args.output:
+        args.output.write_text(json.dumps(measured, indent=2) + "\n")
+        print(f"wrote {args.output}")
+    if args.write_baseline:
+        BASELINE_PATH.write_text(json.dumps({
+            "note": "perf-smoke baseline: events/sec floor is this value "
+                    "minus 30%; regenerate with "
+                    "`python benchmarks/bench_perf_simcore.py --smoke "
+                    "--write-baseline` on the reference machine",
+            "events_per_sec": measured["event_churn"]["events_per_sec"],
+        }, indent=2) + "\n")
+        print(f"wrote {BASELINE_PATH}")
+    if args.check:
+        check_baseline(measured, BASELINE_PATH)
+
+
+if __name__ == "__main__":
+    main()

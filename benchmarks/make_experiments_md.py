@@ -258,6 +258,16 @@ Calibration anchors (fitted, not independent evidence): Table 1 event
 counts, Table 2 serial bandwidths, warm BERT-Base latency (9.35 ms),
 PipeSwitch Table 4 column, the Figure 13 warm capacities. Everything
 else above is out-of-sample behaviour of the calibrated model.
+
+## Wall-clock performance
+
+The numbers above are *simulated* milliseconds; how long the simulator
+itself takes to produce them is a separate question. The simulation fast
+path (incremental fair-share rebalancing, Algorithm-1 memoization, plan
+caching — see `docs/performance.md`) runs the Figure 15 trace replay
+~3.2× faster than the pre-change tree with bit-identical simulated
+outputs. `make perf` reproduces the measurement and writes
+`BENCH_perf.json`; CI's perf-smoke job guards against regressions.
 """
 
 

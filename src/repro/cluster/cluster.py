@@ -124,6 +124,10 @@ class ClusterReport:
     submitted: int
     scaling_events: list[ScalingEvent]
     fault_log: list[tuple[FaultEvent, bool]]
+    #: Plan-cache counters of the fleet's shared planner (zero when the
+    #: planner runs without a cache).
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
 
     @property
     def completed(self) -> int:
@@ -137,6 +141,8 @@ class ClusterReport:
             "retries": float(self.retries),
             "machines": float(len(self.per_machine)),
             "crashes": float(sum(m.crashes for m in self.per_machine)),
+            "plan_cache_hits": float(self.plan_cache_hits),
+            "plan_cache_misses": float(self.plan_cache_misses),
         }
         if self.metrics.records:
             data.update(
@@ -456,6 +462,7 @@ class Cluster:
                              if gpu_seconds > 0 else 0.0),
                 crashes=cm.crashes,
             ))
+        plan_cache = self.planner.plan_cache
         return ClusterReport(
             metrics=self.metrics,
             per_machine=per_machine,
@@ -466,4 +473,7 @@ class Cluster:
             scaling_events=(list(self.autoscaler.events)
                             if self.autoscaler is not None else []),
             fault_log=list(injector.log) if injector is not None else [],
+            plan_cache_hits=plan_cache.hits if plan_cache is not None else 0,
+            plan_cache_misses=(plan_cache.misses
+                               if plan_cache is not None else 0),
         )

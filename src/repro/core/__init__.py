@@ -19,11 +19,13 @@ the steps together.
 """
 
 from repro.core.plan import ExecMethod, ExecutionPlan, Partition
+from repro.core.plan_cache import PlanCache, plan_cache_key
 from repro.core.serialization import load_plan, save_plan
 from repro.core.profiler import LayerProfiler, ProfileReport
 from repro.core.stall import (
     LayerTiming,
     Timeline,
+    TimelineMemo,
     baseline_latency,
     warm_latency,
 )
@@ -40,11 +42,14 @@ __all__ = [
     "LayerProfiler",
     "LayerTiming",
     "Partition",
+    "PlanCache",
     "PlanValidationError",
     "ProfileReport",
     "Strategy",
     "Timeline",
+    "TimelineMemo",
     "baseline_latency",
+    "plan_cache_key",
     "choose_secondary_gpus",
     "initial_approach",
     "load_plan",

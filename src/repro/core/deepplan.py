@@ -25,6 +25,7 @@ from repro.core.partitioner import (
     partition_model,
 )
 from repro.core.plan import ExecutionPlan, Partition
+from repro.core.plan_cache import PlanCache, plan_cache_key, resolve_plan_cache
 from repro.core.planner import LayerExecutionPlanner
 from repro.core.profiler import LayerProfiler, ProfileReport
 from repro.core.stall import baseline_latency, compute_timeline, warm_latency
@@ -71,7 +72,8 @@ class DeepPlan:
     """Generates execution plans for one machine preset."""
 
     def __init__(self, machine_spec: MachineSpec, iterations: int = 10,
-                 noise: float = 0.01, seed: int = 0) -> None:
+                 noise: float = 0.01, seed: int = 0,
+                 plan_cache: "PlanCache | None | bool" = None) -> None:
         self.machine_spec = machine_spec
         self.cost_model = CostModel(machine_spec)
         self.profiler = LayerProfiler(self.cost_model, iterations=iterations,
@@ -80,6 +82,12 @@ class DeepPlan:
         # are machine-shape-specific, not simulator-instance-specific.
         self._topology = Machine(Simulator(), machine_spec)
         self._profiles: dict[tuple[str, int], ProfileReport] = {}
+        #: Everything that (besides the model and the plan request) can
+        #: change a generated plan — part of the plan-cache key.
+        self._calibration = (iterations, float(noise), seed)
+        #: Keyed plan cache; ``None``, ``True``/``False`` or a shared
+        #: :class:`PlanCache` (see :func:`resolve_plan_cache`).
+        self.plan_cache = resolve_plan_cache(plan_cache)
 
     # -- profiling ---------------------------------------------------------------
 
@@ -101,11 +109,22 @@ class DeepPlan:
         topology supports, capped at 2 as the paper does on p3.8xlarge.
         """
         strategy = Strategy.parse(strategy)
+        if strategy.uses_parallel_transmission:
+            num_partitions = self._partition_count(num_gpus)
+        else:
+            num_partitions = 1
+        cache = self.plan_cache
+        if cache is not None:
+            key = plan_cache_key(model, self.machine_spec, self._calibration,
+                                 strategy.value, batch_size, num_partitions)
+            cached = cache.get(key)
+            if cached is not None:
+                return cached
         profile = self.profile(model, batch_size)
         costs = profile.layers
 
-        if strategy.uses_parallel_transmission:
-            partitions = partition_model(model, self._partition_count(num_gpus))
+        if num_partitions > 1:
+            partitions = partition_model(model, num_partitions)
         else:
             partitions = (Partition(index=0, start=0, stop=len(model.layers)),)
 
@@ -122,7 +141,7 @@ class DeepPlan:
             predicted = compute_timeline(costs, decisions, partitions,
                                          nvlink_time).total_latency
 
-        return ExecutionPlan(
+        plan = ExecutionPlan(
             model=model,
             batch_size=batch_size,
             decisions=tuple(decisions),
@@ -132,6 +151,9 @@ class DeepPlan:
             predicted_latency=predicted,
             predicted_warm_latency=warm_latency(costs, decisions),
         )
+        if cache is not None:
+            cache.put(key, plan)
+        return plan
 
     def provision_penalty(self, model: ModelSpec,
                           strategy: "Strategy | str" = Strategy.PT_DHA,

@@ -144,10 +144,20 @@ class ExecutionPlan:
         return len(self.partitions) > 1
 
     def loaded_indices(self) -> list[int]:
-        """Layers whose parameters are copied to the GPU."""
-        return [i for i, (layer, method)
-                in enumerate(zip(self.model.layers, self.decisions))
-                if layer.loadable and method is ExecMethod.LOAD]
+        """Layers whose parameters are copied to the GPU.
+
+        Plans are immutable, and the serving system asks this per request,
+        so the answer is computed once and cached (writing through
+        ``__dict__`` — the dataclass is frozen, not slotted).  Callers
+        must treat the returned list as read-only.
+        """
+        cached = self.__dict__.get("_loaded_indices")
+        if cached is None:
+            cached = [i for i, (layer, method)
+                      in enumerate(zip(self.model.layers, self.decisions))
+                      if layer.loadable and method is ExecMethod.LOAD]
+            self.__dict__["_loaded_indices"] = cached
+        return cached
 
     def dha_indices(self) -> list[int]:
         """Layers with parameters left host-resident for DHA."""
@@ -156,8 +166,15 @@ class ExecutionPlan:
                 if layer.loadable and method is ExecMethod.DHA]
 
     def loaded_indices_in(self, partition_index: int) -> list[int]:
-        partition = self.partitions[partition_index]
-        return [i for i in self.loaded_indices() if i in partition]
+        cached = self.__dict__.get("_loaded_indices_in")
+        if cached is None:
+            cached = self.__dict__["_loaded_indices_in"] = {}
+        indices = cached.get(partition_index)
+        if indices is None:
+            partition = self.partitions[partition_index]
+            indices = cached[partition_index] = [
+                i for i in self.loaded_indices() if i in partition]
+        return indices
 
     # -- footprints --------------------------------------------------------------
 
@@ -169,8 +186,12 @@ class ExecutionPlan:
         instances per GPU than PipeSwitch (paper Figure 13: 124 vs 100
         BERT-Base instances across four V100s).
         """
-        return sum(self.model.layers[i].param_bytes
-                   for i in self.loaded_indices())
+        cached = self.__dict__.get("_gpu_resident_bytes")
+        if cached is None:
+            cached = sum(self.model.layers[i].param_bytes
+                         for i in self.loaded_indices())
+            self.__dict__["_gpu_resident_bytes"] = cached
+        return cached
 
     @property
     def host_resident_bytes(self) -> int:

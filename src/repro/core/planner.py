@@ -21,8 +21,9 @@ from __future__ import annotations
 
 import typing
 
+from repro import fastpath
 from repro.core.plan import ExecMethod, Partition
-from repro.core.stall import Timeline, compute_timeline
+from repro.core.stall import Timeline, TimelineMemo, compute_timeline
 from repro.models.costs import LayerCosts
 
 __all__ = ["LayerExecutionPlanner", "initial_approach"]
@@ -73,20 +74,46 @@ class LayerExecutionPlanner:
 
     # -- the algorithm -----------------------------------------------------------
 
-    def plan(self) -> list[ExecMethod]:
-        """Run Algorithm 1 and return the final decision vector."""
+    def plan(self, memoize: bool | None = None) -> list[ExecMethod]:
+        """Run Algorithm 1 and return the final decision vector.
+
+        ``memoize`` selects the memoized timeline (default: the fast-path
+        setting).  The reference path recomputes the full timeline before
+        each layer; the memoized path restores the pipeline clocks at the
+        first layer a conversion changed and re-accumulates only the
+        suffix — same arithmetic, same order, bit-identical decisions.
+        """
+        if memoize is None:
+            memoize = fastpath.enabled()
         decisions = self.all_loaded()
+        if not memoize:
+            for i in range(len(self.costs)):
+                timeline = self._timeline(decisions)
+                stall = timeline.stall_of(i)
+                if stall <= 0:
+                    continue
+                self._reduce_stall(i, stall, decisions)
+            return decisions
+
+        memo = TimelineMemo(self.costs, decisions, self.partitions,
+                            self.nvlink_time)
         for i in range(len(self.costs)):
-            timeline = self._timeline(decisions)
-            stall = timeline.stall_of(i)
+            stall = memo.stall_of(i)
             if stall <= 0:
                 continue
-            self._reduce_stall(i, stall, decisions)
+            changed_from = self._reduce_stall(i, stall, decisions)
+            if changed_from is not None:
+                memo.refresh(decisions, changed_from)
         return decisions
 
     def _reduce_stall(self, i: int, stall: float,
-                      decisions: list[ExecMethod]) -> None:
-        """Steps 1-4 of Algorithm 1 for one stalled layer ``L_i``."""
+                      decisions: list[ExecMethod]) -> int | None:
+        """Steps 1-4 of Algorithm 1 for one stalled layer ``L_i``.
+
+        Returns the smallest converted layer index (``None`` when no
+        conversion happened) so a memoized timeline knows where its
+        cached prefix ends.
+        """
         # Step 1: candidate layers L_1..L_i not yet converted, sorted by
         # PerfDiff ascending (cheapest conversions first).
         candidates = sorted(
@@ -94,6 +121,7 @@ class LayerExecutionPlanner:
              if decisions[j] is ExecMethod.LOAD
              and self.costs[j].load_pcie_bytes > 0),
             key=lambda j: self.costs[j].perf_diff)
+        first_converted: int | None = None
         for j in candidates:
             perf_diff = self.costs[j].perf_diff
             # Step 2: a conversion only helps while its execution-time
@@ -102,11 +130,14 @@ class LayerExecutionPlanner:
                 break
             # Step 3: convert L_j and credit its removed load time.
             decisions[j] = ExecMethod.DHA
+            if first_converted is None or j < first_converted:
+                first_converted = j
             stall -= self.costs[j].load_time + perf_diff
             # Step 4: stall eliminated; the timeline is recomputed before
             # the next layer is examined.
             if stall <= 0:
                 break
+        return first_converted
 
     # -- helpers ----------------------------------------------------------------------
 

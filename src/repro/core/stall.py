@@ -31,8 +31,8 @@ import typing
 from repro.core.plan import ExecMethod, Partition
 from repro.models.costs import EVENT_SYNC_OVERHEAD, LayerCosts
 
-__all__ = ["LayerTiming", "Timeline", "compute_timeline", "baseline_latency",
-           "warm_latency"]
+__all__ = ["LayerTiming", "Timeline", "TimelineMemo", "compute_timeline",
+           "baseline_latency", "warm_latency"]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -151,6 +151,103 @@ def _param_ready_times(
                                    + nvlink_time(cost.load_pcie_bytes))
                 ready[i] = migration_clock
     return ready
+
+
+class TimelineMemo:
+    """Incrementally maintained stall timeline for Algorithm 1.
+
+    Algorithm 1 recomputes the timeline after every DHA conversion, but a
+    conversion at layer ``j`` only changes ready/start/end times from
+    ``j`` onward (and only within the primary partition's load stream —
+    the algorithm never converts secondary-partition layers).  This memo
+    checkpoints the load-stream lane clock and the execution clock after
+    every layer, so :meth:`refresh` restores the clocks at the first
+    changed layer and re-accumulates just the suffix — the same float
+    operations in the same order as a from-scratch
+    :func:`compute_timeline`, hence bit-identical stalls.
+    """
+
+    __slots__ = ("costs", "partitions", "nvlink_time", "_primary", "_ready",
+                 "_lane_after", "_end", "_stall")
+
+    def __init__(self, costs: typing.Sequence[LayerCosts],
+                 decisions: typing.Sequence[ExecMethod],
+                 partitions: typing.Sequence[Partition] = (),
+                 nvlink_time: typing.Callable[[int], float] | None = None
+                 ) -> None:
+        n = len(costs)
+        if len(decisions) != n:
+            raise ValueError(f"{len(decisions)} decisions for {n} layers")
+        if not partitions:
+            partitions = (Partition(index=0, start=0, stop=n),)
+        if len(partitions) > 1 and nvlink_time is None:
+            raise ValueError("parallel transmission requires nvlink_time")
+        self.costs = list(costs)
+        self.partitions = tuple(partitions)
+        self.nvlink_time = nvlink_time
+        self._primary = self.partitions[0]
+        self._ready = [0.0] * n
+        #: Load-stream lane clock after each primary-partition layer.
+        self._lane_after = [0.0] * n
+        self._end = [0.0] * n
+        self._stall = [0.0] * n
+        # Secondary partitions never change decisions under Algorithm 1;
+        # their NVLink-migrated ready times are computed exactly once.
+        for partition in self.partitions[1:]:
+            lane_clock = 0.0
+            migration_clock = 0.0
+            for i in range(partition.start, partition.stop):
+                cost = self.costs[i]
+                if decisions[i] is not ExecMethod.LOAD \
+                        or cost.load_pcie_bytes == 0:
+                    continue
+                lane_clock += cost.load_time
+                assert nvlink_time is not None
+                migration_clock = (max(migration_clock, lane_clock)
+                                   + nvlink_time(cost.load_pcie_bytes))
+                self._ready[i] = migration_clock
+        self.refresh(decisions, 0)
+
+    def refresh(self, decisions: typing.Sequence[ExecMethod],
+                changed_from: int) -> None:
+        """Recompute timings for layers ``changed_from`` onward."""
+        primary = self._primary
+        costs = self.costs
+        ready, lane_after = self._ready, self._lane_after
+        if changed_from < primary.stop:
+            start = max(primary.start, changed_from)
+            lane = lane_after[start - 1] if start > primary.start else 0.0
+            for i in range(start, primary.stop):
+                cost = costs[i]
+                if decisions[i] is ExecMethod.LOAD \
+                        and cost.load_pcie_bytes > 0:
+                    lane += cost.load_time
+                    ready[i] = lane
+                else:
+                    ready[i] = 0.0
+                lane_after[i] = lane
+        end, stall = self._end, self._stall
+        end_prev = end[changed_from - 1] if changed_from > 0 else 0.0
+        for i in range(changed_from, len(costs)):
+            cost = costs[i]
+            if cost.load_pcie_bytes > 0 and decisions[i] is ExecMethod.LOAD:
+                ready_i = ready[i]
+                stall[i] = ready_i - end_prev if ready_i > end_prev else 0.0
+                begin = end_prev if end_prev > ready_i else ready_i
+                # Parenthesized to match compute_timeline's ``start +
+                # (exec + sync)`` association bit for bit.
+                end_prev = begin + (cost.exec_inmem + EVENT_SYNC_OVERHEAD)
+            else:
+                stall[i] = 0.0
+                end_prev = end_prev + cost.exec_dha
+            end[i] = end_prev
+
+    def stall_of(self, layer_index: int) -> float:
+        return self._stall[layer_index]
+
+    @property
+    def total_latency(self) -> float:
+        return self._end[-1]
 
 
 def baseline_latency(costs: typing.Sequence[LayerCosts]) -> float:

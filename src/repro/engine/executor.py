@@ -29,7 +29,8 @@ from repro.models.costs import (
 )
 from repro.simkit import Event, Process, all_of
 
-__all__ = ["ExecutionResult", "LayerTrace", "execute_plan", "execute_warm"]
+__all__ = ["ExecutionResult", "LayerTrace", "execute_plan", "execute_warm",
+           "plan_generator", "warm_generator", "warm_segments"]
 
 #: DMA priority of secondary-partition copies relative to a lane's own
 #: traffic.  Parallel transmission *borrows* another GPU's PCIe lane; its
@@ -135,6 +136,42 @@ def execute_warm(machine: Machine, cost_model: CostModel,
                                name=f"warm:{plan.model.name}")
 
 
+def plan_generator(machine: Machine, cost_model: CostModel,
+                   plan: ExecutionPlan, primary: int,
+                   secondaries: typing.Sequence[int] = (),
+                   detailed_traces: bool = True
+                   ) -> typing.Generator[Event, object, ExecutionResult]:
+    """Like :func:`execute_plan`, but returns the bare generator.
+
+    A caller that is itself a simkit process can ``yield from`` this
+    instead of yielding a wrapper :class:`Process`, saving the process
+    object, its completion event and two queue operations per cold start
+    — the serving system's provisioning path.
+    """
+    secondaries = tuple(secondaries)
+    needed = plan.num_partitions - 1
+    if len(secondaries) != needed:
+        raise ValueError(
+            f"plan has {plan.num_partitions} partitions; expected {needed} "
+            f"secondary GPUs, got {len(secondaries)}")
+    runner = _PlanRunner(machine, cost_model, plan, primary, secondaries,
+                         detailed_traces=detailed_traces)
+    return runner.run()
+
+
+def warm_generator(machine: Machine, cost_model: CostModel,
+                   plan: ExecutionPlan, gpu: int, coalesced: bool = True
+                   ) -> typing.Generator[Event, object, ExecutionResult]:
+    """Like :func:`execute_warm`, but returns the bare generator.
+
+    ``yield from`` this from another process to run a warm inference
+    without spawning a per-request :class:`Process` — the serving
+    system's hot path.
+    """
+    runner = _PlanRunner(machine, cost_model, plan, gpu, ())
+    return runner.run_warm(coalesced=coalesced)
+
+
 class _PlanRunner:
     """One execution of one plan; holds the per-run event plumbing."""
 
@@ -200,14 +237,33 @@ class _PlanRunner:
         layer instead (the differential harness's reference path)."""
         started_at = self.sim.now
         if coalesced:
-            segments = _warm_segments(self.plan, self.costs)
+            # The DHA body is inlined (instead of delegating to
+            # _run_dha_layer) so every event resumes one generator frame
+            # fewer — this loop runs a couple hundred thousand times per
+            # serving experiment.  Same arithmetic, see _run_dha_layer.
+            sim = self.sim
+            network = self.machine.network
+            path = self.machine.pcie_path(self.primary)
+            for kind, value in warm_segments(self.plan, self.costs):
+                if kind == "exec":
+                    yield sim.timeout(typing.cast(float, value))
+                    continue
+                traffic, max_rate, compute, tail, extra = \
+                    typing.cast(tuple, value)
+                compute_end = sim.now + compute
+                if traffic > 0:
+                    yield network.transfer(path, traffic, max_rate=max_rate)
+                resumed = sim.now
+                if resumed < compute_end:
+                    resumed = compute_end
+                yield sim.timeout_at(resumed + tail + extra)
         else:
-            segments = _per_layer_warm_segments(self.plan, self.costs)
-        for kind, value in segments:
-            if kind == "exec":
-                yield self.sim.timeout(typing.cast(float, value))
-            else:
-                yield from self._run_dha_layer(typing.cast(int, value))
+            for kind, value in _per_layer_warm_segments(self.plan,
+                                                        self.costs):
+                if kind == "exec":
+                    yield self.sim.timeout(typing.cast(float, value))
+                else:
+                    yield from self._run_dha_layer(typing.cast(int, value))
         return ExecutionResult(
             plan=self.plan, primary_gpu=self.primary, secondary_gpus=(),
             started_at=started_at, finished_at=self.sim.now,
@@ -330,11 +386,24 @@ class _PlanRunner:
         stall time.
         """
         total_stall = 0.0
+        sim = self.sim
+        network = self.machine.network
+        path = self.machine.pcie_path(self.primary)
         for kind, value in _cold_exec_segments(self.plan, self.costs):
             if kind == "exec":
-                yield self.sim.timeout(typing.cast(float, value))
+                yield sim.timeout(typing.cast(float, value))
             elif kind == "dha":
-                yield from self._run_dha_layer(typing.cast(int, value))
+                # Inlined DHA body (see run_warm): one generator frame
+                # fewer per event.  Same arithmetic as _run_dha_layer.
+                traffic, max_rate, compute, tail, extra = \
+                    typing.cast(tuple, value)
+                compute_end = sim.now + compute
+                if traffic > 0:
+                    yield network.transfer(path, traffic, max_rate=max_rate)
+                resumed = sim.now
+                if resumed < compute_end:
+                    resumed = compute_end
+                yield sim.timeout_at(resumed + tail + extra)
             else:
                 ready = self._ready[typing.cast(int, value)]
                 if not ready.triggered:
@@ -343,27 +412,42 @@ class _PlanRunner:
                     total_stall += self.sim.now - wait_start
         return total_stall
 
-    def _run_dha_layer(self, i: int) -> typing.Generator[Event, object, None]:
+    def _run_dha_layer(self, i: int, tail_extra: float = 0.0
+                       ) -> typing.Generator[Event, object, None]:
         """Execute layer *i* by direct-host-access.
 
         The kernel's zero-copy reads become a real flow on the primary
         GPU's PCIe lane (capped at the layer's effective DHA bandwidth),
         overlapped with the compute roofline; so DHA execution both
         suffers from and causes PCIe contention.
+
+        The layer ends at ``max(compute end, transfer end)`` plus the
+        kernel-switch penalty and activation writeback; waiting on the
+        transfer and then sleeping to that precomputed absolute instant
+        is equivalent to joining compute and transfer with ``all_of`` but
+        costs two simulator events instead of six.
+
+        ``tail_extra`` extends the final sleep: coalesced schedules fold
+        the in-memory run that follows a DHA layer into its tail timeout
+        (nothing touches the network during either), saving one event per
+        pair at identical end times.
         """
         layer = self.plan.model.layers[i]
         traffic = layer.dha_pcie_bytes(self.batch)
         compute = max(KIND_TIME_FLOOR[layer.kind],
                       self.costs.compute_time(layer, self.batch))
-        waits = [self.sim.timeout(compute)]
+        compute_end = self.sim.now + compute
         if traffic > 0:
-            waits.append(self.machine.network.transfer(
+            yield self.machine.network.transfer(
                 self.machine.pcie_path(self.primary), traffic,
-                max_rate=self.costs.dha_bandwidth(layer)))
-        yield all_of(self.sim, waits)
+                max_rate=self.costs.dha_bandwidth(layer))
         act_time = (layer.act_bytes_per_item * self.batch
                     / self.costs.gpu.hbm_bandwidth)
-        yield self.sim.timeout(DHA_KERNEL_PENALTY + act_time)
+        resumed = self.sim.now
+        if resumed < compute_end:
+            resumed = compute_end
+        yield self.sim.timeout_at(
+            resumed + (DHA_KERNEL_PENALTY + act_time) + tail_extra)
 
 
 # Segment schedules are cached by *identity* of (plan, cost model): the
@@ -394,10 +478,49 @@ def _cold_exec_segments(plan: ExecutionPlan, costs: CostModel
     """Cold-start execution schedule with non-waiting runs coalesced.
 
     Segment kinds: ``("wait", i)`` — block until layer *i*'s parameters
-    are ready; ``("exec", seconds)`` — run for that long; ``("dha", i)``
-    — execute layer *i* by direct-host-access.
+    are ready; ``("exec", seconds)`` — run for that long;
+    ``("dha", (traffic, max_rate, compute, tail, extra))`` — execute a
+    layer by direct-host-access, parameters precomputed by
+    :func:`_dha_segment`, the following in-memory run folded into
+    ``extra`` by :func:`_fold_dha_tails`.
     """
     return _cached_segments("cold", plan, costs, _build_cold_segments)
+
+
+def _dha_segment(layer, costs: CostModel, batch: int) -> tuple[str, object]:
+    """Precomputed DHA segment: ``("dha", (traffic, max_rate, compute,
+    tail, extra))``.
+
+    Everything that depends only on (plan, cost model, batch) — the PCIe
+    traffic, the rate cap, the compute roofline and the
+    penalty-plus-writeback tail — is evaluated once at schedule-build
+    time instead of per request.  ``extra`` is the in-memory run folded
+    into the tail sleep by :func:`_fold_dha_tails` (initially zero).
+    Float associativity matches :meth:`_PlanRunner._run_dha_layer`
+    term for term, so both paths land on bit-identical end times.
+    """
+    traffic = layer.dha_pcie_bytes(batch)
+    compute = max(KIND_TIME_FLOOR[layer.kind],
+                  costs.compute_time(layer, batch))
+    act_time = layer.act_bytes_per_item * batch / costs.gpu.hbm_bandwidth
+    return ("dha", (traffic, costs.dha_bandwidth(layer), compute,
+                    DHA_KERNEL_PENALTY + act_time, 0.0))
+
+
+def _fold_dha_tails(segments: list[tuple[str, object]]
+                    ) -> tuple[tuple[str, object], ...]:
+    """Fold each ``("exec", t)`` that follows a DHA segment into the DHA
+    layer's tail sleep (its ``extra`` slot) — one simulator event instead
+    of two, at a bit-identical end time (the tail sleep already targets
+    an absolute instant; the run just extends it)."""
+    folded: list[tuple[str, object]] = []
+    for kind, value in segments:
+        if kind == "exec" and folded and folded[-1][0] == "dha":
+            dha = typing.cast(tuple, folded[-1][1])
+            folded[-1] = ("dha", dha[:4] + (value,))
+            continue
+        folded.append((kind, value))
+    return tuple(folded)
 
 
 def _build_cold_segments(plan: ExecutionPlan, costs: CostModel
@@ -416,17 +539,23 @@ def _build_cold_segments(plan: ExecutionPlan, costs: CostModel
             if accumulated:
                 segments.append(("exec", accumulated))
                 accumulated = 0.0
-            segments.append(("dha", i))
+            segments.append(_dha_segment(layer, costs, plan.batch_size))
         else:
             accumulated += costs.exec_inmem(layer, plan.batch_size)
     if accumulated:
         segments.append(("exec", accumulated))
-    return tuple(segments)
+    return _fold_dha_tails(segments)
 
 
-def _warm_segments(plan: ExecutionPlan, costs: CostModel
-                   ) -> tuple[tuple[str, object], ...]:
-    """Warm-execution schedule: runs of in-memory layers coalesced."""
+def warm_segments(plan: ExecutionPlan, costs: CostModel
+                  ) -> tuple[tuple[str, object], ...]:
+    """Warm-execution schedule: runs of in-memory layers coalesced.
+
+    Public so the serving system can drive the warm loop from its own
+    worker generator (one frame per event resume) instead of delegating
+    through :func:`warm_generator`.  Segment kinds are those of
+    :func:`_cold_exec_segments`, minus ``"wait"``.
+    """
     return _cached_segments("warm", plan, costs, _build_warm_segments)
 
 
@@ -439,12 +568,12 @@ def _build_warm_segments(plan: ExecutionPlan, costs: CostModel
             if accumulated:
                 segments.append(("exec", accumulated))
                 accumulated = 0.0
-            segments.append(("dha", i))
+            segments.append(_dha_segment(layer, costs, plan.batch_size))
         else:
             accumulated += costs.exec_inmem(layer, plan.batch_size)
     if accumulated:
         segments.append(("exec", accumulated))
-    return tuple(segments)
+    return _fold_dha_tails(segments)
 
 
 def _per_layer_warm_segments(plan: ExecutionPlan, costs: CostModel

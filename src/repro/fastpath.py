@@ -1,0 +1,37 @@
+"""Global switch for the simulation fast path.
+
+The fast path (incremental fair-share rebalancing, planner timeline
+memoization, plan caching) is on by default and produces the same
+simulated results as the reference implementations; it exists purely to
+cut wall-clock time.  Two ways to fall back to the reference code paths:
+
+* environment: run with ``REPRO_SLOW_PATH=1``;
+* in-process: ``with fastpath.forced(False): ...`` — used by the perf
+  harness and the differential tests to run both paths side by side.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+
+_forced: bool | None = None
+
+
+def enabled() -> bool:
+    """True when the fast path should be used."""
+    if _forced is not None:
+        return _forced
+    return os.environ.get("REPRO_SLOW_PATH") != "1"
+
+
+@contextlib.contextmanager
+def forced(value: bool):
+    """Force the fast path on/off for the duration of the block."""
+    global _forced
+    previous = _forced
+    _forced = value
+    try:
+        yield
+    finally:
+        _forced = previous

@@ -21,7 +21,11 @@ import typing
 from repro.core.deepplan import DeepPlan, Strategy
 from repro.core.plan import ExecutionPlan
 from repro.core.validate import validate_plan_on_machine
-from repro.engine.executor import execute_plan, execute_warm
+from repro.engine.executor import (
+    plan_generator,
+    warm_generator,
+    warm_segments,
+)
 from repro.errors import WorkloadError
 from repro.hw.machine import Machine
 from repro.models.graph import ModelSpec
@@ -79,12 +83,18 @@ class ServingReport:
     prewarmed: int
     evictions: int
     duration: float
+    #: Planner plan-cache counters over the planner's lifetime (zero when
+    #: the planner runs without a cache).
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
 
     def summary(self) -> dict[str, float]:
         data = self.metrics.summary()
         data.update(instances=float(self.num_instances),
                     prewarmed=float(self.prewarmed),
-                    evictions=float(self.evictions))
+                    evictions=float(self.evictions),
+                    plan_cache_hits=float(self.plan_cache_hits),
+                    plan_cache_misses=float(self.plan_cache_misses))
         return data
 
 
@@ -383,12 +393,16 @@ class InferenceServer:
             self._drained = None
         if self.auditor is not None:
             self.auditor.check_quiesce()
+        plan_cache = self.planner.plan_cache
         return ServingReport(
             metrics=self.metrics,
             num_instances=len(self._instances),
             prewarmed=prewarmed,
             evictions=sum(c.evictions for c in self._caches.values()),
             duration=self.sim.now - start_time,
+            plan_cache_hits=plan_cache.hits if plan_cache is not None else 0,
+            plan_cache_misses=(plan_cache.misses
+                               if plan_cache is not None else 0),
         )
 
     def _prewarm(self, dry_run: bool = False) -> int:
@@ -473,23 +487,92 @@ class InferenceServer:
                 f"plan for the desired batch size instead")
 
     def _worker(self, gpu_index: int) -> typing.Generator[Event, object, None]:
+        # The serving body lives directly in this loop (rather than in a
+        # delegated sub-generator): the worker's frame is resumed once per
+        # simulated event during plan execution, and every level of
+        # ``yield from`` delegation adds a frame traversal to each resume.
         queue = self._queues[gpu_index]
+        cache = self._caches[gpu_index]
+        sim = self.sim
+        network = self.machine.network
+        pcie_path = self.machine.pcie_path(gpu_index)
         while True:
-            request = yield queue.get()
+            request = typing.cast(Request, (yield queue.get()))
             if self._down:
                 # The crash hit between this request leaving the queue and
                 # the worker resuming: it is in neither the queue (so
                 # fail_over's drain missed it) nor _active.  Orphan it
                 # here so it is retried like the rest.
-                request = typing.cast(Request, request)
                 self._outstanding -= 1
                 self._maybe_finish_drain()
                 if self.on_orphan is not None:
                     self.on_orphan(request)
                 continue
             try:
-                yield from self._serve(gpu_index,
-                                       typing.cast(Request, request))
+                instance = self._instances[request.instance_name]
+                epoch = self._epoch
+                self._active[gpu_index] = request
+                request.started_at = started = sim.now
+                cold = instance not in cache
+                request.cold_start = cold
+                if cold:
+                    cache.admit(instance)
+                    secondaries = self._cold_start_secondaries(instance)
+                    yield from plan_generator(
+                        self.machine, self.planner.cost_model, instance.plan,
+                        gpu_index, secondaries,
+                        detailed_traces=self.config.detailed_traces)
+                elif self.config.detailed_traces:
+                    cache.touch(instance)
+                    yield from warm_generator(
+                        self.machine, self.planner.cost_model, instance.plan,
+                        gpu_index, coalesced=False)
+                else:
+                    # Warm hits dominate a serving run; the coalesced warm
+                    # loop lives here directly (the arithmetic of
+                    # _PlanRunner._run_dha_layer, precomputed into
+                    # segments) so each of its events resumes exactly one
+                    # generator frame.
+                    cache.touch(instance)
+                    for kind, value in warm_segments(instance.plan,
+                                                     self.planner.cost_model):
+                        if kind == "exec":
+                            yield sim.timeout(value)
+                            continue
+                        traffic, max_rate, compute, tail, extra = value
+                        compute_end = sim.now + compute
+                        if traffic > 0:
+                            yield network.transfer(pcie_path, traffic,
+                                                   max_rate=max_rate)
+                        resumed = sim.now
+                        if resumed < compute_end:
+                            resumed = compute_end
+                        yield sim.timeout_at(resumed + tail + extra)
+                if epoch != self._epoch:
+                    # The machine crashed mid-execution.  The simulated
+                    # work ran to completion (its events were already in
+                    # flight), but the result is lost: fail_over() already
+                    # orphaned this request, so record nothing and notify
+                    # no one.
+                    continue
+                self._active.pop(gpu_index, None)
+                request.finished_at = sim.now
+                self.busy_time += sim.now - started
+                self.requests_served += 1
+                record = RequestRecord(
+                    request_id=request.request_id,
+                    instance_name=request.instance_name,
+                    arrival_time=request.arrival_time,
+                    submitted_at=typing.cast(float, request.submitted_at),
+                    started_at=request.started_at,
+                    finished_at=request.finished_at,
+                    cold_start=cold,
+                )
+                self.metrics.record(record)
+                self._outstanding -= 1
+                for callback in list(self._completion_callbacks):
+                    callback(request, record)
+                self._maybe_finish_drain()
             except Exception as error:
                 # Surface worker failures to run() (or the cluster)
                 # instead of letting the simulation hang.
@@ -499,52 +582,6 @@ class InferenceServer:
                         and not self.failure_event.triggered):
                     self.failure_event.fail(error)
                 raise
-
-    def _serve(self, gpu_index: int, request: Request
-               ) -> typing.Generator[Event, object, None]:
-        instance = self._instances[request.instance_name]
-        cache = self._caches[gpu_index]
-        epoch = self._epoch
-        self._active[gpu_index] = request
-        request.started_at = self.sim.now
-        started = self.sim.now
-        cold = instance not in cache
-        request.cold_start = cold
-        if cold:
-            cache.admit(instance)
-            secondaries = self._cold_start_secondaries(instance)
-            yield execute_plan(self.machine, self.planner.cost_model,
-                               instance.plan, gpu_index, secondaries,
-                               detailed_traces=self.config.detailed_traces)
-        else:
-            cache.touch(instance)
-            yield execute_warm(self.machine, self.planner.cost_model,
-                               instance.plan, gpu_index,
-                               coalesced=not self.config.detailed_traces)
-        if epoch != self._epoch:
-            # The machine crashed mid-execution.  The simulated work ran
-            # to completion (its events were already in flight), but the
-            # result is lost: fail_over() already orphaned this request,
-            # so record nothing and notify no one.
-            return
-        self._active.pop(gpu_index, None)
-        request.finished_at = self.sim.now
-        self.busy_time += self.sim.now - started
-        self.requests_served += 1
-        record = RequestRecord(
-            request_id=request.request_id,
-            instance_name=request.instance_name,
-            arrival_time=request.arrival_time,
-            submitted_at=typing.cast(float, request.submitted_at),
-            started_at=request.started_at,
-            finished_at=request.finished_at,
-            cold_start=cold,
-        )
-        self.metrics.record(record)
-        self._outstanding -= 1
-        for callback in list(self._completion_callbacks):
-            callback(request, record)
-        self._maybe_finish_drain()
 
     def _cold_start_secondaries(self, instance: ModelInstance) -> list[int]:
         needed = instance.plan.num_partitions - 1

@@ -56,7 +56,7 @@ class Event:
     @property
     def value(self) -> object:
         """The success value or failure exception of a triggered event."""
-        if not self.triggered:
+        if self._state == _PENDING:
             raise RuntimeError(f"event {self!r} has not been triggered")
         return self._value
 
@@ -64,7 +64,15 @@ class Event:
 
     def succeed(self, value: object = None) -> "Event":
         """Trigger the event successfully, delivering *value* to waiters."""
-        self._trigger(_SUCCEEDED, value)
+        # _trigger and _schedule_event_dispatch, inlined: this runs once
+        # per successful event, which is nearly every action the
+        # simulator executes.
+        if self._state is not _PENDING:
+            raise RuntimeError(f"event {self!r} already triggered")
+        self._state = _SUCCEEDED
+        self._value = value
+        sim = self.sim
+        sim._ripe.append((next(sim._sequence), self._dispatch))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -75,7 +83,7 @@ class Event:
         return self
 
     def _trigger(self, state: str, value: object) -> None:
-        if self.triggered:
+        if self._state != _PENDING:
             raise RuntimeError(f"event {self!r} already triggered")
         self._state = state
         self._value = value
@@ -83,9 +91,9 @@ class Event:
 
     def _dispatch(self) -> None:
         """Run callbacks; invoked by the simulator at the trigger time."""
-        callbacks, self._callbacks = self._callbacks, None
-        assert callbacks is not None
-        for callback in callbacks:
+        callbacks = self._callbacks
+        self._callbacks = None
+        for callback in callbacks:  # type: ignore[union-attr]
             callback(self)
 
     # -- waiting -----------------------------------------------------------

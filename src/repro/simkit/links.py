@@ -10,14 +10,28 @@ paper — two GPUs halving each other's bandwidth through a shared switch
 emerge from the model instead of being special-cased.
 
 Rates are recomputed with the classic progressive-filling (water-filling)
-algorithm, which yields the unique max-min fair allocation.
+algorithm, which yields the unique max-min fair allocation.  The
+allocation decomposes exactly over connected components of the
+flow/link contention graph (two flows interact only if a chain of shared
+links connects them), which enables the incremental fast path: when a
+flow starts or finishes, only its connected component is refilled; rates
+elsewhere are provably unchanged.  Wake-ups that change no membership at
+all (milestone crossings, completions of flows that shared no link) skip
+the fill entirely.  ``REPRO_SLOW_PATH=1`` (see :mod:`repro.fastpath`)
+refills every component from scratch on every change instead — same
+per-component arithmetic, so both paths produce bit-identical rates —
+and :meth:`FlowNetwork.reference_fair_rates` exposes the original
+whole-network progressive filling for differential testing.
 """
 
 from __future__ import annotations
 
+import heapq
 import itertools
+import operator
 import typing
 
+from repro import fastpath
 from repro.simkit.events import Event
 
 if typing.TYPE_CHECKING:  # pragma: no cover
@@ -27,6 +41,10 @@ __all__ = ["Link", "Flow", "FlowNetwork"]
 
 # Residual bytes below which a flow counts as complete (absorbs float error).
 _EPSILON_BYTES = 1e-3
+
+_INF = float("inf")
+
+_flow_id = operator.attrgetter("id")
 
 
 class Link:
@@ -70,8 +88,9 @@ class Flow:
         #: (byte offset, event) pairs, ascending; each event fires when the
         #: flow's progress crosses its offset.  Lets one bulk flow stand in
         #: for a whole stream of back-to-back copies (one event per layer)
-        #: without per-copy flow churn.
-        self.milestones = sorted(milestones, key=lambda m: m[0])
+        #: without per-copy flow churn.  Most flows carry none.
+        self.milestones = (sorted(milestones, key=lambda m: m[0])
+                           if milestones else [])
         self._next_milestone = 0
 
     @property
@@ -79,11 +98,14 @@ class Flow:
         return self.nbytes - self.remaining
 
     def fire_due_milestones(self) -> None:
-        while (self._next_milestone < len(self.milestones)
-               and self.milestones[self._next_milestone][0]
-               <= self.progressed + _EPSILON_BYTES):
-            self.milestones[self._next_milestone][1].succeed(self)
-            self._next_milestone += 1
+        milestones = self.milestones
+        i = self._next_milestone
+        n = len(milestones)
+        due = (self.nbytes - self.remaining) + _EPSILON_BYTES
+        while i < n and milestones[i][0] <= due:
+            milestones[i][1].succeed(self)
+            i += 1
+        self._next_milestone = i
 
     def next_milestone_bytes(self) -> float | None:
         if self._next_milestone >= len(self.milestones):
@@ -98,11 +120,20 @@ class Flow:
 class FlowNetwork:
     """Manages active flows and keeps their fair-share rates current."""
 
-    def __init__(self, sim: "Simulator") -> None:
+    def __init__(self, sim: "Simulator",
+                 incremental: bool | None = None) -> None:
         self.sim = sim
-        self._active: set[Flow] = set()
+        #: Active flows in start order (dict-as-ordered-set: deterministic
+        #: iteration, unlike a plain set keyed on object ids).
+        self._active: dict[Flow, None] = {}
+        #: Links currently carrying flows -> the flows crossing them; the
+        #: adjacency structure for connected-component lookups.
+        self._link_flows: dict[Link, set[Flow]] = {}
         self._last_settle = sim.now
         self._timer_token = 0
+        if incremental is None:
+            incremental = fastpath.enabled()
+        self._incremental = incremental
         #: Optional audit hook (see :mod:`repro.audit`).  When set, it
         #: receives ``on_flow_started(flow)``, ``on_flow_completed(flow)``
         #: and ``on_rates_assigned(network)`` callbacks; ``None`` (the
@@ -164,8 +195,8 @@ class FlowNetwork:
             raise ValueError(f"milestone {offsets[-1]} beyond flow size "
                              f"{nbytes}")
         done = Event(self.sim, name="flow.done")
-        events = [Event(self.sim, name=f"flow.milestone[{i}]")
-                  for i in range(len(offsets))]
+        events = [Event(self.sim, name="flow.milestone")
+                  for _ in range(len(offsets))]
         flow = Flow(path, nbytes, done, max_rate, weight,
                     milestones=list(zip(offsets, events)))
         if setup_delay > 0:
@@ -177,6 +208,18 @@ class FlowNetwork:
     @property
     def active_flows(self) -> frozenset[Flow]:
         return frozenset(self._active)
+
+    def reference_fair_rates(self) -> dict[Flow, float]:
+        """Whole-network progressive filling, without touching flow state.
+
+        The original from-scratch reference implementation: one global
+        fill over every active flow, no component decomposition.  Returns
+        the would-be rate per flow; differential tests compare this
+        against the incremental allocator's assignments.
+        """
+        rates: dict[Flow, float] = {}
+        self._fill(sorted(self._active, key=_flow_id), rates)
+        return rates
 
     # -- internals --------------------------------------------------------------
 
@@ -191,18 +234,26 @@ class FlowNetwork:
                 self.observer.on_flow_completed(flow)
             return
         self._settle()
-        self._active.add(flow)
+        self._active[flow] = None
+        for link in flow.path:
+            flows = self._link_flows.get(link)
+            if flows is None:
+                self._link_flows[link] = {flow}
+            else:
+                flows.add(flow)
         # Milestones sitting at the flow's current progress (offset 0, or
         # an offset equal to bytes already credited) are due immediately;
         # fire them here so the wake-up timer below targets the *next*
         # unfired milestone instead of deferring them to flow completion.
-        flow.fire_due_milestones()
-        self._rebalance()
+        if flow.milestones:
+            flow.fire_due_milestones()
+        self._rebalance(started=flow)
 
     def _settle(self) -> None:
         """Credit progress for time elapsed since the last rate change."""
-        elapsed = self.sim.now - self._last_settle
-        self._last_settle = self.sim.now
+        now = self.sim._now
+        elapsed = now - self._last_settle
+        self._last_settle = now
         if elapsed <= 0:
             return
         for flow in self._active:
@@ -211,37 +262,90 @@ class FlowNetwork:
             for link in flow.path:
                 link.bytes_carried += moved
 
-    def _rebalance(self) -> None:
-        """Recompute max-min fair rates and re-arm the wake-up timer.
+    def _rebalance(self, started: Flow | None = None) -> None:
+        """Recompute fair rates where needed and re-arm the wake-up timer.
 
         The timer fires at the earliest flow completion *or* milestone
-        crossing, whichever comes first.
+        crossing, whichever comes first.  On the fast path only the
+        connected component(s) touched by *started* and just-completed
+        flows are refilled; a wake-up that changes no component membership
+        (a pure milestone crossing, or completions of flows that shared
+        no link with a survivor) leaves every rate untouched.
         """
         self._timer_token += 1
         completed = [f for f in self._active if f.remaining <= _EPSILON_BYTES]
+        seeds: list[Flow] = [] if started is None else [started]
         for flow in completed:
-            self._active.remove(flow)
+            del self._active[flow]
+            for link in flow.path:
+                flows = self._link_flows[link]
+                flows.discard(flow)
+                if flows:
+                    seeds.extend(flows)
+                else:
+                    del self._link_flows[link]
             flow.remaining = 0.0
-            flow.fire_due_milestones()
+            if flow.milestones:
+                flow.fire_due_milestones()
             flow.done.succeed(flow)
             if self.observer is not None:
                 self.observer.on_flow_completed(flow)
         if not self._active:
             return
 
-        self._assign_fair_rates()
+        if not self._incremental:
+            self._fill_all_components()
+        elif started is not None and not completed:
+            # A flow just started and nothing finished: its component
+            # seeds the fill, and when its links carry nothing else the
+            # component is the flow alone — no walk, no sort.
+            link_flows = self._link_flows
+            for link in started.path:
+                if len(link_flows[link]) > 1:
+                    self._fill(sorted(self._component_of((started,)),
+                                      key=_flow_id))
+                    break
+            else:
+                self._fill((started,))
+        elif seeds:
+            self._fill(sorted(self._component_of(seeds), key=_flow_id))
+        # else: nothing started or finished (milestone-only wake-up) —
+        # the allocation is already the fair one; skip the fill entirely.
         if self.observer is not None:
             self.observer.on_rates_assigned(self)
         token = self._timer_token
-        waits = [self._bytes_to_next_event(f) / f.rate
-                 for f in self._active if f.rate > 0.0]
-        if not waits:
+        wait = _INF
+        # _bytes_to_next_event, inlined (this loop runs on every wake-up;
+        # most flows carry no milestones, so the common case is a pair of
+        # attribute loads and a divide).
+        for flow in self._active:
+            rate = flow.rate
+            if rate <= 0.0:
+                continue
+            nbytes = flow.remaining
+            milestones = flow.milestones
+            if flow._next_milestone < len(milestones):
+                to_milestone = (milestones[flow._next_milestone][0]
+                                - (flow.nbytes - flow.remaining))
+                if to_milestone < nbytes:
+                    nbytes = to_milestone
+            candidate = nbytes / rate
+            if candidate < wait:
+                wait = candidate
+        if wait == _INF:
             # Every active flow is rate-starved (e.g. links drained to a
             # zero residual by float-exhausted allocations); rates will be
             # reassigned when another flow starts or finishes.
             return
-        self.sim._schedule_callback(
-            lambda: self._on_timer(token), max(0.0, min(waits)))
+        sim = self.sim
+        if wait <= 0.0:
+            sim._ripe.append(
+                (next(sim._sequence), lambda: self._on_timer(token)))
+        else:
+            heapq.heappush(
+                sim._queue,
+                (sim._now + wait, next(sim._sequence),
+                 lambda: self._on_timer(token)))
 
     @staticmethod
     def _bytes_to_next_event(flow: Flow) -> float:
@@ -256,13 +360,71 @@ class FlowNetwork:
             return flow.remaining
         return min(flow.remaining, to_milestone)
 
-    def _assign_fair_rates(self) -> None:
-        """Weighted progressive filling: freeze flows at bottlenecks.
+    def _component_of(self, seeds: typing.Iterable[Flow]) -> set[Flow]:
+        """Active flows connected to *seeds* through chains of shared links."""
+        component: set[Flow] = set()
+        stack = [f for f in seeds if f in self._active]
+        link_flows = self._link_flows
+        while stack:
+            flow = stack.pop()
+            if flow in component:
+                continue
+            component.add(flow)
+            for link in flow.path:
+                for neighbour in link_flows[link]:
+                    if neighbour not in component:
+                        stack.append(neighbour)
+        return component
 
-        Each unfrozen flow receives ``weight * share`` where ``share`` is
-        the per-unit-weight allocation of its tightest link; flows capped
-        below their fair share free the remainder for the rest.
+    def _fill_all_components(self) -> None:
+        """From-scratch refill of every component (the slow path).
+
+        Each component is filled independently with the same arithmetic
+        the incremental path uses, so slow- and fast-path runs produce
+        bit-identical rates.
         """
+        visited: set[Flow] = set()
+        for flow in self._active:
+            if flow in visited:
+                continue
+            component = self._component_of((flow,))
+            visited |= component
+            self._fill(sorted(component, key=_flow_id))
+
+    def _fill(self, ordered: typing.Sequence[Flow],
+              into: dict[Flow, float] | None = None) -> None:
+        """Weighted progressive filling over *ordered* (a closed flow set).
+
+        Freezes flows at bottlenecks: each unfrozen flow receives
+        ``weight * share`` where ``share`` is the per-unit-weight
+        allocation of its tightest link; flows capped below their fair
+        share free the remainder for the rest.  *ordered* must be closed
+        under link sharing (a union of connected components) and sorted
+        by flow id, which fixes the float evaluation order.  Writes rates
+        to ``flow.rate``, or into *into* when given (reference mode).
+        """
+        if len(ordered) == 1:
+            # A lone flow (its links carry nothing else — the usual case
+            # for a warm DHA read on an uncontended lane) gets the
+            # per-unit-weight share of its tightest link, capped.  The
+            # arithmetic is the general loop's first iteration verbatim
+            # (``0.0 + weight`` is exact), so the shortcut is
+            # bit-identical.
+            flow = ordered[0]
+            weight = flow.weight
+            rate = _INF
+            for link in flow.path:
+                share = link.bandwidth / weight
+                if share < rate:
+                    rate = share
+            rate = weight * rate
+            if flow.max_rate is not None and flow.max_rate <= rate:
+                rate = flow.max_rate
+            if into is None:
+                flow.rate = rate
+            else:
+                into[flow] = rate
+            return
         residual: dict[Link, float] = {}
         load: dict[Link, float] = {}
         # Unfrozen-flow count per link.  The "link still contested" test
@@ -272,13 +434,13 @@ class FlowNetwork:
         # picked as a bottleneck that no iteration can freeze — an
         # infinite loop.
         count: dict[Link, int] = {}
-        for flow in self._active:
+        for flow in ordered:
             for link in flow.path:
                 residual.setdefault(link, link.bandwidth)
                 load[link] = load.get(link, 0.0) + flow.weight
                 count[link] = count.get(link, 0) + 1
 
-        unfrozen = set(self._active)
+        unfrozen = dict.fromkeys(ordered)
         while unfrozen:
             # The next bottleneck is the smallest per-unit-weight share,
             # considering links and per-flow rate caps.
@@ -292,20 +454,24 @@ class FlowNetwork:
                 # share is redistributed on the next iteration.
                 for flow in capped:
                     self._freeze(flow, typing.cast(float, flow.max_rate),
-                                 unfrozen, residual, load, count)
+                                 unfrozen, residual, load, count, into)
                 continue
             bottleneck = min((link for link in residual if count[link] > 0),
                              key=lambda link: residual[link] / load[link])
             for flow in [f for f in unfrozen if bottleneck in f.path]:
                 self._freeze(flow, flow.weight * share, unfrozen, residual,
-                             load, count)
+                             load, count, into)
 
     @staticmethod
-    def _freeze(flow: Flow, rate: float, unfrozen: set[Flow],
+    def _freeze(flow: Flow, rate: float, unfrozen: dict[Flow, None],
                 residual: dict[Link, float], load: dict[Link, float],
-                count: dict[Link, int]) -> None:
-        flow.rate = rate
-        unfrozen.remove(flow)
+                count: dict[Link, int],
+                into: dict[Flow, float] | None = None) -> None:
+        if into is None:
+            flow.rate = rate
+        else:
+            into[flow] = rate
+        del unfrozen[flow]
         for link in flow.path:
             residual[link] = max(0.0, residual[link] - rate)
             count[link] -= 1
@@ -316,5 +482,6 @@ class FlowNetwork:
             return  # superseded by a later rebalance
         self._settle()
         for flow in self._active:
-            flow.fire_due_milestones()
+            if flow.milestones:
+                flow.fire_due_milestones()
         self._rebalance()

@@ -6,17 +6,29 @@ simulator an :class:`~repro.simkit.events.Event` (or another process) to
 wait on, and the process resumes with the event's value.  Failed events
 raise inside the process, so simulated errors propagate like ordinary
 exceptions.
+
+Scheduling uses two queues that together behave as one priority queue
+ordered by ``(time, sequence)``: a heap for future actions, and a FIFO
+deque for actions at the *current* instant (event dispatches and
+zero-delay callbacks).  Same-instant dispatch is the hottest operation in
+the kernel — every event trigger lands here — and a deque append is far
+cheaper than a heap sift while preserving the exact same global order,
+because same-instant entries always carry fresh (larger) sequence
+numbers.
 """
 
 from __future__ import annotations
 
+import collections
 import heapq
 import itertools
 import typing
 
-from repro.simkit.events import Event
+from repro.simkit.events import _FAILED, _PENDING, Event
 
 __all__ = ["Simulator", "Process", "Interrupt"]
+
+_INF = float("inf")
 
 
 class Interrupt(Exception):
@@ -68,17 +80,45 @@ class Process:
     # -- driving the generator ---------------------------------------------
 
     def _on_event(self, event: Event) -> None:
+        # The body of _resume, repeated inline rather than called: this
+        # is the per-event resume path — one function frame here is one
+        # frame per event in the simulation.  Direct _state checks (not
+        # the .failed/.value properties) for the same reason.
         if self._waiting_on is not event:
             return  # stale wake-up after an interrupt
         self._waiting_on = None
-        if event.failed:
-            self._resume(None, typing.cast(BaseException, event.value))
+        if self.done._state is not _PENDING:
+            return
+        try:
+            if event._state is _FAILED:
+                target = self._generator.throw(
+                    typing.cast(BaseException, event._value))
+            else:
+                target = self._generator.send(event._value)
+        except StopIteration as stop:
+            self.done.succeed(stop.value)
+            return
+        except BaseException as error:  # noqa: BLE001 - simulated failure
+            self.done.fail(error)
+            return
+        if target.__class__ is Event:  # the overwhelmingly common yield
+            pass
+        elif isinstance(target, Process):
+            target = target.done
+        elif not isinstance(target, Event):
+            self.done.fail(TypeError(
+                f"process {self.name} yielded {target!r}; expected an "
+                "Event or Process"))
+            return
+        self._waiting_on = target
+        if target._callbacks is None:
+            self.sim._schedule_callback(lambda: self._on_event(target))
         else:
-            self._resume(event.value, None)
+            target._callbacks.append(self._on_event)
 
     def _resume(self, value: object, exc: BaseException | None,
                 forced: bool = False) -> None:
-        if self.done.triggered:
+        if self.done._state is not _PENDING:
             return
         if forced:
             self._waiting_on = None
@@ -94,8 +134,13 @@ class Process:
             self.done.fail(error)
             return
 
-        event = target.done if isinstance(target, Process) else target
-        if not isinstance(event, Event):
+        if target.__class__ is Event:  # the overwhelmingly common yield
+            event = target
+        elif isinstance(target, Process):
+            event = target.done
+        elif isinstance(target, Event):
+            event = target
+        else:
             self.done.fail(TypeError(
                 f"process {self.name} yielded {target!r}; expected an "
                 "Event or Process"))
@@ -109,11 +154,20 @@ class Process:
 
 
 class Simulator:
-    """Owns the simulated clock and the pending-action queue."""
+    """Owns the simulated clock and the pending-action queues."""
+
+    __slots__ = ("_now", "_queue", "_ripe", "_sequence")
 
     def __init__(self) -> None:
         self._now = 0.0
+        #: Future (and not-yet-popped same-instant) actions: (at, seq, fn).
         self._queue: list[tuple[float, int, typing.Callable[[], None]]] = []
+        #: Current-instant actions in FIFO order: (seq, fn).  Invariant:
+        #: every entry was appended at time == _now with a sequence number
+        #: larger than any heap entry pushed before it, and the deque is
+        #: drained before the clock advances.
+        self._ripe: collections.deque[
+            tuple[int, typing.Callable[[], None]]] = collections.deque()
         self._sequence = itertools.count()
 
     @property
@@ -124,21 +178,28 @@ class Simulator:
     @property
     def pending_actions(self) -> int:
         """Number of scheduled-but-unexecuted actions (audit introspection)."""
-        return len(self._queue)
+        return len(self._queue) + len(self._ripe)
 
     # -- scheduling ----------------------------------------------------------
 
     def _push(self, at: float, action: typing.Callable[[], None]) -> None:
         heapq.heappush(self._queue, (at, next(self._sequence), action))
 
+    def _push_now(self, action: typing.Callable[[], None]) -> None:
+        self._ripe.append((next(self._sequence), action))
+
     def _schedule_callback(self, action: typing.Callable[[], None],
                            delay: float = 0.0) -> None:
         if delay < 0:
             raise ValueError(f"negative delay {delay!r}")
-        self._push(self._now + delay, action)
+        if delay == 0.0:
+            self._ripe.append((next(self._sequence), action))
+        else:
+            heapq.heappush(self._queue,
+                           (self._now + delay, next(self._sequence), action))
 
     def _schedule_event_dispatch(self, event: Event) -> None:
-        self._push(self._now, event._dispatch)
+        self._ripe.append((next(self._sequence), event._dispatch))
 
     # -- public construction helpers ------------------------------------------
 
@@ -150,8 +211,28 @@ class Simulator:
         """An event that succeeds *delay* seconds from now."""
         if delay < 0:
             raise ValueError(f"negative timeout {delay!r}")
-        event = Event(self, name=f"timeout({delay:g})")
-        self._push(self._now + delay, lambda: event.succeed(value))
+        event = Event(self, name="timeout")
+        # The bound method is the scheduled action when there is no value
+        # to deliver (the common case) — no closure allocation.
+        heapq.heappush(self._queue, (
+            self._now + delay, next(self._sequence),
+            event.succeed if value is None else lambda: event.succeed(value)))
+        return event
+
+    def timeout_at(self, at: float, value: object = None) -> Event:
+        """An event that succeeds at the absolute time *at*.
+
+        Equivalent to ``timeout(at - now)`` but without the float
+        round-trip through a relative delay, so chained waits can target
+        exact precomputed instants.
+        """
+        if at < self._now:
+            raise ValueError(f"timeout_at({at!r}) is in the past "
+                             f"(now={self._now!r})")
+        event = Event(self, name="timeout")
+        heapq.heappush(self._queue, (
+            at, next(self._sequence),
+            event.succeed if value is None else lambda: event.succeed(value)))
         return event
 
     def process(self, generator: ProcessGenerator, name: str = "") -> Process:
@@ -162,7 +243,13 @@ class Simulator:
 
     def step(self) -> None:
         """Execute the next scheduled action, advancing the clock."""
-        at, _, action = heapq.heappop(self._queue)
+        queue, ripe = self._queue, self._ripe
+        if ripe and not (queue and queue[0][0] <= self._now
+                         and queue[0][1] < ripe[0][0]):
+            _, action = ripe.popleft()
+            action()
+            return
+        at, _, action = heapq.heappop(queue)
         if at < self._now:
             raise RuntimeError("time went backwards")  # pragma: no cover
         self._now = at
@@ -178,24 +265,51 @@ class Simulator:
         """
         if isinstance(until, Event):
             return self._run_until_event(until)
-        deadline = float("inf") if until is None else float(until)
+        deadline = _INF if until is None else float(until)
         if deadline < self._now:
             raise ValueError(f"until={deadline} is in the past (now={self._now})")
-        while self._queue and self._queue[0][0] <= deadline:
-            self.step()
-        if deadline != float("inf"):
+        queue, ripe, heappop = self._queue, self._ripe, heapq.heappop
+        while True:
+            if ripe:
+                # A heap entry at the current instant with a smaller
+                # sequence number predates the deque head: run it first.
+                if queue and queue[0][0] <= self._now \
+                        and queue[0][1] < ripe[0][0]:
+                    self._now, _, action = heappop(queue)
+                else:
+                    _, action = ripe.popleft()
+            elif queue and queue[0][0] <= deadline:
+                self._now, _, action = heappop(queue)
+            else:
+                break
+            action()
+        if deadline != _INF:
             self._now = deadline
         return None
 
     def _run_until_event(self, event: Event) -> object:
-        while not event.triggered:
-            if not self._queue:
+        queue, ripe, heappop = self._queue, self._ripe, heapq.heappop
+        while event._state is _PENDING:
+            if ripe:
+                if queue and queue[0][0] <= self._now \
+                        and queue[0][1] < ripe[0][0]:
+                    self._now, _, action = heappop(queue)
+                else:
+                    _, action = ripe.popleft()
+            elif queue:
+                self._now, _, action = heappop(queue)
+            else:
                 raise RuntimeError(
                     f"simulation ran out of events before {event!r} triggered")
-            self.step()
+            action()
         # Drain same-instant dispatches so callbacks at this time complete.
-        while self._queue and self._queue[0][0] <= self._now:
-            self.step()
-        if event.failed:
+        while ripe or (queue and queue[0][0] <= self._now):
+            if ripe and not (queue and queue[0][0] <= self._now
+                             and queue[0][1] < ripe[0][0]):
+                _, action = ripe.popleft()
+            else:
+                self._now, _, action = heappop(queue)
+            action()
+        if event._state is _FAILED:
             raise typing.cast(BaseException, event.value)
         return event.value

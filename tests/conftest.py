@@ -19,6 +19,9 @@ SEED_FIXTURES = {
     "property_seed": (20, 200),
     "bandwidth_seed": (5, 30),
     "cluster_seed": (3, 15),
+    # Differential check of the incremental fair-share allocator against
+    # the from-scratch reference fill (test_fastpath_differential.py).
+    "flow_seed": (30, 200),
 }
 
 

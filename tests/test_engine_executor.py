@@ -218,6 +218,8 @@ class TestSegmentCache:
         assert before >= 2  # warm + cold segments for this plan
         ref = weakref.ref(plan)
         del plan
+        if planner.plan_cache is not None:  # the plan cache pins plans
+            planner.plan_cache.clear()
         gc.collect()
         assert ref() is None, "cache kept a strong reference to the plan"
         assert len(executor._SEGMENT_CACHE) <= before - 2

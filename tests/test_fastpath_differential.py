@@ -1,0 +1,199 @@
+"""Differential tests for the simulation fast path.
+
+The fast path (incremental fair-share rebalancing in
+:mod:`repro.simkit.links`, the memoized Algorithm-1 timeline in
+:mod:`repro.core.stall`) exists purely to cut wall-clock time; these
+tests pin its defining property — same results as the reference
+implementations, to the bit where the issue demands it.
+
+* ``TestIncrementalFairShare`` replays seeded random flow topologies and,
+  at every rate assignment, compares the incremental allocator's rates
+  against :meth:`FlowNetwork.reference_fair_rates` (the original
+  whole-network progressive filling).  ``--full-seeds`` sweeps 200
+  topologies; the default runs the quick subset.
+* ``TestTimelineMemoEquivalence`` runs Algorithm 1 with and without the
+  memoized timeline over seeded random cost tables and requires
+  identical decisions and bit-identical latency predictions.
+"""
+
+import random
+
+import pytest
+
+from repro.core.plan import ExecMethod, Partition
+from repro.core.planner import LayerExecutionPlanner
+from repro.core.stall import TimelineMemo, compute_timeline
+from repro.models.costs import LayerCosts
+from repro.models.layers import LayerKind
+from repro.simkit import FlowNetwork, Link, Simulator
+
+REL_TOL = 1e-9
+
+
+class _RateAuditor:
+    """FlowNetwork observer comparing every assignment to the reference."""
+
+    def __init__(self, network: FlowNetwork) -> None:
+        self.network = network
+        self.comparisons = 0
+        self.worst = 0.0
+
+    def on_flow_started(self, flow) -> None:
+        pass
+
+    def on_flow_completed(self, flow) -> None:
+        pass
+
+    def on_rates_assigned(self, network: FlowNetwork) -> None:
+        reference = network.reference_fair_rates()
+        assert set(reference) == set(network.active_flows)
+        for flow, expected in reference.items():
+            error = abs(flow.rate - expected)
+            bound = REL_TOL * max(abs(expected), abs(flow.rate), 1.0)
+            assert error <= bound, (
+                f"flow {flow.id} rate {flow.rate!r} diverged from the "
+                f"reference fill {expected!r}")
+            self.worst = max(self.worst, error)
+            self.comparisons += 1
+
+
+def _random_topology(rng: random.Random) -> list[Link]:
+    return [Link(f"link{i}", rng.uniform(1e9, 25e9))
+            for i in range(rng.randint(2, 7))]
+
+
+def _driver(sim: Simulator, network: FlowNetwork, links: list[Link],
+            rng: random.Random, transfers: int):
+    """One traffic source: random paths, sizes, weights and caps."""
+    for _ in range(transfers):
+        path = rng.sample(links, rng.randint(1, min(3, len(links))))
+        nbytes = rng.uniform(1e5, 5e7)
+        weight = rng.choice((1.0, 1.0, 1.0, 0.4, 2.0))
+        max_rate = (rng.uniform(5e8, 2e9) if rng.random() < 0.3 else None)
+        done = network.transfer(path, nbytes, max_rate=max_rate,
+                                weight=weight)
+        if rng.random() < 0.5:
+            yield done  # wait it out: flows complete while others run
+        else:
+            yield sim.timeout(rng.uniform(0.0, 0.02))  # overlap
+
+
+class TestIncrementalFairShare:
+    def test_incremental_matches_reference_fill(self, flow_seed):
+        rng = random.Random(0xF10 + flow_seed)
+        sim = Simulator()
+        network = FlowNetwork(sim)
+        auditor = _RateAuditor(network)
+        network.observer = auditor
+        links = _random_topology(rng)
+        for k in range(rng.randint(2, 6)):
+            sim.process(
+                _driver(sim, network, links,
+                        random.Random(flow_seed * 1000 + k),
+                        transfers=rng.randint(3, 10)),
+                name=f"driver{k}")
+        sim.run()
+        assert not network.active_flows, "every flow should have drained"
+        assert auditor.comparisons > 0
+        assert auditor.worst <= REL_TOL * 25e9
+
+    def test_slow_path_env_produces_same_rates(self, flow_seed):
+        """The from-scratch slow path re-fills every component on every
+        change; rates it assigns must match the incremental ones."""
+        if flow_seed >= 10:  # a spot check, not a second full sweep
+            pytest.skip("slow-path cross-check runs on the first seeds")
+
+        def collect(incremental: bool) -> list[tuple[int, float]]:
+            rng = random.Random(0xF10 + flow_seed)
+            sim = Simulator()
+            network = FlowNetwork(sim, incremental=incremental)
+            observed: list[tuple[int, float]] = []
+            # Flow ids count globally across networks; number the flows
+            # per run so the two traces are comparable.
+            local: dict[int, int] = {}
+
+            class Recorder:
+                def on_flow_started(self, flow) -> None:
+                    local[flow.id] = len(local)
+
+                def on_flow_completed(self, flow) -> None:
+                    observed.append((local[flow.id], sim.now))
+
+                def on_rates_assigned(self, net) -> None:
+                    observed.extend(sorted(
+                        (local[f.id], f.rate) for f in net.active_flows))
+
+            network.observer = Recorder()
+            links = _random_topology(rng)
+            for k in range(rng.randint(2, 6)):
+                sim.process(
+                    _driver(sim, network, links,
+                            random.Random(flow_seed * 1000 + k),
+                            transfers=rng.randint(3, 10)),
+                    name=f"driver{k}")
+            sim.run()
+            return observed
+
+        assert collect(incremental=True) == collect(incremental=False)
+
+
+def _random_costs(rng: random.Random, n: int) -> list[LayerCosts]:
+    costs = []
+    for i in range(n):
+        loadable = rng.random() < 0.8
+        inmem = rng.uniform(1e-5, 8e-3)
+        if loadable:
+            load = rng.uniform(1e-5, 2e-2)
+            dha = inmem + rng.uniform(0.0, 2e-2)
+            nbytes = max(1, int(load * 12e9))
+        else:
+            load, dha, nbytes = 0.0, inmem, 0
+        costs.append(LayerCosts(
+            name=f"l{i}", kind=LayerKind.LINEAR, load_time=load,
+            exec_inmem=inmem, exec_dha=dha, load_pcie_bytes=nbytes,
+            dha_pcie_bytes=nbytes))
+    return costs
+
+
+class TestTimelineMemoEquivalence:
+    def _partitions(self, rng: random.Random, n: int):
+        if n < 4 or rng.random() < 0.5:
+            return (Partition(index=0, start=0, stop=n),), None
+        split = rng.randint(2, n - 1)
+        return ((Partition(index=0, start=0, stop=split),
+                 Partition(index=1, start=split, stop=n)),
+                lambda nbytes: nbytes / 48e9)
+
+    def test_memoized_algorithm1_is_bit_identical(self, property_seed):
+        rng = random.Random(0xA160 + property_seed)
+        costs = _random_costs(rng, rng.randint(2, 24))
+        partitions, nvlink = self._partitions(rng, len(costs))
+        planner = LayerExecutionPlanner(costs, partitions, nvlink)
+        memoized = planner.plan(memoize=True)
+        reference = planner.plan(memoize=False)
+        assert memoized == reference
+        # Same decisions must mean bit-identical predicted timings too.
+        fast = TimelineMemo(costs, memoized, partitions, nvlink)
+        slow = compute_timeline(costs, reference, partitions, nvlink)
+        assert fast.total_latency == slow.total_latency
+        for i in range(len(costs)):
+            assert fast.stall_of(i) == slow.stall_of(i)
+
+    def test_memo_refresh_tracks_single_conversions(self, property_seed):
+        """Converting layers one at a time and refreshing from the change
+        point must equal a from-scratch timeline after every step."""
+        rng = random.Random(0x5EED + property_seed)
+        costs = _random_costs(rng, rng.randint(2, 16))
+        decisions = [ExecMethod.LOAD if c.load_pcie_bytes > 0
+                     else ExecMethod.DHA for c in costs]
+        memo = TimelineMemo(costs, decisions)
+        convertible = [i for i, c in enumerate(costs)
+                       if c.load_pcie_bytes > 0]
+        rng.shuffle(convertible)
+        for i in convertible[:6]:
+            decisions[i] = ExecMethod.DHA
+            memo.refresh(decisions, i)
+            scratch = compute_timeline(costs, decisions)
+            assert memo.total_latency == scratch.total_latency
+            for j in range(len(costs)):
+                assert memo.stall_of(j) == scratch.stall_of(j)
