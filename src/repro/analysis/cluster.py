@@ -16,11 +16,17 @@ __all__ = ["format_cluster_report"]
 def format_cluster_report(report: "ClusterReport") -> str:
     """A human-readable breakdown of one cluster run."""
     summary = report.summary()
+    shed = f", {len(report.shed)} shed" if report.shed else ""
     lines = [
         f"cluster: {report.submitted} submitted, {report.completed} "
-        f"completed, {len(report.dropped)} dropped, {report.retries} "
+        f"completed, {len(report.dropped)} dropped{shed}, {report.retries} "
         f"retries over {report.duration:.2f} s",
     ]
+    if report.degraded_cold_starts or report.aborted_provisions:
+        lines.append(
+            f"  degraded: {report.aborted_provisions} provision(s) aborted, "
+            f"{report.degraded_cold_starts} cold start(s) served on the "
+            f"fallback plan")
     if report.metrics.records:
         lines.append(
             f"  p99 {summary['p99_ms']:.2f} ms | goodput "
@@ -47,7 +53,7 @@ def format_cluster_report(report: "ClusterReport") -> str:
         for event, ok in report.fault_log:
             marker = "" if ok else " (skipped)"
             lines.append(f"    t={event.time:8.2f}  {event.action:7s} "
-                         f"{event.machine_name}{marker}")
+                         f"{event.target}{marker}")
     if report.scaling_events:
         lines.append(f"  autoscaler: {len(report.scaling_events)} action(s)")
         for event in report.scaling_events:

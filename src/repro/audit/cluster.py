@@ -7,9 +7,9 @@ one :class:`~repro.audit.invariants.MachineAuditor` per machine, and at
 quiesce proves:
 
 * **exactly-once** — each submitted request completed exactly once
-  cluster-wide, or was dropped exactly once, never both and never
-  neither;
-* **conservation** — ``submitted == completed + dropped``;
+  cluster-wide, or was dropped exactly once, or was shed (deadline
+  unmeetable) exactly once — never two outcomes and never none;
+* **conservation** — ``submitted == completed + dropped + shed``;
 * **bounded retries** — no request failed more than ``max_retries + 1``
   times, and dropped requests used *exactly* their full attempt budget;
 * **provenance** — every completion and failure refers to a request that
@@ -47,6 +47,7 @@ class ClusterAuditor:
         self._completed_on: dict[int, str] = {}
         self._failures: collections.Counter[int] = collections.Counter()
         self._dropped: collections.Counter[int] = collections.Counter()
+        self._shed: collections.Counter[int] = collections.Counter()
 
     def _flag(self, invariant: str, subject: str, detail: str) -> None:
         self.violations.append(AuditViolation(invariant, subject, detail))
@@ -81,6 +82,13 @@ class ClusterAuditor:
     def on_drop(self, request: "Request") -> None:
         self._dropped[request.request_id] += 1
 
+    def on_shed(self, request: "Request", machine_name: str) -> None:
+        self._shed[request.request_id] += 1
+        if machine_name not in self._dispatched.get(request.request_id, []):
+            self._flag("cluster.shed_provenance", machine_name,
+                       f"request {request.request_id} shed by a machine "
+                       f"it was never dispatched to")
+
     # -- quiesce ---------------------------------------------------------------------
 
     def check_quiesce(self, raise_on_violation: bool = True
@@ -97,12 +105,14 @@ class ClusterAuditor:
         for request_id in self._submitted:
             self.checks += 1
             outcomes = (self._completions[request_id]
-                        + self._dropped[request_id])
+                        + self._dropped[request_id]
+                        + self._shed[request_id])
             if outcomes != 1:
                 self._flag(
                     "cluster.exactly_once", f"request {request_id}",
                     f"{self._completions[request_id]} completion(s) + "
-                    f"{self._dropped[request_id]} drop(s); expected "
+                    f"{self._dropped[request_id]} drop(s) + "
+                    f"{self._shed[request_id]} shed(s); expected "
                     f"exactly one outcome")
             if self._failures[request_id] > max_attempts:
                 self._flag(
@@ -115,18 +125,19 @@ class ClusterAuditor:
                     "cluster.drop_budget", f"request {request_id}",
                     f"dropped after {self._failures[request_id]} failed "
                     f"attempts; drops must exhaust all {max_attempts}")
-        for request_id in (set(self._completions) | set(self._dropped)) \
-                - self._submitted:
+        for request_id in (set(self._completions) | set(self._dropped)
+                           | set(self._shed)) - self._submitted:
             self._flag("cluster.outcome_provenance", f"request {request_id}",
-                       "completed or dropped but never submitted")
+                       "completed, dropped or shed but never submitted")
         self.checks += 1
         completed = sum(self._completions.values())
         dropped = sum(self._dropped.values())
-        if completed + dropped != len(self._submitted):
+        shed = sum(self._shed.values())
+        if completed + dropped + shed != len(self._submitted):
             self._flag(
                 "cluster.conservation", "cluster",
                 f"{len(self._submitted)} submitted != {completed} "
-                f"completed + {dropped} dropped")
+                f"completed + {dropped} dropped + {shed} shed")
         for cm in self.cluster.machines:
             for queue in cm.server._queues.values():
                 self.checks += 1

@@ -128,6 +128,32 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="prove exactly-once request accounting "
                               "across machine failures")
 
+    chaos = sub.add_parser(
+        "chaos", help="replay a seeded device/link fault schedule and "
+                      "print a degradation report")
+    _add_machine_arg(chaos)
+    _add_model_arg(chaos)
+    chaos.add_argument("--strategy", default="pt+dha",
+                       choices=[s.value for s in Strategy])
+    chaos.add_argument("--machines", type=int, default=2)
+    chaos.add_argument("--replication", type=int, default=2)
+    chaos.add_argument("--instances", type=int, default=12,
+                       help="logical instances of the model")
+    chaos.add_argument("--rate", type=float, default=50.0,
+                       help="aggregate request rate (req/s)")
+    chaos.add_argument("--requests", type=int, default=500)
+    chaos.add_argument("--faults", type=int, default=6,
+                       help="random fault/heal pairs to inject")
+    chaos.add_argument("--granularity", default="device",
+                       choices=("machine", "device", "mixed"))
+    chaos.add_argument("--deadline-ms", type=float, default=None,
+                       help="per-request deadline; enables load shedding")
+    chaos.add_argument("--max-retries", type=int, default=3)
+    chaos.add_argument("--slo-ms", type=float, default=100.0)
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--no-audit", action="store_true",
+                       help="skip the exactly-once accounting audit")
+
     audit = sub.add_parser(
         "audit", help="run the differential-execution audit suite")
     _add_machine_arg(audit)
@@ -147,6 +173,7 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
         "infer": _cmd_infer,
         "serve": _cmd_serve,
         "cluster": _cmd_cluster,
+        "chaos": _cmd_chaos,
         "audit": _cmd_audit,
     }[command]
     try:
@@ -302,6 +329,54 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
               f"{len(cluster.auditor.violations)} violations — every "
               f"request completed exactly once or was dropped after "
               f"{args.max_retries + 1} failed attempts")
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.analysis.cluster import format_cluster_report
+    from repro.cluster import (
+        Cluster,
+        ClusterConfig,
+        random_fault_schedule,
+    )
+
+    spec = machine_presets()[args.machine]()
+    config = ClusterConfig(
+        num_machines=args.machines,
+        replication=min(args.replication, args.machines),
+        strategy=args.strategy,
+        slo=args.slo_ms * MS,
+        max_retries=args.max_retries,
+        audit=not args.no_audit,
+        deadline=(args.deadline_ms * MS
+                  if args.deadline_ms is not None else None),
+    )
+    cluster = Cluster(spec, config)
+    model = build_model(args.model)
+    names = cluster.deploy([(model, args.instances)])
+    workload = PoissonWorkload(names, rate=args.rate,
+                               num_requests=args.requests, seed=args.seed)
+    requests = workload.generate()
+    machine0 = cluster.machines[0].machine
+    schedule = random_fault_schedule(
+        [m.name for m in cluster.machines],
+        args.faults, requests[-1].arrival_time, seed=args.seed,
+        granularity=args.granularity,
+        gpu_count=spec.gpu_count,
+        link_names=machine0.link_names())
+    report = cluster.run(requests, fault_schedule=schedule)
+    print(format_cluster_report(report))
+    accounted = report.completed + len(report.dropped) + len(report.shed)
+    print(f"\nconservation: {report.submitted} submitted = "
+          f"{report.completed} completed + {len(report.dropped)} dropped "
+          f"+ {len(report.shed)} shed"
+          f"{'' if accounted == report.submitted else '  [VIOLATED]'}")
+    if cluster.auditor is not None:
+        print(f"audit: {cluster.auditor.checks} invariant checks, "
+              f"{len(cluster.auditor.violations)} violations")
+    if accounted != report.submitted:
+        print("error: requests dropped without accounting", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -27,7 +27,11 @@ import typing
 import numpy
 
 from repro.cluster.autoscaler import Autoscaler, AutoscalerConfig, ScalingEvent
-from repro.cluster.faults import FaultEvent, FaultInjector
+from repro.cluster.faults import (
+    DEVICE_FAULT_ACTIONS,
+    FaultEvent,
+    FaultInjector,
+)
 from repro.cluster.machine import ClusterMachine, MachineState
 from repro.cluster.router import ROUTING_POLICIES, Router
 from repro.core.deepplan import DeepPlan, Strategy
@@ -70,6 +74,12 @@ class ClusterConfig:
     #: Prove exactly-once request accounting across machine failures.
     audit: bool = False
     autoscale: AutoscalerConfig | None = None
+    #: Per-request latency deadline; when set, servers shed requests
+    #: whose predicted queue + service time would blow past it.
+    deadline: float | None = None
+    #: Seconds the router avoids routing cold starts to a machine after a
+    #: degraded or aborted provision there (0 disables the breaker).
+    breaker_cooldown: float = 5.0
 
     def __post_init__(self) -> None:
         if self.num_machines < 1:
@@ -95,6 +105,12 @@ class ClusterConfig:
         if self.retry_backoff <= 0:
             raise WorkloadError(
                 f"retry_backoff must be positive, got {self.retry_backoff}")
+        if self.deadline is not None and self.deadline <= 0:
+            raise WorkloadError(
+                f"deadline must be positive, got {self.deadline}")
+        if self.breaker_cooldown < 0:
+            raise WorkloadError(
+                f"breaker_cooldown must be >= 0, got {self.breaker_cooldown}")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -128,6 +144,12 @@ class ClusterReport:
     #: planner runs without a cache).
     plan_cache_hits: int = 0
     plan_cache_misses: int = 0
+    #: Requests shed at admission because their deadline was unmeetable.
+    shed: list[Request] = dataclasses.field(default_factory=list)
+    #: Cold starts completed on the degraded fallback plan.
+    degraded_cold_starts: int = 0
+    #: Parallel transmissions aborted by a device/link fault.
+    aborted_provisions: int = 0
 
     @property
     def completed(self) -> int:
@@ -144,6 +166,14 @@ class ClusterReport:
             "plan_cache_hits": float(self.plan_cache_hits),
             "plan_cache_misses": float(self.plan_cache_misses),
         }
+        # Degradation keys appear only when the run actually exercised
+        # them, so fault-free summaries stay byte-identical.
+        if self.shed:
+            data["shed"] = float(len(self.shed))
+        if self.degraded_cold_starts:
+            data["degraded_cold_starts"] = float(self.degraded_cold_starts)
+        if self.aborted_provisions:
+            data["aborted_provisions"] = float(self.aborted_provisions)
         if self.metrics.records:
             data.update(
                 p99_ms=self.metrics.p99_latency / MS,
@@ -166,7 +196,8 @@ class Cluster:
         # machine-shape-specific, so every machine shares them.
         self.planner = planner if planner is not None else DeepPlan(spec)
         server_config = ServerConfig(strategy=config.strategy,
-                                     slo=config.slo, prewarm=False)
+                                     slo=config.slo, prewarm=False,
+                                     deadline=config.deadline)
         self.machines: list[ClusterMachine] = []
         for index in range(config.num_machines + config.num_standby):
             standby = index >= config.num_machines
@@ -178,7 +209,9 @@ class Cluster:
                        else MachineState.ACTIVE),
                 standby_origin=standby))
         self._by_name = {cm.name: cm for cm in self.machines}
-        self.router = Router(self.machines, config.policy)
+        self.router = Router(self.machines, config.policy,
+                             clock=lambda: self.sim.now,
+                             breaker_cooldown=config.breaker_cooldown)
         self.metrics = MetricsCollector(slo=config.slo)
         self.autoscaler = (Autoscaler(self, config.autoscale)
                            if config.autoscale is not None else None)
@@ -194,11 +227,14 @@ class Cluster:
         self._total = 0
         self._completed = 0
         self.dropped: list[Request] = []
+        self.shed: list[Request] = []
         self.retries = 0
         self._failures: collections.Counter[int] = collections.Counter()
         for cm in self.machines:
             cm.server.add_completion_callback(self._make_on_complete(cm))
             cm.server.on_orphan = self._make_on_orphan(cm)
+            cm.server.on_shed = self._make_on_shed(cm)
+            cm.server.on_degraded = self._make_on_degraded(cm)
 
     # -- placement -------------------------------------------------------------------
 
@@ -272,6 +308,57 @@ class Cluster:
         cm.state = MachineState.ACTIVE
         return True
 
+    # -- device-granular faults --------------------------------------------------------
+
+    def fail_gpu(self, name: str, gpu: int) -> bool:
+        """Fail one GPU on *name*: abort its provisions, rehome its work.
+
+        Unlike a machine crash, the rest of the machine keeps serving —
+        orphans from the dead GPU retry (possibly on the same machine),
+        and in-flight parallel transmissions touching it abort onto the
+        degraded fallback plan.  No-op when the machine is down or the
+        GPU already failed.
+        """
+        cm = self.machine(name)
+        if cm.state is MachineState.DOWN:
+            return False
+        if not cm.machine.fail_gpu(gpu):
+            return False
+        cm.gpu_failures += 1
+        for request in cm.server.handle_gpu_failure(gpu):
+            self.router.settle(cm, request)
+            self._attempt_failed(request, f"{cm.name}/gpu{gpu}")
+        return True
+
+    def recover_gpu(self, name: str, gpu: int) -> bool:
+        """Bring a failed GPU back (cold) on a machine that is not down."""
+        cm = self.machine(name)
+        if cm.state is MachineState.DOWN:
+            return False
+        return cm.machine.recover_gpu(gpu)
+
+    def degrade_link(self, name: str, link: str, factor: float) -> bool:
+        """Degrade one link to *factor* x nominal bandwidth.
+
+        In-flight flows rebalance immediately; parallel transmissions
+        relying on the link abort onto the fallback plan when the factor
+        drops below the server's degraded-link threshold.
+        """
+        cm = self.machine(name)
+        if cm.state is MachineState.DOWN:
+            return False
+        if not cm.machine.degrade_link(link, factor):
+            return False
+        cm.server.handle_link_degradation(cm.machine.link(link))
+        return True
+
+    def restore_link(self, name: str, link: str) -> bool:
+        """Restore a degraded link to nominal bandwidth."""
+        cm = self.machine(name)
+        if cm.state is MachineState.DOWN:
+            return False
+        return cm.machine.restore_link(link)
+
     def activate_standby(self) -> ClusterMachine | None:
         """Turn the next standby active, deploying the full catalog on it.
 
@@ -344,11 +431,15 @@ class Cluster:
         self._total = len(requests)
         self._completed = 0
         self.dropped = []
+        self.shed = []
         self.retries = 0
         self._failures = collections.Counter()
         done = self._done = self.sim.event(name="cluster-done")
+        watch = any(event.action in DEVICE_FAULT_ACTIONS
+                    for event in fault_schedule)
         for cm in self.machines:
             cm.server.failure_event = done
+            cm.server.watch_device_faults = watch
             cm.server.start()
             if cm.state is MachineState.ACTIVE and self.config.prewarm:
                 cm.server.prewarm()
@@ -436,9 +527,29 @@ class Cluster:
             self._attempt_failed(request, cm.name)
         return on_orphan
 
+    def _make_on_shed(self, cm: ClusterMachine
+                      ) -> typing.Callable[[Request], None]:
+        def on_shed(request: Request) -> None:
+            # Shedding is terminal: the deadline is already unmeetable
+            # here, and a retry elsewhere would only add queueing delay.
+            self.router.settle(cm, request)
+            self.shed.append(request)
+            if self.auditor is not None:
+                self.auditor.on_shed(request, cm.name)
+            self._check_done()
+        return on_shed
+
+    def _make_on_degraded(self, cm: ClusterMachine
+                          ) -> typing.Callable[[Request], None]:
+        def on_degraded(request: Request) -> None:
+            cm.degraded_provisions += 1
+            self.router.trip(cm.name)
+        return on_degraded
+
     def _check_done(self) -> None:
         if (self._done is not None and not self._done.triggered
-                and self._completed + len(self.dropped) >= self._total):
+                and self._completed + len(self.dropped) + len(self.shed)
+                >= self._total):
             self._done.succeed()
 
     # -- reporting -------------------------------------------------------------------
@@ -476,4 +587,8 @@ class Cluster:
             plan_cache_hits=plan_cache.hits if plan_cache is not None else 0,
             plan_cache_misses=(plan_cache.misses
                                if plan_cache is not None else 0),
+            shed=list(self.shed),
+            degraded_cold_starts=self.metrics.degraded_cold_starts,
+            aborted_provisions=sum(cm.server.aborted_provisions
+                                   for cm in self.machines),
         )

@@ -41,6 +41,11 @@ class ClusterMachine:
     #: Machines that began life as standbys; only these are eligible for
     #: autoscaler scale-down (the base fleet never drains).
     standby_origin: bool = False
+    #: Device-granular fault counters (machine-level crashes excluded).
+    gpu_failures: int = 0
+    #: Cold starts on this machine that completed on the degraded
+    #: fallback plan (each also trips the router's circuit breaker).
+    degraded_provisions: int = 0
 
     @property
     def routable(self) -> bool:

@@ -32,17 +32,31 @@ class Router:
     """Stateless-per-request replica selection with backlog accounting."""
 
     def __init__(self, machines: typing.Sequence[ClusterMachine],
-                 policy: str = "affinity") -> None:
+                 policy: str = "affinity",
+                 clock: typing.Callable[[], float] | None = None,
+                 breaker_cooldown: float = 0.0) -> None:
         if policy not in ROUTING_POLICIES:
             raise WorkloadError(
                 f"unknown routing policy {policy!r}; options: "
                 f"{', '.join(ROUTING_POLICIES)}")
+        if breaker_cooldown < 0:
+            raise WorkloadError(
+                f"breaker cooldown must be >= 0, got {breaker_cooldown}")
         self.machines = list(machines)
         self.policy = policy
         self._rr_counter = 0
         #: Outstanding charge per (machine, request) dispatch, so settles
         #: subtract exactly what was charged even if residency changed.
         self._charges: dict[tuple[str, int], float] = {}
+        #: Circuit breaker over cold-start routing: a tripped machine (one
+        #: with a recent degraded/aborted provision) receives no requests
+        #: that would cold-start there for ``breaker_cooldown`` seconds,
+        #: unless no alternative replica exists.  Disabled when no clock
+        #: is supplied or the cooldown is zero.
+        self._clock = clock
+        self.breaker_cooldown = breaker_cooldown
+        self.breaker_trips = 0
+        self._breaker_until: dict[str, float] = {}
 
     def candidates(self, instance_name: str) -> list[ClusterMachine]:
         """Routable machines holding a replica of *instance_name*."""
@@ -57,12 +71,38 @@ class Router:
             return plan.predicted_warm_latency
         return plan.predicted_latency
 
+    def trip(self, machine_name: str) -> None:
+        """Open the cold-start circuit breaker for one machine."""
+        if self._clock is None or self.breaker_cooldown <= 0:
+            return
+        self.breaker_trips += 1
+        self._breaker_until[machine_name] = (self._clock()
+                                             + self.breaker_cooldown)
+
+    def breaker_open(self, machine_name: str) -> bool:
+        until = self._breaker_until.get(machine_name)
+        if until is None:
+            return False
+        if typing.cast(typing.Callable, self._clock)() >= until:
+            del self._breaker_until[machine_name]
+            return False
+        return True
+
     def route(self, request: Request) -> ClusterMachine | None:
         """Pick the replica for *request*, or ``None`` if none is up."""
         candidates = self.candidates(request.instance_name)
         if not candidates:
             return None
         candidates.sort(key=lambda m: m.name)
+        if self._breaker_until:
+            # Breaker-open machines are skipped only for requests that
+            # would cold-start there — warm replicas keep their traffic —
+            # and only while a replica elsewhere can take the request.
+            filtered = [m for m in candidates
+                        if m.server.is_warm(request.instance_name)
+                        or not self.breaker_open(m.name)]
+            if filtered:
+                candidates = filtered
         if self.policy == "round-robin":
             choice = candidates[self._rr_counter % len(candidates)]
             self._rr_counter += 1

@@ -17,6 +17,7 @@ ready for :mod:`repro.engine`:
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 
 from repro.core.partitioner import (
@@ -101,25 +102,39 @@ class DeepPlan:
     # -- planning ------------------------------------------------------------------
 
     def plan(self, model: ModelSpec, strategy: "Strategy | str" = Strategy.PT_DHA,
-             batch_size: int = 1, num_gpus: int | None = None) -> ExecutionPlan:
+             batch_size: int = 1, num_gpus: int | None = None,
+             with_fallback: bool = False) -> ExecutionPlan:
         """Generate the execution plan for *model* under *strategy*.
 
         ``num_gpus`` is the number of GPUs participating in parallel
         transmission (primary included); it defaults to what the machine
         topology supports, capped at 2 as the paper does on p3.8xlarge.
+        ``with_fallback`` attaches a precomputed degraded-mode plan
+        (single-partition DHA) to parallel-transmission plans, for serving
+        setups that must survive peer-GPU or NVLink faults mid-provision.
         """
         strategy = Strategy.parse(strategy)
         if strategy.uses_parallel_transmission:
             num_partitions = self._partition_count(num_gpus)
         else:
             num_partitions = 1
+        want_fallback = with_fallback and num_partitions > 1
         cache = self.plan_cache
         if cache is not None:
             key = plan_cache_key(model, self.machine_spec, self._calibration,
                                  strategy.value, batch_size, num_partitions)
             cached = cache.get(key)
             if cached is not None:
-                return cached
+                if not want_fallback or cached.fallback is not None:
+                    return cached
+                # Upgrade the cached entry in place: same plan, plus the
+                # degraded fallback future lookups will want too.
+                upgraded = dataclasses.replace(
+                    cached,
+                    fallback=self.plan(model, Strategy.DHA,
+                                       batch_size=batch_size))
+                cache.put(key, upgraded)
+                return upgraded
         profile = self.profile(model, batch_size)
         costs = profile.layers
 
@@ -150,6 +165,8 @@ class DeepPlan:
             machine_name=self.machine_spec.name,
             predicted_latency=predicted,
             predicted_warm_latency=warm_latency(costs, decisions),
+            fallback=(self.plan(model, Strategy.DHA, batch_size=batch_size)
+                      if want_fallback else None),
         )
         if cache is not None:
             cache.put(key, plan)

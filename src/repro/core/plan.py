@@ -75,6 +75,11 @@ class ExecutionPlan:
     #: Planner-predicted warm-hit latency (instance already resident),
     #: seconds.  ``provision_penalty`` derives the routing signal.
     predicted_warm_latency: float = 0.0
+    #: Precomputed degraded-mode plan: single-partition and DHA-heavy, so
+    #: it needs no peer GPUs or NVLink.  The serving layer retries an
+    #: aborted parallel provision on this plan instead of dropping the
+    #: request.  ``None`` when no fallback was requested.
+    fallback: "ExecutionPlan | None" = None
 
     def __post_init__(self) -> None:
         self._validate()
@@ -123,6 +128,19 @@ class ExecutionPlan:
                     f"layer {layer.name} uses DHA in partition "
                     f"{self.partition_of(i)}; DHA is only valid in the "
                     f"first partition")
+        if self.fallback is not None:
+            if self.fallback.uses_parallel_transmission:
+                raise PlanError(
+                    "a degraded fallback plan must be single-partition "
+                    f"(got {self.fallback.num_partitions} partitions)")
+            if self.fallback.model.name != self.model.name:
+                raise PlanError(
+                    f"fallback plan is for {self.fallback.model.name}, "
+                    f"not {self.model.name}")
+            if self.fallback.batch_size != self.batch_size:
+                raise PlanError(
+                    f"fallback plan batch size {self.fallback.batch_size} "
+                    f"!= {self.batch_size}")
 
     # -- lookups ----------------------------------------------------------------
 

@@ -58,7 +58,7 @@ def _layer_from_dict(data: dict[str, object]) -> LayerSpec:
 
 def plan_to_dict(plan: ExecutionPlan) -> dict[str, object]:
     """The JSON-ready representation of a plan (and its model)."""
-    return {
+    data: dict[str, object] = {
         "format_version": FORMAT_VERSION,
         "strategy": plan.strategy,
         "machine": plan.machine_name,
@@ -75,6 +75,11 @@ def plan_to_dict(plan: ExecutionPlan) -> dict[str, object]:
         "partitions": [{"index": p.index, "start": p.start, "stop": p.stop}
                        for p in plan.partitions],
     }
+    if plan.fallback is not None:
+        # The key is optional, so plans without a fallback serialize
+        # exactly as in format version 1's original shape.
+        data["fallback"] = plan_to_dict(plan.fallback)
+    return data
 
 
 def plan_from_dict(data: dict[str, object]) -> ExecutionPlan:
@@ -83,6 +88,8 @@ def plan_from_dict(data: dict[str, object]) -> ExecutionPlan:
     if version != FORMAT_VERSION:
         raise PlanError(f"unsupported plan format version {version!r} "
                         f"(expected {FORMAT_VERSION})")
+    fallback_data = typing.cast("dict | None", data.get("fallback"))
+    fallback = plan_from_dict(fallback_data) if fallback_data else None
     try:
         model_data = typing.cast(dict, data["model"])
         model = ModelSpec(
@@ -108,6 +115,7 @@ def plan_from_dict(data: dict[str, object]) -> ExecutionPlan:
                                           data.get("predicted_latency", 0.0)),
             predicted_warm_latency=typing.cast(
                 float, data.get("predicted_warm_latency", 0.0)),
+            fallback=fallback,
         )
     except (KeyError, TypeError, ValueError) as error:
         raise PlanError(f"malformed plan record: {error}") from error

@@ -58,14 +58,18 @@ class TransmissionResult:
 def spread_gpus(machine: Machine, target: int, count: int) -> list[int]:
     """Pick *count* GPUs (target first), spreading across PCIe switches.
 
-    NVLink connectivity to the target is required for every secondary.
+    NVLink connectivity to the target is required for every secondary,
+    and failed GPUs are never selected as secondaries.
     """
     if count < 1 or count > machine.gpu_count:
         raise TopologyError(
             f"cannot use {count} GPUs on a {machine.gpu_count}-GPU machine")
+    if machine.gpu(target).failed:
+        raise TopologyError(f"target gpu{target} has failed")
     chosen = [target]
     candidates = {g.index for g in machine.gpus
-                  if g.index != target and machine.has_nvlink(target, g.index)}
+                  if g.index != target and not g.failed
+                  and machine.has_nvlink(target, g.index)}
     while len(chosen) < count:
         if not candidates:
             raise TopologyError(

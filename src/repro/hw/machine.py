@@ -42,6 +42,11 @@ class GPU:
         self.compute = Resource(machine.sim, capacity=1, name=f"{self.name}.compute")
         self.memory = GPUMemory(spec.memory_bytes, device=self.name,
                                 workspace_bytes=workspace_bytes)
+        #: Device-fault flag (see :meth:`Machine.fail_gpu`).  A failed GPU
+        #: is excluded from parallel-transmission peer selection and its
+        #: queued work is orphaned by the serving layer; its links stay up
+        #: so in-flight phantom transfers can drain.
+        self.failed = False
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<GPU {self.index} ({self.spec.name}) on switch {self.switch}>"
@@ -81,6 +86,16 @@ class Machine:
                 self.nvlinks[src, dst] = Link(f"nvlink{src}->{dst}",
                                               spec.nvlink_bandwidth)
             self._nvlink_graph.add_edge(a, b)
+        #: Every link on the machine by name (``gpuN.pcie``,
+        #: ``switchS.uplink``, ``nvlinkA->B``) — the address space fault
+        #: schedules use to target individual links.
+        self._links: dict[str, Link] = {}
+        for gpu in self.gpus:
+            self._links[gpu.pcie_lane.name] = gpu.pcie_lane
+        for uplink in self.switch_uplinks:
+            self._links[uplink.name] = uplink
+        for nvlink in self.nvlinks.values():
+            self._links[nvlink.name] = nvlink
 
     # -- indexing ---------------------------------------------------------------
 
@@ -95,6 +110,71 @@ class Machine:
     @property
     def gpu_count(self) -> int:
         return len(self.gpus)
+
+    def link(self, name: str) -> Link:
+        try:
+            return self._links[name]
+        except KeyError:
+            raise TopologyError(
+                f"machine {self.spec.name} has no link {name!r} "
+                f"(links: {', '.join(self.link_names())})") from None
+
+    def link_names(self) -> list[str]:
+        return sorted(self._links)
+
+    # -- device faults -----------------------------------------------------------
+
+    def fail_gpu(self, index: int) -> bool:
+        """Mark one GPU as failed; ``False`` when it already was.
+
+        The GPU's links are deliberately left at full capacity: transfers
+        already in flight when the device dies are phantoms (their results
+        are discarded by the serving layer's epoch checks) and must still
+        drain so the flow network quiesces.
+        """
+        gpu = self.gpu(index)
+        if gpu.failed:
+            return False
+        gpu.failed = True
+        return True
+
+    def recover_gpu(self, index: int) -> bool:
+        """Bring a failed GPU back; ``False`` when it was not failed."""
+        gpu = self.gpu(index)
+        if not gpu.failed:
+            return False
+        gpu.failed = False
+        return True
+
+    def healthy_gpus(self) -> list[GPU]:
+        return [gpu for gpu in self.gpus if not gpu.failed]
+
+    def degrade_link(self, name: str, factor: float) -> bool:
+        """Set a link to ``factor`` x nominal capacity, rebalancing flows.
+
+        Returns ``False`` when the link already sits at that capacity.
+        """
+        if not 0 < factor <= 1:
+            raise ValueError(
+                f"link degradation factor must be in (0, 1], got {factor}")
+        link = self.link(name)
+        target = link.nominal_bandwidth * factor
+        if target == link.bandwidth:
+            return False
+        self.network.set_link_bandwidth(link, target)
+        return True
+
+    def restore_link(self, name: str) -> bool:
+        """Restore a link to nominal capacity; ``False`` if already there."""
+        link = self.link(name)
+        if link.bandwidth == link.nominal_bandwidth:
+            return False
+        self.network.set_link_bandwidth(link, link.nominal_bandwidth)
+        return True
+
+    def link_degraded(self, name: str) -> bool:
+        link = self.link(name)
+        return link.bandwidth < link.nominal_bandwidth
 
     # -- topology queries --------------------------------------------------------
 

@@ -99,6 +99,9 @@ class InstanceCache:
         victim = self._order.pop(name)
         self.memory.release(name)
         victim.resident = False
+        # Evicting a degraded-resident instance resets it to the primary
+        # plan: the next cold start retries full parallel transmission.
+        victim.active_plan = None
         self.evictions += 1
         return victim
 
@@ -109,6 +112,7 @@ class InstanceCache:
         del self._order[instance.name]
         self.memory.release(instance.name)
         instance.resident = False
+        instance.active_plan = None
         self.evictions += 1
 
     def prewarm(self, instances: typing.Iterable[ModelInstance]) -> int:

@@ -29,16 +29,31 @@ class ModelInstance:
     home_gpu: int
     #: Whether the loaded layers are currently resident on the home GPU.
     resident: bool = False
+    #: Plan the instance is *currently* provisioned under.  ``None`` means
+    #: the primary ``plan``; the server sets the degraded fallback here
+    #: when a parallel provision aborts mid-flight, and eviction clears it
+    #: (the next cold start retries the primary plan).
+    active_plan: ExecutionPlan | None = None
 
     @property
     def model_name(self) -> str:
         return self.plan.model.name
 
     @property
+    def current_plan(self) -> ExecutionPlan:
+        return self.active_plan if self.active_plan is not None else self.plan
+
+    @property
+    def degraded(self) -> bool:
+        return self.active_plan is not None
+
+    @property
     def gpu_bytes(self) -> int:
         """GPU memory the instance occupies while resident."""
-        return self.plan.gpu_resident_bytes
+        return self.current_plan.gpu_resident_bytes
 
     def __str__(self) -> str:
         state = "resident" if self.resident else "cold"
+        if self.degraded:
+            state += ", degraded"
         return f"{self.name}@gpu{self.home_gpu} ({state})"

@@ -33,7 +33,7 @@ from repro.serving.cache import InstanceCache
 from repro.serving.instance import ModelInstance
 from repro.serving.metrics import DEFAULT_SLO, MetricsCollector, RequestRecord
 from repro.serving.workload import Request
-from repro.simkit import Event, Store
+from repro.simkit import Event, Interrupt, Link, Process, Store
 
 if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.audit import ServingAuditor
@@ -65,12 +65,29 @@ class ServerConfig:
     #: one event per layer when warm) instead of the coalesced fast
     #: paths.  Slow; for debugging and differential testing only.
     detailed_traces: bool = False
+    #: Per-request deadline (seconds, measured from submission).  When
+    #: set, submit() sheds requests whose predicted completion (queue
+    #: backlog + provision/service time) already exceeds the deadline
+    #: instead of letting them queue and blow the tail.  ``None`` (the
+    #: default) disables shedding entirely.
+    deadline: float | None = None
+    #: Fraction of nominal bandwidth below which a link counts as too
+    #: degraded for parallel transmission: in-flight provisions crossing
+    #: it abort to the fallback plan, and peer selection avoids it.
+    degraded_link_threshold: float = 0.5
 
     def __post_init__(self) -> None:
         if self.homing not in HOMING_POLICIES:
             raise WorkloadError(
                 f"unknown homing policy {self.homing!r}; options: "
                 f"{', '.join(HOMING_POLICIES)}")
+        if self.deadline is not None and self.deadline <= 0:
+            raise WorkloadError(
+                f"deadline must be positive, got {self.deadline}")
+        if not 0 < self.degraded_link_threshold <= 1:
+            raise WorkloadError(
+                f"degraded_link_threshold must be in (0, 1], got "
+                f"{self.degraded_link_threshold}")
 
 
 @dataclasses.dataclass
@@ -87,6 +104,13 @@ class ServingReport:
     #: the planner runs without a cache).
     plan_cache_hits: int = 0
     plan_cache_misses: int = 0
+    #: Completed requests whose cold start ran on the degraded fallback
+    #: plan after a device/link fault.
+    degraded_cold_starts: int = 0
+    #: Parallel provisions aborted mid-flight by a device/link fault.
+    aborted_provisions: int = 0
+    #: Requests shed at admission by the deadline guardrail.
+    shed: int = 0
 
     def summary(self) -> dict[str, float]:
         data = self.metrics.summary()
@@ -95,6 +119,11 @@ class ServingReport:
                     evictions=float(self.evictions),
                     plan_cache_hits=float(self.plan_cache_hits),
                     plan_cache_misses=float(self.plan_cache_misses))
+        if self.degraded_cold_starts or self.aborted_provisions:
+            data.update(degraded_cold_starts=float(self.degraded_cold_starts),
+                        aborted_provisions=float(self.aborted_provisions))
+        if self.shed:
+            data.update(shed=float(self.shed))
         return data
 
 
@@ -136,6 +165,36 @@ class InferenceServer:
         #: Called with each request orphaned by a crash race (popped from
         #: its queue but not yet started when the machine went down).
         self.on_orphan: typing.Callable[[Request], None] | None = None
+        # -- device-fault / guardrail state (all idle unless enabled) --
+        #: When True, parallel cold starts run as abortable child
+        #: processes so a GPU/link fault mid-provision can interrupt them
+        #: (see handle_gpu_failure / handle_link_degradation).  Off by
+        #: default: the watch wrapper changes event scheduling order, and
+        #: fault-free runs must stay bit-identical to the plain path.
+        self.watch_device_faults = False
+        #: Per-GPU fault epoch, bumped by handle_gpu_failure(); in-flight
+        #: phantom executions from an older GPU epoch are discarded just
+        #: like machine-crash phantoms.
+        self._gpu_epochs = {gpu.index: 0 for gpu in machine.gpus}
+        #: gpu -> (provision process, peer GPU set, links it depends on).
+        self._provisions: dict[
+            int, tuple["Process", frozenset[int], frozenset[Link]]] = {}
+        #: Lazily built degraded (single-partition DHA) plans per model,
+        #: used when the deployed plan carries no precomputed fallback.
+        self._fallback_plans: dict[str, ExecutionPlan] = {}
+        self.aborted_provisions = 0
+        self.degraded_cold_starts = 0
+        #: Called with each request completing a degraded cold start (the
+        #: cluster trips its router circuit breaker here).
+        self.on_degraded: typing.Callable[[Request], None] | None = None
+        #: Requests shed at admission by the deadline guardrail, and the
+        #: shed notification hook (the cluster accounts them as terminal).
+        self.shed_requests: list[Request] = []
+        self.on_shed: typing.Callable[[Request], None] | None = None
+        #: Predicted-service backlog per GPU, maintained only when a
+        #: deadline is configured (the admission-control signal).
+        self._backlog = {gpu.index: 0.0 for gpu in machine.gpus}
+        self._backlog_charge: dict[int, tuple[int, float]] = {}
         #: Where worker exceptions surface when no run() is in progress
         #: (the cluster points this at its own completion event).
         self.failure_event: Event | None = None
@@ -314,6 +373,10 @@ class InferenceServer:
         for gpu_index in sorted(self._active):
             orphans.append(self._active.pop(gpu_index))
         self._outstanding -= len(orphans)
+        for request in orphans:
+            self._settle_backlog(request)
+            if self.auditor is not None:
+                self.auditor.on_orphan(request)
         self._maybe_finish_drain()
         return orphans
 
@@ -335,6 +398,69 @@ class InferenceServer:
             if instance.resident:
                 self._caches[instance.home_gpu].evict(instance)
 
+    # -- device faults ----------------------------------------------------------------
+
+    def handle_gpu_failure(self, gpu_index: int) -> list[Request]:
+        """React to one GPU dying while the machine keeps serving.
+
+        Aborts any parallel provision that depends on the device (as
+        primary or as peer), orphans the GPU's queued and in-flight
+        requests (in-flight work becomes a phantom, discarded by the
+        per-GPU epoch check), evicts instances resident there and rehomes
+        them onto surviving GPUs.  Like :meth:`fail_over`, the orphans
+        are returned for the caller to re-route; ``on_orphan`` is not
+        fired for them (it covers only orphans the server discovers on
+        its own, which have no other path back to the re-router).
+        """
+        self.machine.gpu(gpu_index)  # validate the index
+        self._gpu_epochs[gpu_index] += 1
+        for primary, (proc, peers, _links) in list(self._provisions.items()):
+            if not proc.is_alive:
+                continue
+            if primary == gpu_index:
+                proc.interrupt("primary-gpu-failed")
+            elif gpu_index in peers:
+                proc.interrupt("peer-gpu-failed")
+        orphans = [typing.cast(Request, item)
+                   for item in self._queues[gpu_index].drain()]
+        if gpu_index in self._active:
+            orphans.append(self._active.pop(gpu_index))
+        # The device's memory is gone: every instance homed here goes
+        # cold, and a surviving GPU takes over as home so later requests
+        # (including cluster retries) have somewhere to run.
+        cache = self._caches[gpu_index]
+        healthy = [g.index for g in self.machine.gpus if not g.failed]
+        for instance in self._instances.values():
+            if instance.home_gpu != gpu_index:
+                continue
+            if instance in cache:
+                cache.evict(instance)
+            if healthy:
+                new_home = min(healthy, key=lambda g:
+                               (self._deployed_bytes[g], g))
+                bytes_ = instance.plan.gpu_resident_bytes
+                self._deployed_bytes[gpu_index] -= bytes_
+                self._deployed_bytes[new_home] += bytes_
+                instance.home_gpu = new_home
+        for request in orphans:
+            self._orphan(request, notify=False)
+        return orphans
+
+    def handle_link_degradation(self, link: Link) -> None:
+        """Abort parallel provisions crossing a link degraded too far.
+
+        Called after a link's capacity changed.  A provision whose lane
+        or NVLink fell below ``config.degraded_link_threshold`` of
+        nominal is interrupted; its worker retries on the fallback plan.
+        Restorations (capacity back above threshold) need no action.
+        """
+        threshold = self.config.degraded_link_threshold
+        if link.bandwidth >= link.nominal_bandwidth * threshold:
+            return
+        for _primary, (proc, _peers, links) in list(self._provisions.items()):
+            if proc.is_alive and link in links:
+                proc.interrupt("link-degraded")
+
     def add_completion_callback(
             self, callback: typing.Callable[[Request, RequestRecord], None]
     ) -> None:
@@ -351,6 +477,26 @@ class InferenceServer:
                 and self._drain_event is not None
                 and not self._drain_event.triggered):
             self._drain_event.succeed()
+
+    def _settle_backlog(self, request: Request) -> None:
+        if self.config.deadline is None:
+            return
+        entry = self._backlog_charge.pop(request.request_id, None)
+        if entry is None:
+            return
+        gpu, cost = entry
+        self._backlog[gpu] = max(0.0, self._backlog[gpu] - cost)
+
+    def _orphan(self, request: Request, notify: bool = True) -> None:
+        """Account one orphaned request; optionally hand it to the
+        re-router (bulk fault handlers return their orphans instead)."""
+        self._outstanding -= 1
+        self._settle_backlog(request)
+        if self.auditor is not None:
+            self.auditor.on_orphan(request)
+        self._maybe_finish_drain()
+        if notify and self.on_orphan is not None:
+            self.on_orphan(request)
 
     # -- running --------------------------------------------------------------------
 
@@ -383,6 +529,19 @@ class InferenceServer:
                 drained.succeed()
 
         self._completion_callbacks.append(_count_down)
+        # Shed requests are terminal too: count them toward completion so
+        # a deadline-guarded run doesn't wait forever for them.
+        prev_on_shed = self.on_shed
+
+        def _shed_count_down(request: Request) -> None:
+            if prev_on_shed is not None:
+                prev_on_shed(request)
+            nonlocal remaining
+            remaining -= 1
+            if remaining == 0 and not drained.triggered:
+                drained.succeed()
+
+        self.on_shed = _shed_count_down
         start_time = self.sim.now
         self.sim.process(self._arrival_process(list(requests)),
                          name="arrivals")
@@ -390,6 +549,7 @@ class InferenceServer:
             self.sim.run(drained)
         finally:
             self._completion_callbacks.remove(_count_down)
+            self.on_shed = prev_on_shed
             self._drained = None
         if self.auditor is not None:
             self.auditor.check_quiesce()
@@ -403,6 +563,9 @@ class InferenceServer:
             plan_cache_hits=plan_cache.hits if plan_cache is not None else 0,
             plan_cache_misses=(plan_cache.misses
                                if plan_cache is not None else 0),
+            degraded_cold_starts=self.metrics.degraded_cold_starts,
+            aborted_provisions=self.aborted_provisions,
+            shed=len(self.shed_requests),
         )
 
     def _prewarm(self, dry_run: bool = False) -> int:
@@ -446,7 +609,7 @@ class InferenceServer:
             request.submitted_at = due
             self.submit(request)
 
-    def submit(self, request: Request) -> None:
+    def submit(self, request: Request) -> bool:
         """Enqueue one request at its instance's home GPU.
 
         The request's batch size must match its instance's plan (plans
@@ -455,6 +618,12 @@ class InferenceServer:
         server rejects submissions outright (also ``WorkloadError``) —
         silently queueing behind a server that will never run them would
         strand the requests.
+
+        Returns ``True`` when the request was admitted; ``False`` when
+        the deadline guardrail shed it (predicted completion past the
+        deadline — see ``ServerConfig.deadline``).  Shed requests are a
+        terminal outcome: they are appended to ``shed_requests`` and
+        reported through ``on_shed``, never queued or retried here.
         """
         if self._draining:
             raise WorkloadError(
@@ -466,10 +635,25 @@ class InferenceServer:
         instance = self._instances[request.instance_name]
         if request.submitted_at is None:
             request.submitted_at = self.sim.now
+        deadline = self.config.deadline
+        if deadline is not None:
+            gpu = instance.home_gpu
+            service = (instance.current_plan.predicted_warm_latency
+                       if instance.resident
+                       else instance.plan.predicted_latency)
+            predicted_finish = self.sim.now + self._backlog[gpu] + service
+            if predicted_finish > request.submitted_at + deadline:
+                self.shed_requests.append(request)
+                if self.on_shed is not None:
+                    self.on_shed(request)
+                return False
+            self._backlog[gpu] += service
+            self._backlog_charge[request.request_id] = (gpu, service)
         if self.auditor is not None:
             self.auditor.on_submit(request)
         self._outstanding += 1
         self._queues[instance.home_gpu].put(request)
+        return True
 
     def _check_batch_size(self, request: Request) -> None:
         try:
@@ -503,19 +687,32 @@ class InferenceServer:
                 # the worker resuming: it is in neither the queue (so
                 # fail_over's drain missed it) nor _active.  Orphan it
                 # here so it is retried like the rest.
-                self._outstanding -= 1
-                self._maybe_finish_drain()
-                if self.on_orphan is not None:
-                    self.on_orphan(request)
+                self._orphan(request)
+                continue
+            if self.machine.gpus[gpu_index].failed:
+                # Same race for a device fault: the request left the queue
+                # before handle_gpu_failure() drained it.
+                self._orphan(request)
                 continue
             try:
                 instance = self._instances[request.instance_name]
                 epoch = self._epoch
+                gpu_epoch = self._gpu_epochs[gpu_index]
                 self._active[gpu_index] = request
                 request.started_at = started = sim.now
                 cold = instance not in cache
                 request.cold_start = cold
-                if cold:
+                degraded = False
+                if cold and self.watch_device_faults:
+                    outcome = yield from self._provision_cold(
+                        gpu_index, instance, request)
+                    if outcome == "orphaned":
+                        # The home GPU died mid-provision;
+                        # handle_gpu_failure() already orphaned the
+                        # request and popped it from _active.
+                        continue
+                    degraded = outcome == "degraded"
+                elif cold:
                     cache.admit(instance)
                     secondaries = self._cold_start_secondaries(instance)
                     yield from plan_generator(
@@ -525,16 +722,18 @@ class InferenceServer:
                 elif self.config.detailed_traces:
                     cache.touch(instance)
                     yield from warm_generator(
-                        self.machine, self.planner.cost_model, instance.plan,
-                        gpu_index, coalesced=False)
+                        self.machine, self.planner.cost_model,
+                        instance.current_plan, gpu_index, coalesced=False)
                 else:
                     # Warm hits dominate a serving run; the coalesced warm
                     # loop lives here directly (the arithmetic of
                     # _PlanRunner._run_dha_layer, precomputed into
                     # segments) so each of its events resumes exactly one
-                    # generator frame.
+                    # generator frame.  current_plan is the primary plan
+                    # object itself unless the instance is resident under
+                    # its degraded fallback.
                     cache.touch(instance)
-                    for kind, value in warm_segments(instance.plan,
+                    for kind, value in warm_segments(instance.current_plan,
                                                      self.planner.cost_model):
                         if kind == "exec":
                             yield sim.timeout(value)
@@ -548,12 +747,13 @@ class InferenceServer:
                         if resumed < compute_end:
                             resumed = compute_end
                         yield sim.timeout_at(resumed + tail + extra)
-                if epoch != self._epoch:
-                    # The machine crashed mid-execution.  The simulated
-                    # work ran to completion (its events were already in
-                    # flight), but the result is lost: fail_over() already
-                    # orphaned this request, so record nothing and notify
-                    # no one.
+                if (epoch != self._epoch
+                        or gpu_epoch != self._gpu_epochs[gpu_index]):
+                    # The machine (or this GPU) crashed mid-execution.
+                    # The simulated work ran to completion (its events
+                    # were already in flight), but the result is lost:
+                    # fail_over()/handle_gpu_failure() already orphaned
+                    # this request, so record nothing and notify no one.
                     continue
                 self._active.pop(gpu_index, None)
                 request.finished_at = sim.now
@@ -567,9 +767,11 @@ class InferenceServer:
                     started_at=request.started_at,
                     finished_at=request.finished_at,
                     cold_start=cold,
+                    degraded=degraded,
                 )
                 self.metrics.record(record)
                 self._outstanding -= 1
+                self._settle_backlog(request)
                 for callback in list(self._completion_callbacks):
                     callback(request, record)
                 self._maybe_finish_drain()
@@ -593,3 +795,115 @@ class InferenceServer:
                 f"gpu{instance.home_gpu} lacks {needed} cross-switch NVLink "
                 f"partners for parallel transmission")
         return partners[:needed]
+
+    # -- degraded-mode provisioning ----------------------------------------------
+
+    def _provision_cold(self, gpu_index: int, instance: ModelInstance,
+                        request: Request
+                        ) -> typing.Generator[Event, object, str]:
+        """Cold-start provisioning under device-fault watch.
+
+        Parallel provisions run as an abortable child process registered
+        in ``_provisions`` so fault handlers can interrupt them.  Returns
+        ``"ok"`` (primary plan landed), ``"degraded"`` (aborted or
+        pre-empted by a fault; the request was served on the fallback
+        plan) or ``"orphaned"`` (the home GPU itself died; the fault
+        handler already re-routed the request).
+        """
+        cache = self._caches[gpu_index]
+        plan = instance.plan
+        if plan.uses_parallel_transmission:
+            secondaries = self._healthy_secondaries(instance)
+            if secondaries is not None:
+                cache.admit(instance)
+                proc = self.sim.process(
+                    plan_generator(
+                        self.machine, self.planner.cost_model, plan,
+                        gpu_index, secondaries,
+                        detailed_traces=self.config.detailed_traces),
+                    name=f"provision:{instance.name}")
+                self._provisions[gpu_index] = (
+                    proc, frozenset(secondaries),
+                    self._provision_links(gpu_index, secondaries))
+                try:
+                    yield proc.done
+                    return "ok"
+                except Interrupt as interrupt:
+                    self.aborted_provisions += 1
+                    # The partial residency is garbage; clear it before
+                    # retrying.  handle_gpu_failure() may already have
+                    # evicted it while rehoming, hence the guard.
+                    if instance in cache:
+                        cache.evict(instance)
+                    if interrupt.cause == "primary-gpu-failed":
+                        return "orphaned"
+                finally:
+                    self._provisions.pop(gpu_index, None)
+            # Either too few healthy peers to even start, or the parallel
+            # provision just aborted: serve the request on the degraded
+            # single-GPU plan instead of dropping it.
+            fallback = self._fallback_for(instance)
+            instance.active_plan = fallback
+            cache.admit(instance)
+            yield from plan_generator(
+                self.machine, self.planner.cost_model, fallback,
+                gpu_index, (), detailed_traces=self.config.detailed_traces)
+            self.degraded_cold_starts += 1
+            if self.on_degraded is not None:
+                self.on_degraded(request)
+            return "degraded"
+        cache.admit(instance)
+        yield from plan_generator(
+            self.machine, self.planner.cost_model, plan, gpu_index,
+            self._cold_start_secondaries(instance),
+            detailed_traces=self.config.detailed_traces)
+        return "ok"
+
+    def _healthy_secondaries(self, instance: ModelInstance
+                             ) -> list[int] | None:
+        """The plan's peer-GPU set, or ``None`` when too few are healthy.
+
+        A peer qualifies when its GPU is alive and both links the
+        provision would cross (its PCIe lane and the NVLink back to the
+        primary) sit at or above the degraded-link threshold.
+        """
+        needed = instance.plan.num_partitions - 1
+        primary = instance.home_gpu
+        threshold = self.config.degraded_link_threshold
+        machine = self.machine
+        healthy = []
+        for peer in self._secondaries[primary]:
+            gpu = machine.gpus[peer]
+            if gpu.failed:
+                continue
+            nvlink = machine.nvlinks[(peer, primary)]
+            if nvlink.bandwidth < nvlink.nominal_bandwidth * threshold:
+                continue
+            lane = gpu.pcie_lane
+            if lane.bandwidth < lane.nominal_bandwidth * threshold:
+                continue
+            healthy.append(peer)
+            if len(healthy) == needed:
+                return healthy
+        return None
+
+    def _provision_links(self, primary: int,
+                         secondaries: typing.Sequence[int]
+                         ) -> frozenset[Link]:
+        """Every link a parallel provision depends on (abort triggers)."""
+        links = set(self.machine.pcie_path(primary))
+        for secondary in secondaries:
+            links.update(self.machine.pcie_path(secondary))
+            links.add(self.machine.nvlinks[(secondary, primary)])
+        return frozenset(links)
+
+    def _fallback_for(self, instance: ModelInstance) -> ExecutionPlan:
+        plan = instance.plan
+        if plan.fallback is not None:
+            return plan.fallback
+        fallback = self._fallback_plans.get(plan.model.name)
+        if fallback is None:
+            fallback = self.planner.plan(plan.model, Strategy.DHA,
+                                         batch_size=plan.batch_size)
+            self._fallback_plans[plan.model.name] = fallback
+        return fallback

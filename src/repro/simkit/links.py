@@ -50,13 +50,17 @@ _flow_id = operator.attrgetter("id")
 class Link:
     """A unidirectional link with a fixed capacity in bytes/second."""
 
-    __slots__ = ("name", "bandwidth", "bytes_carried")
+    __slots__ = ("name", "bandwidth", "nominal_bandwidth", "bytes_carried")
 
     def __init__(self, name: str, bandwidth: float) -> None:
         if bandwidth <= 0:
             raise ValueError(f"link bandwidth must be positive, got {bandwidth}")
         self.name = name
         self.bandwidth = float(bandwidth)
+        #: Design capacity.  ``bandwidth`` is the *current* capacity and can
+        #: drop below nominal while a fault schedule degrades the link (see
+        #: :meth:`FlowNetwork.set_link_bandwidth`); restoring resets it here.
+        self.nominal_bandwidth = float(bandwidth)
         #: Cumulative bytes that have crossed this link (for bandwidth stats).
         self.bytes_carried = 0.0
 
@@ -209,6 +213,27 @@ class FlowNetwork:
     def active_flows(self) -> frozenset[Flow]:
         return frozenset(self._active)
 
+    def set_link_bandwidth(self, link: Link, bandwidth: float) -> None:
+        """Change *link*'s capacity at runtime.
+
+        Progress is credited at the old rates up to "now", then every
+        in-flight flow crossing the link has its fair share recomputed —
+        the degraded (or restored) capacity takes effect immediately, on
+        both the incremental fast path and the from-scratch slow path.
+        A no-op when the capacity is unchanged or the link is idle.
+        """
+        if bandwidth <= 0:
+            raise ValueError(f"link bandwidth must be positive, got {bandwidth}")
+        bandwidth = float(bandwidth)
+        if bandwidth == link.bandwidth:
+            return
+        self._settle()
+        link.bandwidth = bandwidth
+        flows = self._link_flows.get(link)
+        if not flows:
+            return
+        self._rebalance(changed=sorted(flows, key=_flow_id))
+
     def reference_fair_rates(self) -> dict[Flow, float]:
         """Whole-network progressive filling, without touching flow state.
 
@@ -262,19 +287,23 @@ class FlowNetwork:
             for link in flow.path:
                 link.bytes_carried += moved
 
-    def _rebalance(self, started: Flow | None = None) -> None:
+    def _rebalance(self, started: Flow | None = None,
+                   changed: typing.Sequence[Flow] = ()) -> None:
         """Recompute fair rates where needed and re-arm the wake-up timer.
 
         The timer fires at the earliest flow completion *or* milestone
         crossing, whichever comes first.  On the fast path only the
-        connected component(s) touched by *started* and just-completed
-        flows are refilled; a wake-up that changes no component membership
-        (a pure milestone crossing, or completions of flows that shared
-        no link with a survivor) leaves every rate untouched.
+        connected component(s) touched by *started*, *changed* (flows on a
+        link whose capacity just moved) and just-completed flows are
+        refilled; a wake-up that changes no component membership (a pure
+        milestone crossing, or completions of flows that shared no link
+        with a survivor) leaves every rate untouched.
         """
         self._timer_token += 1
         completed = [f for f in self._active if f.remaining <= _EPSILON_BYTES]
         seeds: list[Flow] = [] if started is None else [started]
+        if changed:
+            seeds.extend(changed)
         for flow in completed:
             del self._active[flow]
             for link in flow.path:
@@ -295,7 +324,7 @@ class FlowNetwork:
 
         if not self._incremental:
             self._fill_all_components()
-        elif started is not None and not completed:
+        elif started is not None and not completed and not changed:
             # A flow just started and nothing finished: its component
             # seeds the fill, and when its links carry nothing else the
             # component is the flow alone — no walk, no sort.

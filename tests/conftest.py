@@ -22,6 +22,9 @@ SEED_FIXTURES = {
     # Differential check of the incremental fair-share allocator against
     # the from-scratch reference fill (test_fastpath_differential.py).
     "flow_seed": (30, 200),
+    # Conservation under mixed machine/GPU/link fault schedules (the
+    # issue's 200-seed device-fault sweep; full count nightly).
+    "device_fault_seed": (3, 200),
 }
 
 

@@ -285,3 +285,56 @@ class TestClusterConservation:
         assert report.completed == len(report.metrics.records)
         served_total = sum(m.served for m in report.per_machine)
         assert served_total == report.completed
+
+
+class TestDeviceFaultConservation:
+    """submitted == completed + dropped + shed under mixed machine, GPU
+    and link fault schedules, with the cluster auditor armed."""
+
+    def test_conservation_under_device_faults(self, device_fault_seed):
+        from repro.cluster import (
+            Cluster,
+            ClusterConfig,
+            random_fault_schedule,
+        )
+        from repro.models.zoo import build_model
+        from repro.serving.workload import PoissonWorkload
+        from repro.units import MS
+
+        seed = device_fault_seed
+        rng = numpy.random.default_rng(seed + 7_000)
+        num_machines = int(rng.integers(1, 4))
+        config = ClusterConfig(
+            num_machines=num_machines,
+            replication=int(rng.integers(1, num_machines + 1)),
+            policy=("round-robin", "least-loaded", "affinity")[seed % 3],
+            max_retries=int(rng.integers(0, 4)),
+            prewarm=bool(rng.integers(0, 2)),
+            deadline=(float(rng.uniform(25.0, 80.0)) * MS
+                      if rng.integers(0, 2) else None),
+            audit=True,
+        )
+        cluster = Cluster(p3_8xlarge(), config)
+        names = cluster.deploy([(build_model("bert-base"),
+                                 int(rng.integers(4, 13)))])
+        workload = PoissonWorkload(names,
+                                   rate=float(rng.uniform(40.0, 250.0)),
+                                   num_requests=int(rng.integers(60, 180)),
+                                   seed=seed)
+        requests = workload.generate()
+        duration = max(r.arrival_time for r in requests)
+        machine = cluster.machines[0].machine
+        schedule = random_fault_schedule(
+            [m.name for m in cluster.machines],
+            int(rng.integers(2, 8)), duration, seed=seed,
+            granularity="mixed", gpu_count=len(machine.gpus),
+            link_names=machine.link_names())
+
+        # run() already raises AuditError on any violation (including the
+        # three-outcome exactly-once law); re-assert conservation here.
+        report = cluster.run(requests, fault_schedule=schedule)
+        assert report.submitted == len(requests)
+        assert (report.completed + len(report.dropped) + len(report.shed)
+                == report.submitted)
+        assert report.completed == len(report.metrics.records)
+        assert sum(m.served for m in report.per_machine) == report.completed
