@@ -40,6 +40,7 @@ import json
 import pathlib
 import sys
 import time
+import typing
 
 _HERE = pathlib.Path(__file__).resolve().parent
 _ROOT = _HERE.parent
@@ -220,6 +221,21 @@ def measure_fig13(num_requests: int = 400,
             "wall_s": time.perf_counter() - start_all, "outputs": outputs}
 
 
+def _best_of(measure: typing.Callable[[], dict], repeats: int) -> dict:
+    """Best (lowest wall time) of *repeats* runs of a churn probe.
+
+    The churn probes finish in well under a second, which leaves a
+    single sample at the mercy of scheduler jitter; the minimum over a
+    few runs is the standard way to estimate the undisturbed cost.
+    """
+    best: dict | None = None
+    for _ in range(repeats):
+        result = measure()
+        if best is None or result["wall_s"] < best["wall_s"]:
+            best = result
+    return typing.cast(dict, best)
+
+
 def run_suite(smoke: bool = False) -> dict:
     """Run every probe at smoke or full scale."""
     if smoke:
@@ -232,8 +248,8 @@ def run_suite(smoke: bool = False) -> dict:
         }
     return {
         "scale": "full",
-        "event_churn": measure_event_churn(),
-        "flow_churn": measure_flow_churn(),
+        "event_churn": _best_of(measure_event_churn, 3),
+        "flow_churn": _best_of(measure_flow_churn, 3),
         "plan_throughput": measure_plan_throughput(),
         "fig15": measure_fig15(),
         "fig13": measure_fig13(),
@@ -335,19 +351,36 @@ def emit_bench(smoke: bool = False) -> dict:
     return payload
 
 
+#: Gated probes: (baseline key, probe name, probe metric).  Baselines
+#: written before a gate existed simply skip it, so the check degrades
+#: gracefully across baseline-file generations.
+SMOKE_GATES = (
+    ("events_per_sec", "event_churn", "events_per_sec"),
+    ("flows_per_sec", "flow_churn", "flows_per_sec"),
+)
+
+
 def check_baseline(measured: dict, baseline_path: pathlib.Path) -> None:
-    """Fail (SystemExit) if events/sec regressed >30% vs the baseline."""
+    """Fail (SystemExit) if a gated metric regressed >30% vs the baseline."""
     baseline = json.loads(baseline_path.read_text())
-    floor = baseline["events_per_sec"] * (1.0 - SMOKE_REGRESSION_LIMIT)
-    got = measured["event_churn"]["events_per_sec"]
-    print(f"perf-smoke: events/sec {got:,.0f} "
-          f"(baseline {baseline['events_per_sec']:,.0f}, floor {floor:,.0f})")
-    if got < floor:
+    failures = []
+    for key, probe, metric in SMOKE_GATES:
+        if key not in baseline:
+            print(f"perf-smoke: baseline has no {key}; gate skipped")
+            continue
+        floor = baseline[key] * (1.0 - SMOKE_REGRESSION_LIMIT)
+        got = measured[probe][metric]
+        print(f"perf-smoke: {key} {got:,.0f} "
+              f"(baseline {baseline[key]:,.0f}, floor {floor:,.0f})")
+        if got < floor:
+            failures.append(
+                f"{key} {got:,.0f} is more than "
+                f"{SMOKE_REGRESSION_LIMIT:.0%} below the baseline "
+                f"{baseline[key]:,.0f}")
+    if failures:
         raise SystemExit(
-            f"perf-smoke FAILED: events/sec {got:,.0f} is more than "
-            f"{SMOKE_REGRESSION_LIMIT:.0%} below the baseline "
-            f"{baseline['events_per_sec']:,.0f} "
-            f"(see benchmarks/results/perf_baseline.json)")
+            "perf-smoke FAILED: " + "; ".join(failures)
+            + " (see benchmarks/results/perf_baseline.json)")
     print("perf-smoke OK")
 
 
@@ -408,11 +441,12 @@ def main(argv: list[str] | None = None) -> None:
         print(f"wrote {args.output}")
     if args.write_baseline:
         BASELINE_PATH.write_text(json.dumps({
-            "note": "perf-smoke baseline: events/sec floor is this value "
-                    "minus 30%; regenerate with "
+            "note": "perf-smoke baseline: each gated metric's floor is "
+                    "its value minus 30%; regenerate with "
                     "`python benchmarks/bench_perf_simcore.py --smoke "
                     "--write-baseline` on the reference machine",
             "events_per_sec": measured["event_churn"]["events_per_sec"],
+            "flows_per_sec": measured["flow_churn"]["flows_per_sec"],
         }, indent=2) + "\n")
         print(f"wrote {BASELINE_PATH}")
     if args.check:

@@ -119,6 +119,7 @@ class MachineAuditor:
 
     def on_rates_assigned(self, network: "FlowNetwork") -> None:
         by_link: dict["Link", float] = {}
+        progress: dict["Link", float] = {}
         for flow in network.active_flows:
             self.checks += 1
             if flow.rate < 0:
@@ -131,15 +132,31 @@ class MachineAuditor:
             if flow.remaining < -_RESIDUAL_SLACK:
                 self._flag("flow.residual_nonnegative", repr(flow),
                            f"negative residual {flow.remaining}")
+            progressed = flow.progressed
             for link in flow.path:
                 by_link[link] = by_link.get(link, 0.0) + flow.rate
+                progress[link] = progress.get(link, 0.0) + progressed
         for link, total in by_link.items():
-            self.checks += 1
+            self.checks += 2
             if total > link.bandwidth * (1 + _RATE_SLACK):
                 self._flag(
                     "link.rate_capacity", link.name,
                     f"allocated {total:.6g} B/s exceeds bandwidth "
                     f"{link.bandwidth:.6g} B/s")
+            # Running conservation: a link is never credited with more
+            # bytes than its flows have actually progressed.  The settle
+            # clamp in FlowNetwork._settle (credit capped at the flow's
+            # residual) is what makes this an invariant rather than a
+            # best-effort bound — a wake-up landing past a flow's exact
+            # completion instant must not inflate bytes_carried.
+            accounted = self._carried.get(link, 0.0) + progress[link]
+            tolerance = (1.0 + 1e-6 * max(accounted, link.bytes_carried)
+                         + 1e-2 * self._flows_completed.get(link, 0))
+            if link.bytes_carried > accounted + tolerance:
+                self._flag(
+                    "link.over_credit", link.name,
+                    f"bytes_carried {link.bytes_carried:.3f} exceeds "
+                    f"accounted flow progress {accounted:.3f}")
 
     # -- memory observer hooks ------------------------------------------------------
 

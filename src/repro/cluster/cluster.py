@@ -404,11 +404,14 @@ class Cluster:
         in the window (the signal is too noisy to act on).
         """
         cutoff = self.sim.now - window
-        latencies = []
-        for record in reversed(self.metrics.records):
-            if record.finished_at < cutoff:
-                break
-            latencies.append(record.latency)
+        # metrics.records is append-ordered, which is *nearly* but not
+        # reliably finished_at-ordered: a retried or merged request is
+        # recorded when its completion is reported, which can be after a
+        # later-finishing one.  Breaking at the first stale record would
+        # silently truncate the window, so the scan filters the whole
+        # list instead.
+        latencies = [record.latency for record in self.metrics.records
+                     if record.finished_at >= cutoff]
         if len(latencies) < min_requests:
             return None
         return float(numpy.percentile(latencies, 99))

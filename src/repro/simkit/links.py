@@ -17,22 +17,36 @@ links connects them), which enables the incremental fast path: when a
 flow starts or finishes, only its connected component is refilled; rates
 elsewhere are provably unchanged.  Wake-ups that change no membership at
 all (milestone crossings, completions of flows that shared no link) skip
-the fill entirely.  ``REPRO_SLOW_PATH=1`` (see :mod:`repro.fastpath`)
-refills every component from scratch on every change instead — same
-per-component arithmetic, so both paths produce bit-identical rates —
-and :meth:`FlowNetwork.reference_fair_rates` exposes the original
-whole-network progressive filling for differential testing.
+the fill entirely.
+
+The fast path runs the fill as a flat-array kernel: links and flows are
+numbered with component-local integers, the flow×link incidence is a
+CSR-style index list, and each water-filling iteration freezes a whole
+bottleneck group at once.  Components at or above ``_VEC_MIN_FLOWS``
+flows run the same kernel vectorized in numpy (``np.add.at`` /
+``np.subtract.at`` apply their updates sequentially in index order, so
+the float evaluation order — and therefore every bit of every rate — is
+identical to the scalar kernel and to the reference fill).
+``REPRO_SLOW_PATH=1`` (see :mod:`repro.fastpath`) refills every
+component from scratch with the original dict-based arithmetic instead —
+same per-component evaluation order, so all paths produce bit-identical
+rates — and :meth:`FlowNetwork.reference_fair_rates` exposes the
+original whole-network progressive filling for differential testing.
 """
 
 from __future__ import annotations
 
-import heapq
 import itertools
 import operator
 import typing
 
 from repro import fastpath
 from repro.simkit.events import Event
+
+try:  # numpy powers the vectorized kernel; everything degrades to the
+    import numpy as _np  # scalar flat-array kernel without it.
+except ImportError:  # pragma: no cover - numpy is a hard dep elsewhere
+    _np = None
 
 if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.simkit.sim import Simulator
@@ -45,6 +59,22 @@ _EPSILON_BYTES = 1e-3
 _INF = float("inf")
 
 _flow_id = operator.attrgetter("id")
+
+#: Component size at which the water-filling kernel switches from the
+#: flat scalar loops to the numpy group kernel.  Below this, numpy's
+#: per-call overhead on tiny arrays costs more than it saves; both
+#: kernels perform the identical float operations in the identical
+#: order, so the switch is invisible to simulated results.
+_VEC_MIN_FLOWS = 40
+
+#: Active-flow count at which the post-fill completion/milestone wait
+#: scan runs as one vectorized min-reduction instead of a Python loop.
+_VEC_MIN_SCAN = 64
+
+#: Fill-memo capacity (entries).  The memo is cleared, not evicted, when
+#: it fills: component shapes in steady-state serving cycle through a
+#: small working set, so a full memo means the workload shifted.
+_FILL_MEMO_MAX = 8192
 
 
 class Link:
@@ -133,11 +163,22 @@ class FlowNetwork:
         #: Links currently carrying flows -> the flows crossing them; the
         #: adjacency structure for connected-component lookups.
         self._link_flows: dict[Link, set[Flow]] = {}
+        #: Active flows that carry milestones, in start order — the
+        #: wake-up handler fires due milestones without scanning flows
+        #: that (in the overwhelmingly common case) have none.
+        self._milestoned: dict[Flow, None] = {}
         self._last_settle = sim.now
         self._timer_token = 0
         if incremental is None:
             incremental = fastpath.enabled()
         self._incremental = incremental
+        self._vectorized = incremental and _np is not None
+        #: Path-class census -> per-class rates memo, and the path ->
+        #: class-id intern table backing it (see :meth:`_fill`).  Hits
+        #: are bit-identical replays of an earlier fill of the same
+        #: component shape.
+        self._fill_memo: dict[tuple, dict[int, float]] = {}
+        self._path_class: dict[tuple[Link, ...], int] = {}
         #: Optional audit hook (see :mod:`repro.audit`).  When set, it
         #: receives ``on_flow_started(flow)``, ``on_flow_completed(flow)``
         #: and ``on_rates_assigned(network)`` callbacks; ``None`` (the
@@ -166,6 +207,11 @@ class FlowNetwork:
             raise ValueError("transfer path must contain at least one link")
         if weight <= 0:
             raise ValueError(f"weight must be positive, got {weight}")
+        if max_rate is not None and max_rate <= 0:
+            # A non-positive cap would create a permanently rate-starved
+            # flow whose done event can never fire — reject it like the
+            # other argument errors instead of hanging the caller.
+            raise ValueError(f"max_rate must be positive, got {max_rate}")
         done = Event(self.sim, name="flow.done")
         flow = Flow(path, nbytes, done, max_rate, weight)
         if setup_delay > 0:
@@ -192,7 +238,12 @@ class FlowNetwork:
             raise ValueError("transfer path must contain at least one link")
         if weight <= 0:
             raise ValueError(f"weight must be positive, got {weight}")
+        if max_rate is not None and max_rate <= 0:
+            raise ValueError(f"max_rate must be positive, got {max_rate}")
         offsets = list(milestone_offsets)
+        if offsets and offsets[0] < 0:
+            raise ValueError(f"milestone offsets must be non-negative, "
+                             f"got {offsets[0]}")
         if sorted(offsets) != offsets:
             raise ValueError("milestone offsets must be ascending")
         if offsets and offsets[-1] > nbytes + _EPSILON_BYTES:
@@ -227,6 +278,8 @@ class FlowNetwork:
         bandwidth = float(bandwidth)
         if bandwidth == link.bandwidth:
             return
+        # Memoized allocations assumed the old capacities.
+        self._fill_memo.clear()
         self._settle()
         link.bandwidth = bandwidth
         flows = self._link_flows.get(link)
@@ -243,7 +296,7 @@ class FlowNetwork:
         against the incremental allocator's assignments.
         """
         rates: dict[Flow, float] = {}
-        self._fill(sorted(self._active, key=_flow_id), rates)
+        self._fill_reference(sorted(self._active, key=_flow_id), rates)
         return rates
 
     # -- internals --------------------------------------------------------------
@@ -271,11 +324,20 @@ class FlowNetwork:
         # fire them here so the wake-up timer below targets the *next*
         # unfired milestone instead of deferring them to flow completion.
         if flow.milestones:
+            self._milestoned[flow] = None
             flow.fire_due_milestones()
         self._rebalance(started=flow)
 
     def _settle(self) -> None:
-        """Credit progress for time elapsed since the last rate change."""
+        """Credit progress for time elapsed since the last rate change.
+
+        The credit is clamped at the flow's residual bytes: a wake-up
+        that lands past the flow's exact completion instant (superseded
+        timers, float overshoot in ``remaining / rate``) must not push
+        ``remaining`` below zero or credit ``bytes_carried`` with bytes
+        the flow never had — the auditor's conservation ledger holds
+        exactly because of this clamp.
+        """
         now = self.sim._now
         elapsed = now - self._last_settle
         self._last_settle = now
@@ -283,9 +345,13 @@ class FlowNetwork:
             return
         for flow in self._active:
             moved = flow.rate * elapsed
-            flow.remaining -= moved
-            for link in flow.path:
-                link.bytes_carried += moved
+            if moved > 0.0:
+                remaining = flow.remaining
+                if moved >= remaining:
+                    moved = remaining if remaining > 0.0 else 0.0
+                flow.remaining = remaining - moved
+                for link in flow.path:
+                    link.bytes_carried += moved
 
     def _rebalance(self, started: Flow | None = None,
                    changed: typing.Sequence[Flow] = ()) -> None:
@@ -300,26 +366,36 @@ class FlowNetwork:
         with a survivor) leaves every rate untouched.
         """
         self._timer_token += 1
-        completed = [f for f in self._active if f.remaining <= _EPSILON_BYTES]
+        active = self._active
+        completed = [f for f in active if f.remaining <= _EPSILON_BYTES]
         seeds: list[Flow] = [] if started is None else [started]
         if changed:
             seeds.extend(changed)
-        for flow in completed:
-            del self._active[flow]
-            for link in flow.path:
-                flows = self._link_flows[link]
-                flows.discard(flow)
-                if flows:
-                    seeds.extend(flows)
-                else:
-                    del self._link_flows[link]
-            flow.remaining = 0.0
-            if flow.milestones:
-                flow.fire_due_milestones()
-            flow.done.succeed(flow)
+        if completed:
+            link_flows = self._link_flows
+            milestoned = self._milestoned
+            for flow in completed:
+                del active[flow]
+                for link in flow.path:
+                    flows = link_flows[link]
+                    flows.discard(flow)
+                    if flows:
+                        seeds.extend(flows)
+                    else:
+                        del link_flows[link]
+                flow.remaining = 0.0
+                if flow.milestones:
+                    milestoned.pop(flow, None)
+                    flow.fire_due_milestones()
+                flow.done.succeed(flow)
+                if self.observer is not None:
+                    self.observer.on_flow_completed(flow)
+        if not active:
+            # The network just went quiescent; auditors still need to see
+            # the final (empty) allocation or their ledgers end one
+            # assignment short of the run.
             if self.observer is not None:
-                self.observer.on_flow_completed(flow)
-        if not self._active:
+                self.observer.on_rates_assigned(self)
             return
 
         if not self._incremental:
@@ -331,50 +407,61 @@ class FlowNetwork:
             link_flows = self._link_flows
             for link in started.path:
                 if len(link_flows[link]) > 1:
-                    self._fill(sorted(self._component_of((started,)),
-                                      key=_flow_id))
+                    self._fill_component(self._component_of((started,)))
                     break
             else:
                 self._fill((started,))
         elif seeds:
-            self._fill(sorted(self._component_of(seeds), key=_flow_id))
+            self._fill_component(self._component_of(seeds))
         # else: nothing started or finished (milestone-only wake-up) —
         # the allocation is already the fair one; skip the fill entirely.
         if self.observer is not None:
             self.observer.on_rates_assigned(self)
         token = self._timer_token
-        wait = _INF
-        # _bytes_to_next_event, inlined (this loop runs on every wake-up;
-        # most flows carry no milestones, so the common case is a pair of
-        # attribute loads and a divide).
-        for flow in self._active:
-            rate = flow.rate
-            if rate <= 0.0:
-                continue
-            nbytes = flow.remaining
-            milestones = flow.milestones
-            if flow._next_milestone < len(milestones):
-                to_milestone = (milestones[flow._next_milestone][0]
-                                - (flow.nbytes - flow.remaining))
-                if to_milestone < nbytes:
-                    nbytes = to_milestone
-            candidate = nbytes / rate
-            if candidate < wait:
-                wait = candidate
-        if wait == _INF:
-            # Every active flow is rate-starved (e.g. links drained to a
-            # zero residual by float-exhausted allocations); rates will be
-            # reassigned when another flow starts or finishes.
-            return
+        # _bytes_to_next_event over every active flow, batched: the wait
+        # is the min over flows of bytes-to-next-event / rate.  Large
+        # active sets take one vectorized min-reduction; small ones (the
+        # common case) run an inlined loop — most flows carry no
+        # milestones, so each is a pair of attribute loads and a divide.
+        if self._vectorized and len(active) >= _VEC_MIN_SCAN \
+                and not self._milestoned:
+            count = len(active)
+            rates = _np.fromiter(
+                (f.rate for f in active), dtype=float, count=count)
+            nbytes = _np.fromiter(
+                (f.remaining for f in active), dtype=float, count=count)
+            live = rates > 0.0
+            if not live.any():
+                return
+            wait = float(_np.min(nbytes[live] / rates[live]))
+        else:
+            wait = _INF
+            for flow in active:
+                rate = flow.rate
+                if rate <= 0.0:
+                    continue
+                nbytes = flow.remaining
+                milestones = flow.milestones
+                if flow._next_milestone < len(milestones):
+                    to_milestone = (milestones[flow._next_milestone][0]
+                                    - (flow.nbytes - flow.remaining))
+                    if to_milestone < nbytes:
+                        nbytes = to_milestone
+                candidate = nbytes / rate
+                if candidate < wait:
+                    wait = candidate
+            if wait == _INF:
+                # Every active flow is rate-starved (e.g. links drained
+                # to a zero residual by float-exhausted allocations);
+                # rates will be reassigned when another flow starts or
+                # finishes.
+                return
         sim = self.sim
         if wait <= 0.0:
             sim._ripe.append(
                 (next(sim._sequence), lambda: self._on_timer(token)))
         else:
-            heapq.heappush(
-                sim._queue,
-                (sim._now + wait, next(sim._sequence),
-                 lambda: self._on_timer(token)))
+            sim._schedule_callback(lambda: self._on_timer(token), wait)
 
     @staticmethod
     def _bytes_to_next_event(flow: Flow) -> float:
@@ -390,19 +477,32 @@ class FlowNetwork:
         return min(flow.remaining, to_milestone)
 
     def _component_of(self, seeds: typing.Iterable[Flow]) -> set[Flow]:
-        """Active flows connected to *seeds* through chains of shared links."""
-        component: set[Flow] = set()
-        stack = [f for f in seeds if f in self._active]
+        """Active flows connected to *seeds* through chains of shared links.
+
+        The walk is link-granular: each link's whole flow set joins the
+        component in one bulk set union and each link is expanded exactly
+        once, so the cost is O(flows + links) instead of the
+        O(flows × links × neighbours) of a flow-by-flow walk.
+        """
+        active = self._active
         link_flows = self._link_flows
-        while stack:
-            flow = stack.pop()
-            if flow in component:
+        component: set[Flow] = set()
+        pending: list[Link] = []
+        for flow in seeds:
+            if flow in active and flow not in component:
+                component.add(flow)
+                pending.extend(flow.path)
+        seen: set[Link] = set()
+        while pending:
+            link = pending.pop()
+            if link in seen:
                 continue
-            component.add(flow)
-            for link in flow.path:
-                for neighbour in link_flows[link]:
-                    if neighbour not in component:
-                        stack.append(neighbour)
+            seen.add(link)
+            fresh = link_flows[link] - component
+            if fresh:
+                component |= fresh
+                for flow in fresh:
+                    pending.extend(flow.path)
         return component
 
     def _fill_all_components(self) -> None:
@@ -420,8 +520,59 @@ class FlowNetwork:
             visited |= component
             self._fill(sorted(component, key=_flow_id))
 
-    def _fill(self, ordered: typing.Sequence[Flow],
-              into: dict[Flow, float] | None = None) -> None:
+    # -- the water-filling kernels ------------------------------------------------
+    #
+    # Three implementations of weighted progressive filling share one
+    # float evaluation order, which makes their outputs bit-identical:
+    #
+    # * _fill_reference — the original dict-bookkeeping loop, kept as the
+    #   executable spec (reference_fair_rates, REPRO_SLOW_PATH=1);
+    # * _fill_small — the same algorithm over flat arrays indexed by
+    #   component-local integers (fast path, small components);
+    # * _fill_vec — the flat-array kernel vectorized in numpy, freezing
+    #   whole bottleneck groups per iteration (fast path, components of
+    #   _VEC_MIN_FLOWS flows or more).
+    #
+    # The order contract: flows are visited in ascending flow id; a
+    # frozen flow's rate is subtracted from its path links in path
+    # order; per-link load/count bookkeeping follows the same sequence.
+    # numpy's add.at/subtract.at apply duplicate-index updates
+    # sequentially in index order, which is exactly that contract.
+
+    def _fill_component(self, component: set[Flow]) -> None:
+        """Fill one connected component given as an *unordered* set.
+
+        The census pass is order-independent — class counts and the
+        uniformity check read each flow exactly once, and a memo hit
+        assigns one rate per class — so the ascending-id sort that the
+        kernels require is deferred until a kernel actually has to run
+        (a memo miss, a non-uniform component, or the reference path).
+        """
+        if len(component) < 2 or not self._incremental:
+            self._fill(sorted(component, key=_flow_id))
+            return
+        path_class = self._path_class
+        census: dict[int, int] = {}
+        pairs: list[tuple[Flow, int]] = []
+        weight = next(iter(component)).weight
+        for flow in component:
+            if flow.weight != weight or flow.max_rate is not None:
+                break
+            cls = path_class.get(flow.path)
+            if cls is None:
+                cls = path_class[flow.path] = len(path_class)
+            pairs.append((flow, cls))
+            census[cls] = census.get(cls, 0) + 1
+        else:
+            rates = self._fill_memo.get(
+                (weight, tuple(sorted(census.items()))))
+            if rates is not None:
+                for flow, cls in pairs:
+                    flow.rate = rates[cls]
+                return
+        self._fill(sorted(component, key=_flow_id))
+
+    def _fill(self, ordered: typing.Sequence[Flow]) -> None:
         """Weighted progressive filling over *ordered* (a closed flow set).
 
         Freezes flows at bottlenecks: each unfrozen flow receives
@@ -429,16 +580,281 @@ class FlowNetwork:
         allocation of its tightest link; flows capped below their fair
         share free the remainder for the rest.  *ordered* must be closed
         under link sharing (a union of connected components) and sorted
-        by flow id, which fixes the float evaluation order.  Writes rates
-        to ``flow.rate``, or into *into* when given (reference mode).
+        by flow id, which fixes the float evaluation order.  Writes
+        rates to ``flow.rate``.
         """
-        if len(ordered) == 1:
+        n = len(ordered)
+        if n == 0:
+            # Every seed completed and took its neighbours with it;
+            # nothing left to allocate.
+            return
+        if n == 1:
             # A lone flow (its links carry nothing else — the usual case
             # for a warm DHA read on an uncontended lane) gets the
             # per-unit-weight share of its tightest link, capped.  The
             # arithmetic is the general loop's first iteration verbatim
             # (``0.0 + weight`` is exact), so the shortcut is
             # bit-identical.
+            flow = ordered[0]
+            weight = flow.weight
+            rate = _INF
+            for link in flow.path:
+                share = link.bandwidth / weight
+                if share < rate:
+                    rate = share
+            rate = weight * rate
+            if flow.max_rate is not None and flow.max_rate <= rate:
+                rate = flow.max_rate
+            flow.rate = rate
+            return
+        if not self._incremental:
+            self._fill_reference(ordered)
+            return
+        # Uniform components — every flow the same weight, nobody capped,
+        # the overwhelmingly common shape in serving replays — allocate
+        # per *path class*: flows with equal paths are interchangeable in
+        # the fill (equal weights make every load sum and every freeze
+        # subtraction an identical float regardless of flow order), so
+        # the allocation is a pure function of the path-class census.
+        # The census is the memo key; a hit replays a previous fill of
+        # the same census, skipping the kernel entirely.  The memo is
+        # cleared whenever a link capacity changes (see
+        # :meth:`set_link_bandwidth`), which keeps capacities out of the
+        # key on the hot path.
+        path_class = self._path_class
+        classes: list[int] = []
+        census: dict[int, int] = {}
+        weight = ordered[0].weight
+        uniform = True
+        for flow in ordered:
+            if flow.weight != weight or flow.max_rate is not None:
+                uniform = False
+                break
+            cls = path_class.get(flow.path)
+            if cls is None:
+                cls = path_class[flow.path] = len(path_class)
+            classes.append(cls)
+            census[cls] = census.get(cls, 0) + 1
+        if uniform:
+            key = (weight, tuple(sorted(census.items())))
+            memo = self._fill_memo
+            rates = memo.get(key)
+            if rates is not None:
+                for flow, cls in zip(ordered, classes):
+                    flow.rate = rates[cls]
+                return
+            self._run_fill_kernel(ordered, n)
+            value: dict[int, float] = {}
+            for flow, cls in zip(ordered, classes):
+                rate = value.setdefault(cls, flow.rate)
+                if rate != flow.rate:  # pragma: no cover - guards the
+                    return  # per-class-rate invariant; never memo a lie
+            if len(memo) >= _FILL_MEMO_MAX:
+                memo.clear()
+            memo[key] = value
+            return
+        self._run_fill_kernel(ordered, n)
+
+    def _run_fill_kernel(self, ordered: typing.Sequence[Flow],
+                         n: int) -> None:
+        """Build the flat component tables and run the matching kernel."""
+        link_ids: dict[Link, int] = {}
+        bands: list[float] = []
+        links_of: list[tuple[int, ...]] = []
+        weights: list[float] = []
+        caps: list[float | None] = []
+        any_cap = False
+        for flow in ordered:
+            ids: list[int] = []
+            for link in flow.path:
+                j = link_ids.get(link)
+                if j is None:
+                    j = link_ids[link] = len(bands)
+                    bands.append(link.bandwidth)
+                ids.append(j)
+            cap = flow.max_rate
+            if cap is not None:
+                any_cap = True
+            links_of.append(tuple(ids))
+            weights.append(flow.weight)
+            caps.append(cap)
+        if self._vectorized and n >= _VEC_MIN_FLOWS:
+            self._fill_vec(ordered, bands, links_of, weights, caps, any_cap)
+        else:
+            self._fill_small(ordered, bands, links_of, weights, caps, any_cap)
+
+    def _fill_small(self, ordered: typing.Sequence[Flow],
+                    bands: list[float],
+                    links_of: list[tuple[int, ...]],
+                    weights: list[float],
+                    caps: list[float | None],
+                    any_cap: bool) -> None:
+        """Flat-array progressive filling for small components.
+
+        Links carry component-local integer ids in first-seen order (the
+        same order the reference fill's dicts iterate), per-link state
+        lives in parallel lists, and each iteration freezes one whole
+        bottleneck group — no per-flow dict bookkeeping.
+        """
+        n = len(ordered)
+        m = len(bands)
+        residual = bands  # the caller's copy; consumed in place
+        load = [0.0] * m
+        count = [0] * m
+        flows_of: list[list[int]] = [[] for _ in range(m)]
+        for i, ids in enumerate(links_of):
+            weight = weights[i]
+            for j in ids:
+                load[j] += weight
+                count[j] += 1
+                flows_of[j].append(i)
+
+        frozen = bytearray(n)
+        left = n
+        while left:
+            # The next bottleneck is the smallest per-unit-weight share,
+            # considering links and per-flow rate caps.  One pass finds
+            # both the share and the first link attaining it, matching
+            # min()'s first-strict-minimum semantics on the dict order.
+            share = _INF
+            bottleneck = -1
+            for j in range(m):
+                if count[j] > 0:
+                    s = residual[j] / load[j]
+                    if s < share:
+                        share = s
+                        bottleneck = j
+            if any_cap:
+                capped = [i for i in range(n)
+                          if not frozen[i] and caps[i] is not None
+                          and caps[i] <= weights[i] * share]
+                if capped:
+                    # Freeze capped flows at their own limit first; their
+                    # unused share is redistributed on the next iteration.
+                    for i in capped:
+                        rate = caps[i]
+                        ordered[i].rate = rate
+                        frozen[i] = 1
+                        left -= 1
+                        weight = weights[i]
+                        for j in links_of[i]:
+                            r = residual[j] - rate
+                            residual[j] = r if r > 0.0 else 0.0
+                            c = count[j] - 1
+                            count[j] = c
+                            load[j] = load[j] - weight if c else 0.0
+                    continue
+            for i in flows_of[bottleneck]:
+                if not frozen[i]:
+                    rate = weights[i] * share
+                    ordered[i].rate = rate
+                    frozen[i] = 1
+                    left -= 1
+                    weight = weights[i]
+                    for j in links_of[i]:
+                        r = residual[j] - rate
+                        residual[j] = r if r > 0.0 else 0.0
+                        c = count[j] - 1
+                        count[j] = c
+                        load[j] = load[j] - weight if c else 0.0
+
+    def _fill_vec(self, ordered: typing.Sequence[Flow],
+                  bands: list[float],
+                  links_of: list[tuple[int, ...]],
+                  weights_in: list[float],
+                  caps_in: list[float | None],
+                  any_cap: bool) -> None:
+        """Vectorized progressive filling for large components.
+
+        The flow×link incidence is CSR-style index arrays; every
+        water-filling iteration computes all link shares at once and
+        freezes the whole bottleneck (or capped) group with
+        ``np.subtract.at``, whose sequential duplicate-index semantics
+        reproduce the scalar kernel's float evaluation order exactly.
+        """
+        np = _np
+        n = len(ordered)
+        m = len(bands)
+        weights = np.asarray(weights_in)
+        caps = np.array([_INF if c is None else c for c in caps_in])
+        residual = np.asarray(bands)
+        flows_ix = np.repeat(np.arange(n, dtype=np.intp),
+                             [len(ids) for ids in links_of])
+        links_ix = np.fromiter((j for ids in links_of for j in ids),
+                               dtype=np.intp, count=len(flows_ix))
+        inc_weight = weights[flows_ix]
+        load = np.zeros(m)
+        np.add.at(load, links_ix, inc_weight)
+        count = np.bincount(links_ix, minlength=m)
+        rates = np.empty(n)
+        unfrozen = np.ones(n, dtype=bool)
+        left = n
+        with np.errstate(divide="ignore", invalid="ignore"):
+            while left:
+                contested = count > 0
+                shares = np.where(contested, residual / load, _INF)
+                share = shares.min()
+                if any_cap:
+                    capped = unfrozen & (caps <= weights * share)
+                    if capped.any():
+                        group = np.nonzero(capped)[0]
+                        group_rates = caps[group]
+                        left -= self._freeze_group(
+                            np, group, group_rates, rates, unfrozen,
+                            flows_ix, links_ix, inc_weight,
+                            residual, load, count, m)
+                        continue
+                bottleneck = shares.argmin()
+                group = flows_ix[links_ix == bottleneck]
+                group = group[unfrozen[group]]
+                group_rates = weights[group] * share
+                left -= self._freeze_group(
+                    np, group, group_rates, rates, unfrozen,
+                    flows_ix, links_ix, inc_weight,
+                    residual, load, count, m)
+        for i, rate in enumerate(rates.tolist()):
+            ordered[i].rate = rate
+
+    @staticmethod
+    def _freeze_group(np, group, group_rates, rates, unfrozen,
+                      flows_ix, links_ix, inc_weight,
+                      residual, load, count, m) -> int:
+        """Freeze *group* (ascending flow indices) at *group_rates*.
+
+        Interleaving note: the scalar kernel clamps each link residual at
+        zero after every single subtraction; doing all of a group's
+        subtractions first (sequentially, via ``subtract.at``) and
+        clamping once is bit-identical because rates are non-negative —
+        once a residual would clamp, every later value in the chain
+        clamps to the same zero.  Likewise the scalar kernel zeroes a
+        link's load the moment its unfrozen count hits zero, which can
+        only happen on the group's last crossing flow — so subtracting
+        all group weights and then zeroing drained links matches.
+        """
+        rates[group] = group_rates
+        unfrozen[group] = False
+        member = np.zeros(len(rates), dtype=bool)
+        member[group] = True
+        rows = member[flows_ix]
+        rows_links = links_ix[rows]
+        np.subtract.at(residual, rows_links, rates[flows_ix[rows]])
+        np.maximum(residual, 0.0, out=residual)
+        count -= np.bincount(rows_links, minlength=m)
+        np.subtract.at(load, rows_links, inc_weight[rows])
+        load[count == 0] = 0.0
+        return int(len(group))
+
+    def _fill_reference(self, ordered: typing.Sequence[Flow],
+                        into: dict[Flow, float] | None = None) -> None:
+        """The original dict-bookkeeping progressive filling.
+
+        Kept verbatim as the executable specification: it backs
+        :meth:`reference_fair_rates` and the ``REPRO_SLOW_PATH=1``
+        from-scratch path the differential sweeps compare against.
+        Writes rates to ``flow.rate``, or into *into* when given
+        (reference mode).
+        """
+        if len(ordered) == 1:
             flow = ordered[0]
             weight = flow.weight
             rate = _INF
@@ -510,7 +926,6 @@ class FlowNetwork:
         if token != self._timer_token:
             return  # superseded by a later rebalance
         self._settle()
-        for flow in self._active:
-            if flow.milestones:
-                flow.fire_due_milestones()
+        for flow in self._milestoned:
+            flow.fire_due_milestones()
         self._rebalance()

@@ -25,6 +25,9 @@ SEED_FIXTURES = {
     # Conservation under mixed machine/GPU/link fault schedules (the
     # issue's 200-seed device-fault sweep; full count nightly).
     "device_fault_seed": (3, 200),
+    # Byte-conservation property of the flow engine under random
+    # contended schedules (test_audit_invariants.py; full count nightly).
+    "conservation_seed": (20, 200),
 }
 
 

@@ -1,5 +1,7 @@
 """Tests for the runtime invariant-audit layer."""
 
+import random
+
 import pytest
 
 from repro.audit import AuditError, MachineAuditor, ServingAuditor
@@ -105,6 +107,70 @@ class TestMachineAuditor:
         machine.sim.run(first.done)
         machine.sim.run(second.done)
         assert auditor.check_quiesce() == []
+
+    def test_byte_conservation_property(self, conservation_seed):
+        """Every byte a link is credited with was progressed by a flow.
+
+        Random contended schedules over the PCIe topology; the quiesce
+        ledger (bytes_carried vs. summed completed-flow progress, per
+        link) and the running over-credit check must both hold.  The
+        nightly sweep runs this over the full 200 seeds.
+        """
+        rng = random.Random(conservation_seed)
+        machine, auditor = audited_machine()
+        requested: dict[object, float] = {}
+        flows = []
+        for _ in range(12):
+            path = machine.pcie_path(rng.randrange(4))
+            nbytes = rng.uniform(1e3, 5e6)
+            flows.append(machine.network.transfer(
+                path, nbytes,
+                setup_delay=rng.uniform(0.0, 0.01),
+                weight=rng.choice([0.5, 1.0, 1.0, 2.0])))
+            for link in path:
+                requested[link] = requested.get(link, 0.0) + nbytes
+        machine.sim.run()
+        assert all(flow.triggered for flow in flows)
+        assert auditor.check_quiesce() == []
+        # The ledger is not vacuous: each touched link carried exactly
+        # the bytes requested across it (deltas from an idle start).
+        for link, expected in requested.items():
+            assert link.bytes_carried == pytest.approx(expected, rel=1e-6,
+                                                       abs=1e-1)
+
+    def test_non_positive_max_rate_rejected_before_any_traffic(self):
+        """The ValueError fires before the network mutates any state, so
+        the auditor sees neither a start nor a rate assignment."""
+        machine, auditor = audited_machine()
+        path = machine.pcie_path(0)
+        for bad in (0.0, -5.0):
+            with pytest.raises(ValueError, match="max_rate"):
+                machine.network.transfer(path, 1e6, max_rate=bad)
+        assert not machine.network.active_flows
+        assert auditor.checks == 0
+        assert auditor.violations == []
+
+    def test_on_rates_assigned_fires_on_quiesce(self):
+        """The final completion's rebalance must still notify the
+        observer: auditors close their ledgers on the quiescent (empty)
+        assignment, and skipping it leaves them one assignment short."""
+
+        class _QuiesceProbe(MachineAuditor):
+            def __init__(self, machine):
+                super().__init__(machine)
+                self.active_at_assignment = []
+
+            def on_rates_assigned(self, network):
+                self.active_at_assignment.append(len(network.active_flows))
+                super().on_rates_assigned(network)
+
+        machine = Machine(Simulator(), p3_8xlarge())
+        probe = _QuiesceProbe(machine)
+        done = machine.network.transfer(machine.pcie_path(1), 1e6)
+        machine.sim.run(done)
+        assert probe.active_at_assignment
+        assert probe.active_at_assignment[-1] == 0
+        assert probe.check_quiesce() == []
 
 
 class TestServingAuditor:

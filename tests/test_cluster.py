@@ -258,6 +258,37 @@ class TestAutoscaler:
         cluster = make_cluster(bert)
         assert cluster.windowed_p99(10.0, min_requests=1) is None
 
+    def test_windowed_p99_tolerates_out_of_order_records(self, bert):
+        """Regression: a stale record in the middle must not hide the
+        in-window completions recorded before it.
+
+        Retried requests are recorded when their (late) completion is
+        reported, so the cluster-wide record list is not sorted by
+        finished_at; the old reverse scan broke at the first stale
+        record and truncated the window.
+        """
+        from repro.serving.metrics import RequestRecord
+
+        cluster = make_cluster(bert)
+        cluster.sim._now = 100.0
+
+        def record(rid, finished_at, latency):
+            return RequestRecord(
+                request_id=rid, instance_name="bert-base#0",
+                arrival_time=0.0, submitted_at=finished_at - latency,
+                started_at=finished_at - latency, finished_at=finished_at,
+                cold_start=False)
+
+        cluster.metrics.record(record(0, finished_at=95.0, latency=1.0))
+        # A retry that finished long before the window, recorded late:
+        cluster.metrics.record(record(1, finished_at=50.0, latency=9.0))
+        cluster.metrics.record(record(2, finished_at=99.0, latency=2.0))
+        p99 = cluster.windowed_p99(10.0, min_requests=2)
+        assert p99 is not None
+        # Both in-window records (latencies 1.0 and 2.0) count; the
+        # stale latency-9.0 record does not.
+        assert p99 == pytest.approx(1.99)
+
     def test_autoscaler_stop_ends_loop(self, bert):
         cluster = make_cluster(bert, autoscale=AutoscalerConfig())
         scaler = Autoscaler(cluster, AutoscalerConfig())

@@ -149,23 +149,53 @@ class TestRebalanceRobustness:
             signal.signal(signal.SIGALRM, previous)
         assert sim.now == pytest.approx(100.0)
 
-    def test_zero_max_rate_flow_does_not_crash_rebalance(self, sim):
+    def test_non_positive_max_rate_is_rejected(self, sim):
+        """A non-positive cap would starve the flow forever (its done
+        event could never fire); it is an argument error, like the
+        weight and nbytes checks."""
+        network, (link,) = make_network(sim, 100.0)
+        with pytest.raises(ValueError, match="max_rate"):
+            network.transfer([link], 500.0, max_rate=0.0)
+        with pytest.raises(ValueError, match="max_rate"):
+            network.transfer([link], 500.0, max_rate=-1.0)
+        with pytest.raises(ValueError, match="max_rate"):
+            network.transfer_with_milestones([link], 500.0, [100.0],
+                                             max_rate=0.0)
+        assert not network.active_flows
+
+    def test_negative_milestone_offset_is_rejected(self, sim):
+        network, (link,) = make_network(sim, 100.0)
+        with pytest.raises(ValueError, match="non-negative"):
+            network.transfer_with_milestones([link], 500.0, [-1.0, 100.0])
+        assert not network.active_flows
+
+    def test_rate_starved_flow_does_not_crash_rebalance(self, sim):
         """A fully rate-starved flow set must not divide by zero.
 
-        With every active flow frozen at rate 0 there is no next event to
-        arm a timer for; the rebalance simply waits for the next flow
-        start or finish.
+        With every active flow at rate 0 (a link drained to zero residual
+        by float-exhausted allocations) there is no next event to arm a
+        timer for; the rebalance simply waits for the next flow start or
+        finish.
         """
-        network, (link,) = make_network(sim, 100.0)
-        starved = network.transfer([link], 500.0, max_rate=0.0)
+        # Incremental explicitly: the from-scratch slow path recomputes
+        # every rate on every wake-up, so the hand-zeroed rate below
+        # would simply be repaired there.
+        network = FlowNetwork(sim, incremental=True)
+        link = Link("link0", 100.0)
+        starved = network.transfer([link], 500.0)
+        (flow,) = network.active_flows
+        # Zero the assigned rate by hand — the float-residue starvation
+        # this models needs an adversarial allocation history — and force
+        # a milestone-style wake-up, which keeps rates as they are.
+        flow.rate = 0.0
+        network._rebalance()
         sim.run()
         assert not starved.triggered
         assert len(network.active_flows) == 1
-        # A normal flow still gets the full link alongside the starved one.
+        # The next flow start refills the component; both drain normally.
         done = network.transfer([link], 1000.0)
         sim.run(done)
-        assert sim.now == pytest.approx(10.0)
-        assert not starved.triggered
+        assert starved.triggered
 
 
 @settings(max_examples=60, deadline=None)
