@@ -236,6 +236,19 @@ big load-bound models (BERT-Large) with diminishing returns elsewhere —
 consistent with the paper's observation that PT's value tracks how
 load-bound the model is.
 """),
+    ("ablation_openloop", "Methodology — coordinated omission "
+                          "(open vs closed loop)", """
+Why the harness measures the way it does: the fig15 MAF mix plus a
+flash crowd, measured twice through `repro.loadgen` — once by a
+closed-loop connection pool (the naive harness), once open-loop
+(arrivals fire at their intended times, latency from intended arrival).
+The closed loop's arrivals evaporate during the overload it causes, so
+its p99 misses the stall almost entirely; the open-loop p99 is the one
+an open-world client population would experience. All latency reporting
+in this repo is open-loop-safe (exact-rank percentiles over HDR-style
+histograms; goodput counts shed/dropped requests) — see
+`docs/loadgen.md`.
+"""),
 ]
 
 FOOTER = """\

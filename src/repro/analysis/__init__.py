@@ -6,12 +6,12 @@ Tables 1-5, labelled series for the figures — so a run's output can be
 compared against the published artifact side by side.
 """
 
-from repro.analysis.tables import format_table
+from repro.analysis.tables import format_histogram, format_table
 from repro.analysis.cluster import format_cluster_report
 from repro.analysis.figures import format_series, normalize
 from repro.analysis.stats import SeedSummary, compare, summarize
 from repro.analysis.gantt import render_gantt
 
 __all__ = ["SeedSummary", "compare", "format_cluster_report",
-           "format_series", "format_table", "normalize", "render_gantt",
-           "summarize"]
+           "format_histogram", "format_series", "format_table", "normalize",
+           "render_gantt", "summarize"]

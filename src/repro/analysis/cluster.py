@@ -32,6 +32,12 @@ def format_cluster_report(report: "ClusterReport") -> str:
             f"  p99 {summary['p99_ms']:.2f} ms | goodput "
             f"{summary['goodput']:.3f} | cold-start rate "
             f"{summary['cold_start_rate']:.3f}")
+        hist = report.metrics.histogram
+        lines.append(
+            "  latency histogram (ms): "
+            + " | ".join(f"p{q:g} {hist.percentile(q) / MS:.2f}"
+                         for q in (50, 90, 99, 99.9))
+            + f" | max {hist.max / MS:.2f}")
     rows = []
     for stats in report.per_machine:
         rows.append([

@@ -1,10 +1,13 @@
-"""Plain-text table rendering for benchmark output."""
+"""Plain-text table and histogram rendering for benchmark output."""
 
 from __future__ import annotations
 
 import typing
 
-__all__ = ["format_table"]
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.serving.histogram import LatencyHistogram
+
+__all__ = ["format_table", "format_histogram"]
 
 
 def format_table(headers: typing.Sequence[str],
@@ -42,6 +45,46 @@ def format_table(headers: typing.Sequence[str],
     out.append(separator)
     out.extend(line(row) for row in rendered_rows)
     return "\n".join(out)
+
+
+def format_histogram(histogram: "LatencyHistogram", title: str = "",
+                     max_rows: int = 14, width: int = 40) -> str:
+    """Render a latency histogram as an ASCII bar chart (values in ms).
+
+    Populated log-buckets are coalesced into at most *max_rows* display
+    bands; each row shows the band's latency range, count, share, and
+    cumulative share, so the tail is readable at a glance.
+    """
+    from repro.units import MS
+
+    lines = [title] if title else []
+    if histogram.total == 0:
+        lines.append("(no samples)")
+        return "\n".join(lines)
+    buckets = list(histogram.nonzero_buckets())
+    per_band = max(1, -(-len(buckets) // max_rows))
+    bands = []
+    for start in range(0, len(buckets), per_band):
+        group = buckets[start:start + per_band]
+        low = max(group[0][0], histogram.min)
+        high = min(group[-1][1], histogram.max)
+        bands.append((low, high, sum(count for _, _, count in group)))
+    peak = max(count for _, _, count in bands)
+    cumulative = 0
+    for low, high, count in bands:
+        cumulative += count
+        bar = "#" * max(1, round(width * count / peak))
+        lines.append(
+            f"  {low / MS:>10.3f} – {high / MS:<10.3f} ms "
+            f"{count:>8,}  {count / histogram.total:6.1%} "
+            f"{cumulative / histogram.total:6.1%}  {bar}")
+    quantiles = " | ".join(
+        f"p{q:g} {histogram.percentile(q) / MS:.2f}"
+        for q in (50, 90, 99, 99.9))
+    lines.append(f"  {histogram.total:,} samples, "
+                 f"{histogram.resolution:.0%} buckets: {quantiles} | "
+                 f"max {histogram.max / MS:.2f} ms")
+    return "\n".join(lines)
 
 
 def _cell(value: object) -> str:

@@ -14,6 +14,9 @@ quiesce proves:
   times, and dropped requests used *exactly* their full attempt budget;
 * **provenance** — every completion and failure refers to a request that
   was actually submitted, on a machine it was actually dispatched to;
+* **metrics reconciliation** — the cluster's metrics collector saw the
+  same completed/shed/dropped counts as the lifecycle ledger, so the
+  reported goodput denominator obeys the conservation law;
 * **machine invariants** — each machine's flow-network and memory
   conservation checks (from :class:`MachineAuditor`) also hold.
 """
@@ -138,6 +141,19 @@ class ClusterAuditor:
                 "cluster.conservation", "cluster",
                 f"{len(self._submitted)} submitted != {completed} "
                 f"completed + {dropped} dropped + {shed} shed")
+        # The reported metrics must tell the same story as the lifecycle
+        # ledger: goodput's denominator (records + shed + dropped) has to
+        # match the conservation law above, or the published numbers are
+        # silently dropping terminal outcomes.
+        self.checks += 1
+        metrics = self.cluster.metrics
+        if (len(metrics.records) != completed or metrics.shed != shed
+                or metrics.dropped != dropped):
+            self._flag(
+                "cluster.metrics_reconciliation", "metrics",
+                f"collector saw {len(metrics.records)} completions + "
+                f"{metrics.shed} shed + {metrics.dropped} dropped, but the "
+                f"lifecycle ledger has {completed} + {shed} + {dropped}")
         for cm in self.cluster.machines:
             for queue in cm.server._queues.values():
                 self.checks += 1

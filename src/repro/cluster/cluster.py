@@ -230,6 +230,12 @@ class Cluster:
         self.shed: list[Request] = []
         self.retries = 0
         self._failures: collections.Counter[int] = collections.Counter()
+        #: External observers (the open-loop load generator registers
+        #: here to track terminal outcomes of requests it submitted).
+        self._completion_hooks: list[
+            typing.Callable[[Request, RequestRecord], None]] = []
+        self._shed_hooks: list[typing.Callable[[Request], None]] = []
+        self._drop_hooks: list[typing.Callable[[Request], None]] = []
         for cm in self.machines:
             cm.server.add_completion_callback(self._make_on_complete(cm))
             cm.server.on_orphan = self._make_on_orphan(cm)
@@ -394,6 +400,37 @@ class Cluster:
         cm.state = MachineState.STANDBY
         cm.server.resume()
 
+    # -- external observers (loadgen) --------------------------------------------------
+
+    def add_completion_callback(
+            self, callback: typing.Callable[[Request, RequestRecord], None]
+    ) -> None:
+        """Call *callback* with each request and its record on completion."""
+        self._completion_hooks.append(callback)
+
+    def remove_completion_callback(
+            self, callback: typing.Callable[[Request, RequestRecord], None]
+    ) -> None:
+        self._completion_hooks.remove(callback)
+
+    def add_shed_callback(self,
+                          callback: typing.Callable[[Request], None]) -> None:
+        """Call *callback* with each request shed by admission control."""
+        self._shed_hooks.append(callback)
+
+    def remove_shed_callback(
+            self, callback: typing.Callable[[Request], None]) -> None:
+        self._shed_hooks.remove(callback)
+
+    def add_drop_callback(self,
+                          callback: typing.Callable[[Request], None]) -> None:
+        """Call *callback* with each request dropped after its last retry."""
+        self._drop_hooks.append(callback)
+
+    def remove_drop_callback(
+            self, callback: typing.Callable[[Request], None]) -> None:
+        self._drop_hooks.remove(callback)
+
     # -- signals ---------------------------------------------------------------------
 
     def windowed_p99(self, window: float,
@@ -417,6 +454,35 @@ class Cluster:
         return float(numpy.percentile(latencies, 99))
 
     # -- running ---------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start workers and prewarm the active fleet (idempotent).
+
+        :meth:`run` does this implicitly.  Externally driven sessions —
+        the open-loop load generator (:mod:`repro.loadgen`) — call this
+        once up front and then :meth:`submit` at will.
+        """
+        for cm in self.machines:
+            cm.server.start()
+            if cm.state is MachineState.ACTIVE and self.config.prewarm:
+                cm.server.prewarm()
+
+    def submit(self, request: Request) -> bool:
+        """Admit one externally generated request (the loadgen API).
+
+        Stamps ``submitted_at`` when unset and routes the request;
+        retries and drop accounting behave exactly as under :meth:`run`.
+        Always returns ``True`` — cluster-level terminal outcomes
+        (completion, shed, drop) are asynchronous and reported through
+        the registered callbacks.
+        """
+        if request.submitted_at is None:
+            request.submitted_at = self.sim.now
+        self._total += 1
+        if self.auditor is not None:
+            self.auditor.on_submit(request)
+        self._dispatch(request)
+        return True
 
     def run(self, requests: typing.Sequence[Request],
             fault_schedule: typing.Sequence[FaultEvent] = ()
@@ -497,8 +563,11 @@ class Cluster:
         self._failures[request.request_id] += 1
         if self._failures[request.request_id] > self.config.max_retries:
             self.dropped.append(request)
+            self.metrics.record_dropped()
             if self.auditor is not None:
                 self.auditor.on_drop(request)
+            for hook in list(self._drop_hooks):
+                hook(request)
             self._check_done()
             return
         self.retries += 1
@@ -520,6 +589,8 @@ class Cluster:
             if self.auditor is not None:
                 self.auditor.on_complete(request, cm.name)
             self._completed += 1
+            for hook in list(self._completion_hooks):
+                hook(request, record)
             self._check_done()
         return on_complete
 
@@ -537,8 +608,11 @@ class Cluster:
             # here, and a retry elsewhere would only add queueing delay.
             self.router.settle(cm, request)
             self.shed.append(request)
+            self.metrics.record_shed()
             if self.auditor is not None:
                 self.auditor.on_shed(request, cm.name)
+            for hook in list(self._shed_hooks):
+                hook(request)
             self._check_done()
         return on_shed
 

@@ -1,0 +1,46 @@
+"""Open-loop traffic frontend for the serving system (coordinated omission).
+
+Benchmark harnesses that wait for a response before sending the next
+request (*closed loop*) stop offering load exactly when the system
+stalls: the stalled seconds produce no samples, so the reported tail is
+biased low — *coordinated omission*.  This package generates traffic the
+way the outside world does: arrivals fire on schedule whether or not the
+system keeps up, and latency is measured from the intended arrival time.
+
+Pieces:
+
+* :mod:`repro.loadgen.rates` — composable rate curves (constant,
+  diurnal, flash crowd, trace replay; closed under ``+`` and ``*``);
+* :mod:`repro.loadgen.traffic` — deterministic arrival streams over
+  weighted instance sets and QoS classes (thinned inhomogeneous
+  Poisson), plus trace replay and lazy merging;
+* :mod:`repro.loadgen.driver` — the :class:`LoadGen` driver: open-loop
+  and closed-loop modes against a live
+  :class:`~repro.serving.server.InferenceServer` or
+  :class:`~repro.cluster.cluster.Cluster`, reporting through an
+  HDR-histogram-backed metrics collector.
+"""
+
+from repro.loadgen.rates import (ConstantRate, DiurnalRate, FlashCrowd,
+                                 RateFunction, ScaledRate, SumRate, TraceRate)
+from repro.loadgen.traffic import (Arrival, MergedTraffic, SyntheticTraffic,
+                                   TraceTraffic, TrafficClass)
+from repro.loadgen.driver import LoadGen, LoadGenConfig, LoadGenReport
+
+__all__ = [
+    "Arrival",
+    "ConstantRate",
+    "DiurnalRate",
+    "FlashCrowd",
+    "LoadGen",
+    "LoadGenConfig",
+    "LoadGenReport",
+    "MergedTraffic",
+    "RateFunction",
+    "ScaledRate",
+    "SumRate",
+    "SyntheticTraffic",
+    "TraceRate",
+    "TraceTraffic",
+    "TrafficClass",
+]

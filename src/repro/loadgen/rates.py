@@ -1,0 +1,228 @@
+"""Composable request-rate curves (requests/second as a function of time).
+
+A :class:`RateFunction` describes the *intended* instantaneous arrival
+rate of an open-loop traffic source.  Rate functions are closed under
+addition and scalar multiplication, so realistic mixes compose
+algebraically::
+
+    diurnal = DiurnalRate(base=80.0, amplitude=0.5, period=3600.0)
+    crowd = FlashCrowd(start=1200.0, duration=120.0, magnitude=400.0)
+    regional = 0.3 * diurnal + crowd
+
+Generators only need two queries: the exact rate at a point
+(:meth:`RateFunction.rate`) and a finite upper bound over an interval
+(:meth:`RateFunction.peak`), which drives Poisson thinning — candidates
+are drawn at the peak rate and accepted with probability
+``rate(t) / peak``.
+"""
+
+from __future__ import annotations
+
+import typing
+
+import numpy
+
+from repro.errors import WorkloadError
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.serving.maf import SyntheticTrace
+
+__all__ = ["RateFunction", "ConstantRate", "DiurnalRate", "FlashCrowd",
+           "TraceRate", "SumRate", "ScaledRate"]
+
+
+class RateFunction:
+    """Base class: a non-negative request rate over time."""
+
+    def rate(self, t: float) -> float:
+        """Instantaneous rate (req/s) at time *t*."""
+        raise NotImplementedError
+
+    def peak(self, t0: float, t1: float) -> float:
+        """A finite upper bound on :meth:`rate` over ``[t0, t1)``.
+
+        Tightness affects thinning efficiency only, never correctness —
+        but the bound must never be exceeded.
+        """
+        raise NotImplementedError
+
+    def __add__(self, other: "RateFunction") -> "RateFunction":
+        if not isinstance(other, RateFunction):
+            return NotImplemented
+        return SumRate([self, other])
+
+    def __mul__(self, factor: float) -> "RateFunction":
+        if not isinstance(factor, (int, float)):
+            return NotImplemented
+        return ScaledRate(self, float(factor))
+
+    __rmul__ = __mul__
+
+
+class ConstantRate(RateFunction):
+    """A flat rate: the steady-state / baseline tenant."""
+
+    def __init__(self, rate: float) -> None:
+        if rate < 0:
+            raise WorkloadError(f"rate must be >= 0, got {rate}")
+        self._rate = float(rate)
+
+    def rate(self, t: float) -> float:
+        return self._rate
+
+    def peak(self, t0: float, t1: float) -> float:
+        return self._rate
+
+    def __repr__(self) -> str:
+        return f"ConstantRate({self._rate})"
+
+
+class DiurnalRate(RateFunction):
+    """A sinusoidal day/night curve around a base rate.
+
+    ``rate(t) = base * (1 + amplitude * sin(2*pi * (t - phase) / period))``
+    — with ``amplitude`` in ``[0, 1]`` the curve never goes negative.
+    """
+
+    def __init__(self, base: float, amplitude: float = 0.5,
+                 period: float = 86400.0, phase: float = 0.0) -> None:
+        if base < 0:
+            raise WorkloadError(f"base rate must be >= 0, got {base}")
+        if not 0.0 <= amplitude <= 1.0:
+            raise WorkloadError(
+                f"amplitude must be in [0, 1], got {amplitude}")
+        if period <= 0:
+            raise WorkloadError(f"period must be positive, got {period}")
+        self.base = float(base)
+        self.amplitude = float(amplitude)
+        self.period = float(period)
+        self.phase = float(phase)
+
+    def rate(self, t: float) -> float:
+        cycle = 2.0 * numpy.pi * (t - self.phase) / self.period
+        return self.base * (1.0 + self.amplitude * float(numpy.sin(cycle)))
+
+    def peak(self, t0: float, t1: float) -> float:
+        return self.base * (1.0 + self.amplitude)
+
+    def __repr__(self) -> str:
+        return (f"DiurnalRate(base={self.base}, amplitude={self.amplitude}, "
+                f"period={self.period})")
+
+
+class FlashCrowd(RateFunction):
+    """A rectangular burst: *magnitude* req/s over one time window.
+
+    Added to a baseline, this models the flash-crowd overload that
+    closed-loop harnesses famously under-measure.
+    """
+
+    def __init__(self, start: float, duration: float,
+                 magnitude: float) -> None:
+        if duration <= 0:
+            raise WorkloadError(f"duration must be positive, got {duration}")
+        if magnitude < 0:
+            raise WorkloadError(f"magnitude must be >= 0, got {magnitude}")
+        self.start = float(start)
+        self.duration = float(duration)
+        self.magnitude = float(magnitude)
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def rate(self, t: float) -> float:
+        return self.magnitude if self.start <= t < self.end else 0.0
+
+    def peak(self, t0: float, t1: float) -> float:
+        return self.magnitude if t0 < self.end and t1 > self.start else 0.0
+
+    def __repr__(self) -> str:
+        return (f"FlashCrowd(start={self.start}, duration={self.duration}, "
+                f"magnitude={self.magnitude})")
+
+
+class TraceRate(RateFunction):
+    """A piecewise-constant rate replayed from per-bucket offered load."""
+
+    def __init__(self, bucket_seconds: float,
+                 values: typing.Sequence[float]) -> None:
+        if bucket_seconds <= 0:
+            raise WorkloadError(
+                f"bucket_seconds must be positive, got {bucket_seconds}")
+        if len(values) == 0:
+            raise WorkloadError("need at least one bucket")
+        array = numpy.asarray(values, dtype=float)
+        if (array < 0).any():
+            raise WorkloadError("bucket rates must be >= 0")
+        self.bucket_seconds = float(bucket_seconds)
+        self.values = array
+
+    @classmethod
+    def from_trace(cls, trace: "SyntheticTrace") -> "TraceRate":
+        """The offered-load curve of a synthetic MAF trace as a rate."""
+        return cls(trace.config.bucket_seconds, trace.offered_load)
+
+    @property
+    def duration(self) -> float:
+        return len(self.values) * self.bucket_seconds
+
+    def rate(self, t: float) -> float:
+        if t < 0 or t >= self.duration:
+            return 0.0
+        return float(self.values[int(t // self.bucket_seconds)])
+
+    def peak(self, t0: float, t1: float) -> float:
+        first = max(0, int(t0 // self.bucket_seconds))
+        last = min(len(self.values) - 1,
+                   int(numpy.ceil(t1 / self.bucket_seconds)) - 1)
+        if first > last:
+            return 0.0
+        return float(self.values[first:last + 1].max())
+
+    def __repr__(self) -> str:
+        return (f"TraceRate({len(self.values)} buckets x "
+                f"{self.bucket_seconds} s)")
+
+
+class SumRate(RateFunction):
+    """The superposition of several rate functions."""
+
+    def __init__(self, parts: typing.Sequence[RateFunction]) -> None:
+        if not parts:
+            raise WorkloadError("need at least one rate function")
+        flat: list[RateFunction] = []
+        for part in parts:
+            if isinstance(part, SumRate):
+                flat.extend(part.parts)
+            else:
+                flat.append(part)
+        self.parts = tuple(flat)
+
+    def rate(self, t: float) -> float:
+        return sum(part.rate(t) for part in self.parts)
+
+    def peak(self, t0: float, t1: float) -> float:
+        return sum(part.peak(t0, t1) for part in self.parts)
+
+    def __repr__(self) -> str:
+        return f"SumRate({list(self.parts)!r})"
+
+
+class ScaledRate(RateFunction):
+    """A rate function multiplied by a non-negative scalar."""
+
+    def __init__(self, inner: RateFunction, factor: float) -> None:
+        if factor < 0:
+            raise WorkloadError(f"factor must be >= 0, got {factor}")
+        self.inner = inner
+        self.factor = float(factor)
+
+    def rate(self, t: float) -> float:
+        return self.factor * self.inner.rate(t)
+
+    def peak(self, t0: float, t1: float) -> float:
+        return self.factor * self.inner.peak(t0, t1)
+
+    def __repr__(self) -> str:
+        return f"ScaledRate({self.inner!r}, {self.factor})"

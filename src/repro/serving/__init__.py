@@ -21,15 +21,20 @@ from repro.serving.instance import ModelInstance
 from repro.serving.cache import InstanceCache, LRUInstanceCache
 from repro.serving.workload import PoissonWorkload, Request, TraceWorkload
 from repro.serving.maf import MAFTraceConfig, synthesize_maf_trace
-from repro.serving.metrics import MetricsCollector, RequestRecord, WindowStats
+from repro.serving.histogram import LatencyHistogram, merge_histograms
+from repro.serving.metrics import (MIN_TAIL_COUNT, MetricsCollector,
+                                   RequestRecord, WindowStats)
 from repro.serving.server import InferenceServer, ServerConfig, ServingReport
 
 __all__ = [
     "InferenceServer",
     "InstanceCache",
+    "LatencyHistogram",
     "LRUInstanceCache",
     "MAFTraceConfig",
     "MetricsCollector",
+    "MIN_TAIL_COUNT",
+    "merge_histograms",
     "ModelInstance",
     "PoissonWorkload",
     "Request",

@@ -1,0 +1,231 @@
+"""HDR-style latency histograms: log-bucketed, mergeable, exact-rank.
+
+Single p99 scalars are a poor transport for latency data: they cannot be
+merged across machines or shards (the p99 of two p99s is meaningless),
+and recomputing them from raw sample lists does not scale to
+millions-of-requests traces.  :class:`LatencyHistogram` is the
+HdrHistogram-shaped alternative used throughout the serving metrics:
+
+* **log-bucketed** — bucket edges grow geometrically by a configured
+  ``resolution`` (1 % by default), so relative quantization error is
+  bounded by ``resolution`` across the full dynamic range from
+  microseconds to hours;
+* **mergeable** — two histograms with the same ``(min_latency,
+  resolution)`` share bucket edges *exactly*, so per-machine or
+  per-shard histograms combine by adding counts, with no re-sampling
+  error (the prerequisite for the sharded-simulation roadmap item);
+* **exact-rank percentiles** — quantiles walk the cumulative counts to
+  the exact rank (the same ``method="higher"`` rank convention the
+  :class:`~repro.serving.metrics.MetricsCollector` uses on raw samples),
+  never interpolating between order statistics, so a reported p99 is
+  always a value some real request actually (almost — up to bucket
+  resolution) experienced.
+"""
+
+from __future__ import annotations
+
+import math
+import typing
+
+__all__ = ["LatencyHistogram", "merge_histograms"]
+
+#: Relative bucket width: adjacent bucket edges differ by 1 %.
+DEFAULT_RESOLUTION = 0.01
+#: Values at or below this (seconds) collapse into bucket 0.
+DEFAULT_MIN_LATENCY = 1e-6
+
+
+class LatencyHistogram:
+    """Log-bucketed latency histogram with exact-rank percentiles.
+
+    Bucket ``i >= 1`` covers ``(m * g**(i-1), m * g**i]`` where ``m`` is
+    ``min_latency`` and ``g = 1 + resolution``; bucket 0 absorbs
+    everything at or below ``m``.  A bucket's *representative* value is
+    its upper edge, clamped to the exact observed minimum/maximum, so
+    percentile estimates are conservative (never below the true order
+    statistic) and within ``resolution`` of it.
+    """
+
+    __slots__ = ("resolution", "min_latency", "_log_growth", "counts",
+                 "total", "sum", "min", "max")
+
+    def __init__(self, resolution: float = DEFAULT_RESOLUTION,
+                 min_latency: float = DEFAULT_MIN_LATENCY) -> None:
+        if resolution <= 0:
+            raise ValueError(f"resolution must be positive, got {resolution}")
+        if min_latency <= 0:
+            raise ValueError(
+                f"min_latency must be positive, got {min_latency}")
+        self.resolution = resolution
+        self.min_latency = min_latency
+        self._log_growth = math.log1p(resolution)
+        #: Sparse bucket counts: index -> count.
+        self.counts: dict[int, int] = {}
+        self.total = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = 0.0
+
+    # -- recording ------------------------------------------------------------------
+
+    def add(self, value: float, count: int = 1) -> None:
+        """Record *count* observations of *value* (seconds)."""
+        if value < 0:
+            raise ValueError(f"latency must be >= 0, got {value}")
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        index = self._index(value)
+        self.counts[index] = self.counts.get(index, 0) + count
+        self.total += count
+        self.sum += value * count
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def _index(self, value: float) -> int:
+        if value <= self.min_latency:
+            return 0
+        # ceil of the log-ratio, with a relative epsilon so values that
+        # sit exactly on a bucket edge stay in the lower bucket despite
+        # floating-point log noise.
+        ratio = math.log(value / self.min_latency) / self._log_growth
+        return max(1, math.ceil(ratio - 1e-9))
+
+    # -- inspection -----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.total
+
+    @property
+    def mean(self) -> float:
+        if self.total == 0:
+            raise ValueError("empty histogram")
+        return self.sum / self.total
+
+    def bucket_edges(self, index: int) -> tuple[float, float]:
+        """The ``(low, high]`` value range of one bucket."""
+        if index == 0:
+            return (0.0, self.min_latency)
+        growth = 1.0 + self.resolution
+        return (self.min_latency * growth ** (index - 1),
+                self.min_latency * growth ** index)
+
+    def nonzero_buckets(self) -> typing.Iterator[tuple[float, float, int]]:
+        """Yield ``(low, high, count)`` for populated buckets, ascending."""
+        for index in sorted(self.counts):
+            low, high = self.bucket_edges(index)
+            yield low, high, self.counts[index]
+
+    def percentile(self, q: float) -> float:
+        """Exact-rank percentile (``q`` in [0, 100]), to bucket resolution.
+
+        Uses the same rank convention as ``numpy.percentile(...,
+        method="higher")``: the value returned represents the sample at
+        (0-indexed) rank ``ceil(q/100 * (total - 1))``.
+        """
+        if self.total == 0:
+            raise ValueError("empty histogram")
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        rank = math.ceil(q / 100.0 * (self.total - 1) - 1e-9)
+        cumulative = 0
+        for index in sorted(self.counts):
+            cumulative += self.counts[index]
+            if cumulative > rank:
+                high = self.bucket_edges(index)[1]
+                return min(max(high, self.min), self.max)
+        return self.max  # pragma: no cover - counts always sum to total
+
+    def percentiles(self, qs: typing.Sequence[float]) -> list[float]:
+        return [self.percentile(q) for q in qs]
+
+    # -- merging --------------------------------------------------------------------
+
+    def compatible(self, other: "LatencyHistogram") -> bool:
+        """Whether *other* shares this histogram's exact bucket edges."""
+        return (self.resolution == other.resolution
+                and self.min_latency == other.min_latency)
+
+    def update(self, other: "LatencyHistogram") -> None:
+        """Add *other*'s counts into this histogram (exact, in place)."""
+        if not self.compatible(other):
+            raise ValueError(
+                f"cannot merge histograms with different bucket layouts: "
+                f"(resolution={self.resolution}, min={self.min_latency}) vs "
+                f"(resolution={other.resolution}, min={other.min_latency})")
+        for index, count in other.counts.items():
+            self.counts[index] = self.counts.get(index, 0) + count
+        self.total += other.total
+        self.sum += other.sum
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    def copy(self) -> "LatencyHistogram":
+        clone = LatencyHistogram(self.resolution, self.min_latency)
+        clone.counts = dict(self.counts)
+        clone.total = self.total
+        clone.sum = self.sum
+        clone.min = self.min
+        clone.max = self.max
+        return clone
+
+    # -- serialization (cross-machine / cross-shard transport) ----------------------
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "resolution": self.resolution,
+            "min_latency": self.min_latency,
+            "counts": {str(index): count
+                       for index, count in sorted(self.counts.items())},
+            "sum": self.sum,
+            "min": self.min if self.total else None,
+            "max": self.max if self.total else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "LatencyHistogram":
+        hist = cls(resolution=typing.cast(float, data["resolution"]),
+                   min_latency=typing.cast(float, data["min_latency"]))
+        counts = typing.cast(dict, data["counts"])
+        hist.counts = {int(index): int(count)
+                       for index, count in counts.items()}
+        hist.total = sum(hist.counts.values())
+        hist.sum = typing.cast(float, data["sum"])
+        if hist.total:
+            hist.min = typing.cast(float, data["min"])
+            hist.max = typing.cast(float, data["max"])
+        return hist
+
+    # -- comparison -----------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LatencyHistogram):
+            return NotImplemented
+        return (self.compatible(other)
+                and self.total == other.total
+                and self.counts == other.counts
+                and self.sum == other.sum
+                and self.min == other.min
+                and self.max == other.max)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.total == 0:
+            return "LatencyHistogram(empty)"
+        return (f"LatencyHistogram(n={self.total}, "
+                f"min={self.min:.6f}, max={self.max:.6f}, "
+                f"buckets={len(self.counts)})")
+
+
+def merge_histograms(histograms: typing.Iterable[LatencyHistogram]
+                     ) -> LatencyHistogram:
+    """Merge several compatible histograms into a new one."""
+    iterator = iter(histograms)
+    try:
+        first = next(iterator)
+    except StopIteration:
+        raise ValueError("need at least one histogram to merge") from None
+    merged = first.copy()
+    for histogram in iterator:
+        merged.update(histogram)
+    return merged

@@ -644,6 +644,7 @@ class InferenceServer:
             predicted_finish = self.sim.now + self._backlog[gpu] + service
             if predicted_finish > request.submitted_at + deadline:
                 self.shed_requests.append(request)
+                self.metrics.record_shed()
                 if self.on_shed is not None:
                     self.on_shed(request)
                 return False
@@ -768,6 +769,7 @@ class InferenceServer:
                     finished_at=request.finished_at,
                     cold_start=cold,
                     degraded=degraded,
+                    qos=request.qos,
                 )
                 self.metrics.record(record)
                 self._outstanding -= 1

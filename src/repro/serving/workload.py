@@ -40,6 +40,9 @@ class Request:
     instance_name: str
     arrival_time: float
     batch_size: int = 1
+    #: Traffic/tenant QoS class (stamped by the load generator;
+    #: "standard" for plain trace replay).
+    qos: str = "standard"
     #: Filled in by the server as the request moves through the system
     #: (absolute simulator times).
     submitted_at: float | None = None

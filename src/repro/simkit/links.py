@@ -37,6 +37,7 @@ original whole-network progressive filling for differential testing.
 from __future__ import annotations
 
 import itertools
+import math
 import operator
 import typing
 
@@ -461,6 +462,15 @@ class FlowNetwork:
             sim._ripe.append(
                 (next(sim._sequence), lambda: self._on_timer(token)))
         else:
+            now = sim._now
+            if now + wait <= now:
+                # The next byte event is closer than one representable
+                # tick of the clock (a sub-epsilon residue on a fast
+                # link, late in a long run).  A same-timestamp wake-up
+                # settles zero elapsed time, recomputes the identical
+                # wait, and spins forever — clamp to one ulp so time,
+                # and therefore settled progress, actually advances.
+                wait = math.ulp(now)
             sim._schedule_callback(lambda: self._on_timer(token), wait)
 
     @staticmethod

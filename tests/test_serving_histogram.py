@@ -1,0 +1,146 @@
+"""Unit tests for the HDR-style latency histogram."""
+
+import numpy
+import pytest
+
+from repro.serving.histogram import LatencyHistogram, merge_histograms
+from repro.units import MS
+
+
+def seeded_samples(seed=0, count=5000):
+    rng = numpy.random.default_rng(seed)
+    # Lognormal latencies: a realistic heavy-ish serving tail, ~10 ms
+    # median with outliers past 100 ms.
+    return rng.lognormal(mean=numpy.log(0.010), sigma=0.8, size=count)
+
+
+class TestBuckets:
+    def test_value_falls_within_its_bucket(self):
+        hist = LatencyHistogram()
+        for value in (1e-6, 1e-3, 0.05, 1.0, 37.5):
+            index = hist._index(value)
+            low, high = hist.bucket_edges(index)
+            assert low < value <= high or (index == 0 and value <= high)
+
+    def test_bucket_zero_absorbs_tiny_values(self):
+        hist = LatencyHistogram()
+        hist.add(0.0)
+        hist.add(hist.min_latency / 2)
+        assert hist.counts.get(0) == 2
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().add(-1.0)
+
+    def test_invalid_layout_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(resolution=0.0)
+        with pytest.raises(ValueError):
+            LatencyHistogram(min_latency=0.0)
+
+    def test_relative_width_bounded_by_resolution(self):
+        hist = LatencyHistogram(resolution=0.01)
+        for value in (0.001, 0.05, 2.0):
+            low, high = hist.bucket_edges(hist._index(value))
+            assert (high - low) / low <= 0.01 + 1e-12
+
+
+class TestPercentiles:
+    def test_matches_exact_rank_within_resolution(self):
+        samples = seeded_samples()
+        hist = LatencyHistogram(resolution=0.01)
+        for value in samples:
+            hist.add(float(value))
+        for q in (50.0, 90.0, 99.0, 99.9):
+            exact = float(numpy.percentile(samples, q, method="higher"))
+            approx = hist.percentile(q)
+            assert approx == pytest.approx(exact, rel=0.011), q
+
+    def test_extremes_clamp_to_observed_range(self):
+        hist = LatencyHistogram()
+        for value in (3 * MS, 7 * MS, 90 * MS):
+            hist.add(value)
+        assert hist.percentile(0) >= hist.min
+        assert hist.percentile(100) == hist.max
+
+    def test_empty_histogram_raises(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().percentile(99)
+
+    def test_out_of_range_quantile_rejected(self):
+        hist = LatencyHistogram()
+        hist.add(1 * MS)
+        with pytest.raises(ValueError):
+            hist.percentile(101)
+        with pytest.raises(ValueError):
+            hist.percentile(-1)
+
+
+class TestMerge:
+    def test_merge_is_associative_and_order_independent(self):
+        parts = []
+        for seed in range(3):
+            hist = LatencyHistogram()
+            for value in seeded_samples(seed=seed, count=500):
+                hist.add(float(value))
+            parts.append(hist)
+        a, b, c = parts
+        left = merge_histograms([merge_histograms([a, b]), c])
+        right = merge_histograms([a, merge_histograms([b, c])])
+        shuffled = merge_histograms([c, a, b])
+        for other in (right, shuffled):
+            assert left.counts == other.counts
+            assert left.total == other.total
+            assert left.min == other.min
+            assert left.max == other.max
+            # sum is a float accumulator; merge order only shifts ulps.
+            assert left.sum == pytest.approx(other.sum)
+        assert left.total == sum(p.total for p in parts)
+
+    def test_merged_percentiles_match_pooled_samples(self):
+        pools = [seeded_samples(seed=s, count=1000) for s in (1, 2)]
+        parts = []
+        for pool in pools:
+            hist = LatencyHistogram()
+            for value in pool:
+                hist.add(float(value))
+            parts.append(hist)
+        merged = merge_histograms(parts)
+        pooled = numpy.concatenate(pools)
+        exact = float(numpy.percentile(pooled, 99, method="higher"))
+        assert merged.percentile(99) == pytest.approx(exact, rel=0.011)
+
+    def test_incompatible_layouts_rejected(self):
+        a = LatencyHistogram(resolution=0.01)
+        b = LatencyHistogram(resolution=0.05)
+        a.add(1 * MS)
+        b.add(1 * MS)
+        with pytest.raises(ValueError):
+            merge_histograms([a, b])
+
+    def test_update_accumulates_stats(self):
+        a, b = LatencyHistogram(), LatencyHistogram()
+        a.add(10 * MS)
+        b.add(30 * MS)
+        a.update(b)
+        assert a.total == 2
+        assert a.min == pytest.approx(10 * MS)
+        assert a.max == pytest.approx(30 * MS)
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        hist = LatencyHistogram()
+        for value in seeded_samples(count=200):
+            hist.add(float(value))
+        clone = LatencyHistogram.from_dict(hist.to_dict())
+        assert clone == hist
+        assert clone.percentile(99) == hist.percentile(99)
+
+    def test_copy_is_independent(self):
+        hist = LatencyHistogram()
+        hist.add(5 * MS)
+        clone = hist.copy()
+        clone.add(50 * MS)
+        assert hist.total == 1
+        assert clone.total == 2

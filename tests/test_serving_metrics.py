@@ -61,7 +61,8 @@ class TestAggregates:
         metrics = MetricsCollector()
         metrics.record(record())
         assert set(metrics.summary()) == {
-            "requests", "p50_ms", "p99_ms", "goodput", "cold_start_rate"}
+            "requests", "p50_ms", "p99_ms", "goodput", "cold_start_rate",
+            "shed", "dropped"}
 
 
 class TestWindows:
@@ -123,3 +124,95 @@ class TestMerge:
         merged = merge([a, b])
         assert len(merged) == 2
         assert merged.cold_start_count == 1
+
+    def test_merge_carries_shed_and_dropped(self):
+        a, b = MetricsCollector(), MetricsCollector()
+        a.record(record(0))
+        a.record_shed(2)
+        b.record_dropped()
+        merged = merge([a, b])
+        assert merged.shed == 2
+        assert merged.dropped == 1
+        assert merged.observed == 4
+
+
+class TestGoodputDenominator:
+    """Shed and dropped requests count against goodput (PR 7 fix)."""
+
+    def test_shed_requests_lower_goodput(self):
+        metrics = MetricsCollector(slo=100 * MS)
+        metrics.record(record(0, latency=50 * MS))
+        metrics.record(record(1, latency=50 * MS))
+        assert metrics.goodput == 1.0
+        metrics.record_shed(2)
+        assert metrics.goodput == 0.5
+
+    def test_dropped_requests_lower_goodput(self):
+        metrics = MetricsCollector(slo=100 * MS)
+        metrics.record(record(0, latency=50 * MS))
+        metrics.record_dropped(3)
+        assert metrics.goodput == 0.25
+
+    def test_all_shed_is_zero_goodput_not_error(self):
+        metrics = MetricsCollector()
+        metrics.record_shed(5)
+        assert metrics.goodput == 0.0
+
+    def test_summary_reports_shed_and_dropped(self):
+        metrics = MetricsCollector()
+        metrics.record(record(0))
+        metrics.record_shed()
+        metrics.record_dropped()
+        summary = metrics.summary()
+        assert summary["shed"] == 1.0
+        assert summary["dropped"] == 1.0
+
+    def test_invalid_counts_rejected(self):
+        metrics = MetricsCollector()
+        with pytest.raises(ValueError):
+            metrics.record_shed(0)
+        with pytest.raises(ValueError):
+            metrics.record_dropped(-1)
+
+
+class TestExactRankPercentiles:
+    """Percentiles are order statistics, never interpolations (PR 7 fix)."""
+
+    def test_p99_is_an_observed_latency_on_small_samples(self):
+        # Ten samples 1..10 ms: interpolation would fabricate ~9.91 ms;
+        # the exact-rank p99 is the largest observed sample.
+        metrics = MetricsCollector()
+        for i in range(10):
+            metrics.record(record(i, arrival=float(i), latency=(i + 1) * MS))
+        observed = {(i + 1) * MS for i in range(10)}
+        assert metrics.p99_latency == pytest.approx(10 * MS)
+        assert any(metrics.percentile(99) == pytest.approx(v)
+                   for v in observed)
+
+    def test_small_window_p99_is_nan(self):
+        metrics = MetricsCollector()
+        for i in range(10):
+            metrics.record(record(i, arrival=float(i), latency=10 * MS))
+        (window,) = metrics.windows(60.0)
+        assert window.num_requests == 10
+        assert window.p99_latency != window.p99_latency  # nan
+        assert window.histogram is not None
+        assert window.histogram.total == 10
+
+    def test_large_window_p99_reported(self):
+        metrics = MetricsCollector()
+        for i in range(120):
+            metrics.record(record(i, arrival=float(i) * 0.1,
+                                  latency=(i + 1) * MS))
+        (window,) = metrics.windows(60.0)
+        assert window.p99_latency == window.p99_latency  # not nan
+        assert window.p99_latency == pytest.approx(119 * MS)
+
+
+class TestThroughputSpan:
+    def test_zero_span_is_nan_not_inf(self):
+        metrics = MetricsCollector()
+        metrics.record(record(0, arrival=0.0, latency=0.0))
+        value = metrics.throughput
+        assert value != value  # nan, not inf
+

@@ -149,6 +149,37 @@ class TestRebalanceRobustness:
             signal.signal(signal.SIGALRM, previous)
         assert sim.now == pytest.approx(100.0)
 
+    def test_sub_ulp_completion_wait_terminates(self, sim):
+        """Regression: a wake-up closer than one clock tick must not spin.
+
+        Late in a long run, a fast link can owe a flow less than one
+        representable tick of simulated time (residual / rate underflows
+        ``ulp(now)``).  Scheduling the timer at ``now + wait == now``
+        settled zero elapsed time, recomputed the identical wait, and
+        spun forever at a frozen timestamp.  The rebalance must clamp the
+        wait so time actually advances.
+        """
+        import signal
+
+        network, (slow, fast) = make_network(sim, 1.0, 1e11)
+        # Drive the clock far from zero so ulp(now) dwarfs the residual
+        # transfer time below: 0.002 B / 1e11 B/s = 2e-14 s < ulp(6e8).
+        sim.run(network.transfer([slow], 6e8))
+        done = network.transfer([fast], 0.002)
+
+        def bail(signum, frame):
+            raise TimeoutError("sub-ulp wake-up did not terminate")
+
+        previous = signal.signal(signal.SIGALRM, bail)
+        signal.alarm(20)
+        try:
+            sim.run(done)
+        finally:
+            signal.alarm(0)
+            signal.signal(signal.SIGALRM, previous)
+        assert done.triggered
+        assert sim.now > 6e8
+
     def test_non_positive_max_rate_is_rejected(self, sim):
         """A non-positive cap would starve the flow forever (its done
         event could never fire); it is an argument error, like the
