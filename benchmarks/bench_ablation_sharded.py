@@ -1,0 +1,112 @@
+"""Ablation: sharded parallel replay vs the single-process oracle.
+
+A synthetic fleet replays one Poisson trace under every (shard count,
+backend) combination.  Outcome signatures must be bit-identical across
+the whole sweep — the differential guarantee of :mod:`repro.shard` —
+while wall-clock time falls as spawn-backed shards split the
+discrete-event work across cores.
+
+The default run uses a 16-machine fleet so the sweep finishes in
+seconds; ``REPRO_FULL=1`` scales to the 100-machine synthetic replay of
+the issue's acceptance criterion, where the 4-shard process backend must
+clear a 2x speedup over the single-process reference.  The speedup bar
+is asserted only when the host exposes at least 4 CPUs — on fewer cores
+the spawn workers time-slice one core and the sweep still proves
+bit-identity, but a parallel speedup is physically unavailable.
+"""
+
+import os
+import time
+
+from conftest import full_scale, run_once
+
+from repro.analysis import format_table
+from repro.cluster.cluster import ClusterConfig
+from repro.cluster.faults import random_fault_schedule
+from repro.hw.specs import p3_8xlarge
+from repro.serving.workload import PoissonWorkload
+from repro.shard import ShardConfig, ShardedReplay
+
+
+def scenario():
+    if full_scale():
+        num_machines, num_requests, rate = 100, 60000, 2000.0
+        catalog = [("resnet50", 40), ("bert-base", 40), ("gpt2", 20)]
+    else:
+        num_machines, num_requests, rate = 16, 800, 120.0
+        catalog = [("resnet50", 8), ("bert-base", 8), ("gpt2", 4)]
+    config = ClusterConfig(num_machines=num_machines, replication=2,
+                           policy="affinity", audit=True)
+    instances = [f"{model}#{k}" for model, count in catalog
+                 for k in range(count)]
+    requests = PoissonWorkload(instances, rate=rate,
+                               num_requests=num_requests,
+                               seed=15).generate()
+    faults = random_fault_schedule(
+        [f"m{i}" for i in range(num_machines)],
+        max(2, num_machines // 20), requests[-1].arrival_time, seed=15)
+    return config, catalog, requests, faults
+
+
+def test_ablation_sharded_replay(benchmark, emit):
+    config, catalog, requests, faults = scenario()
+    sweep = [(1, "serial"), (2, "serial"), (4, "serial"),
+             (2, "process"), (4, "process")]
+
+    def run():
+        results = []
+        for num_shards, backend in sweep:
+            # 250 ms epochs: work per boundary dominates the lock-step
+            # exchange.  The epoch grid is part of the protocol, so it
+            # is held constant across the sweep.
+            replay = ShardedReplay(p3_8xlarge(), config, ShardConfig(
+                num_shards=num_shards, backend=backend,
+                epoch_length=0.250))
+            replay.deploy(catalog)
+            start = time.perf_counter()
+            report = replay.run(requests, fault_schedule=faults)
+            results.append((num_shards, backend,
+                            time.perf_counter() - start, report))
+        return results
+
+    results = run_once(benchmark, run)
+
+    reference = results[0][3]
+    signature = reference.outcome_signature()
+    for num_shards, backend, _, report in results[1:]:
+        assert report.outcome_signature() == signature, (
+            f"{num_shards}-shard {backend} replay diverged from the "
+            f"single-process reference")
+        assert report.ledger == reference.ledger
+
+    base_wall = results[0][2]
+    rows = []
+    for num_shards, backend, wall, report in results:
+        rows.append([f"{num_shards}x {backend}", wall,
+                     base_wall / wall, report.epochs,
+                     report.completed, report.ledger.retries,
+                     report.ledger.dropped])
+    speedups = {(s, b): base_wall / w for s, b, w, _ in results}
+    cpus = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") \
+        else (os.cpu_count() or 1)
+    blocks = [
+        format_table(
+            ["configuration", "wall (s)", "speedup", "epochs",
+             "completed", "retries", "dropped"], rows,
+            title=f"Sharded replay sweep "
+                  f"({config.num_machines} machines, "
+                  f"{len(requests)} requests; outcomes bit-identical "
+                  f"across the sweep)"),
+        f"4-shard process speedup over the single-process reference: "
+        f"{speedups[(4, 'process')]:.2f}x ({cpus} CPU(s) available)",
+    ]
+    emit("ablation_sharded", "\n\n".join(blocks))
+
+    assert reference.ledger.submitted == len(requests)
+    if full_scale() and cpus >= 4:
+        # Acceptance criterion: >2x at 4 shards on the 100-machine
+        # synthetic replay.  The scaled-down default is dominated by
+        # spawn startup, and hosts with fewer than 4 CPUs time-slice
+        # the workers, so the bar applies to the full-size run on
+        # adequate hardware only.
+        assert speedups[(4, "process")] > 2.0

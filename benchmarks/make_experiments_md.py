@@ -249,6 +249,20 @@ in this repo is open-loop-safe (exact-rank percentiles over HDR-style
 histograms; goodput counts shed/dropped requests) — see
 `docs/loadgen.md`.
 """),
+    ("ablation_sharded", "Methodology — sharded parallel replay "
+                         "(differential oracle)", """
+How large fleet replays scale without giving up determinism: the fleet
+is partitioned into per-process shards synchronized in bounded time
+epochs (`repro.shard`), with the router acting as an epoch-boundary
+message broker. Every row of the sweep — any shard count, serial or
+spawn-process backend — reproduces the single-process reference
+bit-for-bit (same request outcomes, same merged latency histograms,
+same conservation ledgers); wall-clock falls as shards spread the
+event-loop work across cores (`REPRO_FULL=1` runs the 100-machine
+replay; the >2x speedup criterion applies on hosts with >= 4 CPUs).
+See `docs/sharding.md` for the epoch protocol and the lookahead
+argument.
+"""),
 ]
 
 FOOTER = """\

@@ -31,6 +31,7 @@ from repro.audit.invariants import (
     ServingAuditor,
 )
 from repro.audit.cluster import ClusterAuditor
+from repro.audit.shard import GlobalLedger, ShardLedger, reconcile
 from repro.audit.differential import (
     DifferentialCase,
     DifferentialResult,
@@ -46,8 +47,11 @@ __all__ = [
     "ClusterAuditor",
     "DifferentialCase",
     "DifferentialResult",
+    "GlobalLedger",
     "MachineAuditor",
     "ServingAuditor",
+    "ShardLedger",
+    "reconcile",
     "differential_serving",
     "random_model",
     "run_case",

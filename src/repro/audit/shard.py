@@ -1,0 +1,145 @@
+"""Sharded-replay audit: conservation per shard, reconciled globally.
+
+The sharded simulator (:mod:`repro.shard`) splits one cluster replay
+across several simulator instances, so the single-process
+:class:`~repro.audit.cluster.ClusterAuditor` cannot watch the whole
+request lifecycle from one place.  Instead each shard maintains a
+:class:`ShardLedger` — a picklable running count of every terminal and
+in-flight state its machines have seen — and the coordinator keeps a
+:class:`GlobalLedger` over the broker's view.  At every epoch boundary
+and again at quiesce, :func:`reconcile` proves the two-level
+conservation law:
+
+* **per shard** — ``delivered == completed + shed + orphaned +
+  in_flight`` (and ``in_flight`` matches the live servers' outstanding
+  count plus deliveries scheduled but not yet due);
+* **globally** — ``submitted == completed + shed + dropped + pending +
+  in_flight`` where ``pending`` counts arrivals and retries the broker
+  has not yet dispatched;
+* **cross-level** — the sum of shard ledgers tells the same story as
+  the broker's ledger: every delivery the broker charged is accounted
+  for by exactly one shard, and every failure a shard reported was
+  settled by the broker.
+
+Violations raise :class:`~repro.audit.invariants.AuditError` carrying
+:class:`~repro.audit.invariants.AuditViolation` entries, exactly like
+the machine- and cluster-level auditors.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.audit.invariants import AuditError, AuditViolation
+
+__all__ = ["ShardLedger", "GlobalLedger", "reconcile"]
+
+
+@dataclasses.dataclass
+class ShardLedger:
+    """Running conservation counters for one shard (picklable).
+
+    ``delivered`` counts requests whose delivery callback fired (i.e.
+    they reached a machine's ``submit`` path — including ones that were
+    immediately shed or orphaned because the machine was down);
+    ``scheduled`` counts deliveries handed to the shard that may not
+    have fired yet (epoch horizons can precede a delivery's due time).
+    """
+
+    shard_id: int = 0
+    scheduled: int = 0
+    delivered: int = 0
+    completed: int = 0
+    shed: int = 0
+    orphaned: int = 0
+
+    @property
+    def in_flight(self) -> int:
+        """Requests inside this shard with no terminal outcome yet."""
+        return (self.scheduled - self.completed - self.shed - self.orphaned)
+
+    @property
+    def undelivered(self) -> int:
+        """Deliveries scheduled beyond the current horizon."""
+        return self.scheduled - self.delivered
+
+    def check(self, outstanding: int) -> None:
+        """Balance the ledger against the live servers' outstanding count.
+
+        *outstanding* is the sum of ``server.outstanding`` over the
+        shard's machines at the moment of the check (an epoch horizon).
+        """
+        expect = self.delivered - self.completed - self.shed - self.orphaned
+        if outstanding != expect:
+            raise AuditError([AuditViolation(
+                "shard.conservation", f"shard {self.shard_id}",
+                f"{self.delivered} delivered != {self.completed} completed "
+                f"+ {self.shed} shed + {self.orphaned} orphaned + "
+                f"{outstanding} outstanding")])
+
+    def copy(self) -> "ShardLedger":
+        return dataclasses.replace(self)
+
+
+@dataclasses.dataclass
+class GlobalLedger:
+    """The coordinator's conservation counters over the whole replay."""
+
+    submitted: int = 0
+    completed: int = 0
+    shed: int = 0
+    dropped: int = 0
+    retries: int = 0
+    failures: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "shed": self.shed,
+            "dropped": self.dropped,
+            "retries": self.retries,
+            "failures": self.failures,
+        }
+
+
+def reconcile(global_ledger: GlobalLedger,
+              shard_ledgers: typing.Sequence[ShardLedger],
+              pending: int, outstanding: int,
+              raise_on_violation: bool = True) -> list[AuditViolation]:
+    """Prove the global conservation law at one epoch boundary.
+
+    ``submitted == completed + shed + dropped + pending + in_flight``
+    must hold at every boundary; at quiesce both *pending* and the
+    shards' in-flight counts must be zero, reducing it to the familiar
+    ``submitted == completed + shed + dropped``.
+    """
+    violations: list[AuditViolation] = []
+    g = global_ledger
+    in_flight = sum(ledger.in_flight for ledger in shard_ledgers)
+    if g.submitted != g.completed + g.shed + g.dropped + pending + in_flight:
+        violations.append(AuditViolation(
+            "shard.global_conservation", "broker",
+            f"{g.submitted} submitted != {g.completed} completed + "
+            f"{g.shed} shed + {g.dropped} dropped + {pending} pending + "
+            f"{in_flight} in-flight"))
+    if in_flight != outstanding:
+        violations.append(AuditViolation(
+            "shard.outstanding_reconciliation", "broker",
+            f"shard ledgers say {in_flight} in flight but the broker "
+            f"charges {outstanding} outstanding dispatches"))
+    completed = sum(ledger.completed for ledger in shard_ledgers)
+    if completed != g.completed:
+        violations.append(AuditViolation(
+            "shard.completion_reconciliation", "broker",
+            f"shards completed {completed} requests but the broker "
+            f"recorded {g.completed}"))
+    shed = sum(ledger.shed for ledger in shard_ledgers)
+    if shed != g.shed:
+        violations.append(AuditViolation(
+            "shard.shed_reconciliation", "broker",
+            f"shards shed {shed} requests but the broker recorded {g.shed}"))
+    if violations and raise_on_violation:
+        raise AuditError(violations)
+    return violations

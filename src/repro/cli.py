@@ -128,6 +128,49 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="prove exactly-once request accounting "
                               "across machine failures")
 
+    replay = sub.add_parser(
+        "replay", help="sharded parallel trace replay (epoch-synchronized "
+                       "multiprocessing with a serial differential oracle)")
+    _add_machine_arg(replay)
+    _add_model_arg(replay)
+    replay.add_argument("--strategy", default="pt+dha",
+                        choices=[s.value for s in Strategy])
+    replay.add_argument("--shards", type=int, default=2,
+                        help="machine groups (= simulator instances)")
+    replay.add_argument("--backend", default="process",
+                        choices=("serial", "process"),
+                        help="serial = in-process oracle; process = one "
+                             "spawn worker per shard")
+    replay.add_argument("--epoch-ms", type=float, default=100.0,
+                        help="synchronization quantum in milliseconds")
+    replay.add_argument("--machines", type=int, default=4,
+                        help="base fleet size")
+    replay.add_argument("--replication", type=int, default=2,
+                        help="replicas per logical instance")
+    replay.add_argument("--policy", default="affinity",
+                        choices=("round-robin", "least-loaded", "affinity"))
+    replay.add_argument("--instances", type=int, default=24,
+                        help="logical instances of the model")
+    replay.add_argument("--trace", default="poisson",
+                        choices=("poisson", "maf"))
+    replay.add_argument("--rate", type=float, default=100.0,
+                        help="aggregate request rate (req/s)")
+    replay.add_argument("--requests", type=int, default=1000,
+                        help="request count (poisson trace)")
+    replay.add_argument("--duration", type=float, default=120.0,
+                        help="trace duration in seconds (maf trace)")
+    replay.add_argument("--faults", type=int, default=0,
+                        help="random crash/recover pairs to inject")
+    replay.add_argument("--max-retries", type=int, default=3)
+    replay.add_argument("--slo-ms", type=float, default=100.0)
+    replay.add_argument("--seed", type=int, default=0)
+    replay.add_argument("--check", action="store_true",
+                        help="also run the single-process serial reference "
+                             "and verify the outcomes are bit-identical")
+    replay.add_argument("--audit", action="store_true",
+                        help="enable per-shard conservation ledgers plus "
+                             "the servers' invariant-audit layer")
+
     chaos = sub.add_parser(
         "chaos", help="replay a seeded device/link fault schedule and "
                       "print a degradation report")
@@ -205,6 +248,7 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
         "infer": _cmd_infer,
         "serve": _cmd_serve,
         "cluster": _cmd_cluster,
+        "replay": _cmd_replay,
         "chaos": _cmd_chaos,
         "loadgen": _cmd_loadgen,
         "audit": _cmd_audit,
@@ -362,6 +406,69 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
               f"{len(cluster.auditor.violations)} violations — every "
               f"request completed exactly once or was dropped after "
               f"{args.max_retries + 1} failed attempts")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.cluster import ClusterConfig, random_fault_schedule
+    from repro.serving.workload import TraceWorkload
+    from repro.shard import ShardConfig, ShardedReplay
+
+    spec = machine_presets()[args.machine]()
+    config = ClusterConfig(
+        num_machines=args.machines,
+        replication=min(args.replication, args.machines),
+        policy=args.policy,
+        strategy=args.strategy,
+        slo=args.slo_ms * MS,
+        max_retries=args.max_retries,
+        audit=args.audit,
+    )
+
+    def build(num_shards: int, backend: str) -> ShardedReplay:
+        replay = ShardedReplay(spec, config, ShardConfig(
+            num_shards=num_shards, backend=backend,
+            epoch_length=args.epoch_ms * MS))
+        replay.deploy([(args.model, args.instances)])
+        return replay
+
+    replay = build(args.shards, args.backend)
+    names = replay.instance_names
+    if args.trace == "maf":
+        from repro.serving.maf import MAFTraceConfig, synthesize_maf_trace
+        trace = synthesize_maf_trace(names, MAFTraceConfig(
+            duration=args.duration, target_rps=args.rate, seed=args.seed))
+        requests = TraceWorkload(trace.arrivals).generate()
+        duration = args.duration
+    else:
+        requests = PoissonWorkload(names, rate=args.rate,
+                                   num_requests=args.requests,
+                                   seed=args.seed).generate()
+        duration = requests[-1].arrival_time
+    schedule = random_fault_schedule(
+        [f"m{i}" for i in range(args.machines)],
+        args.faults, duration, seed=args.seed)
+    report = replay.run(requests, fault_schedule=schedule)
+    rows = [[key, value] for key, value in report.summary().items()]
+    print(format_table(
+        ["metric", "value"], rows,
+        title=f"{args.shards}-shard {args.backend} replay of "
+              f"{args.instances}x {args.model} on {args.machines} machines "
+              f"({args.policy}, epoch {args.epoch_ms:.0f} ms)"))
+    for ledger in report.shard_ledgers:
+        print(f"  shard {ledger.shard_id}: {ledger.delivered} delivered = "
+              f"{ledger.completed} completed + {ledger.shed} shed + "
+              f"{ledger.orphaned} orphaned")
+    if args.check:
+        reference = build(1, "serial").run(requests, fault_schedule=schedule)
+        if report.outcome_signature() == reference.outcome_signature():
+            print(f"\ndifferential check: {args.shards}-shard {args.backend} "
+                  f"replay is bit-identical to the single-process reference "
+                  f"({len(requests)} requests)")
+        else:
+            print("\ndifferential check FAILED: sharded outcomes diverge "
+                  "from the single-process reference", file=sys.stderr)
+            return 1
     return 0
 
 

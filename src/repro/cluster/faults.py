@@ -93,14 +93,26 @@ class FaultEvent:
 
 
 class FaultInjector:
-    """Replays a fault schedule against a cluster.
+    """Replays a fault schedule against a cluster (or any fault target).
 
     Construction validates every event's machine / GPU / link target
-    against the fleet, raising :class:`~repro.errors.WorkloadError` on
-    the first unknown target.
+    against the actual fleet, raising :class:`~repro.errors.WorkloadError`
+    on the first unknown target.
+
+    The target is duck-typed: anything exposing ``sim``, ``machine(name)``
+    (returning an object whose ``.machine`` is the hardware
+    :class:`~repro.hw.machine.Machine`) and the six fault actions
+    (``crash_machine``, ``recover_machine``, ``fail_gpu``, ``recover_gpu``,
+    ``degrade_link``, ``restore_link``) can replay a schedule.  Besides
+    :class:`~repro.cluster.cluster.Cluster`, the sharded-replay workers
+    (:mod:`repro.shard`) replay per-shard sub-schedules through this same
+    class, so fault semantics cannot drift between the two paths.
+    Schedules themselves are plain frozen dataclasses — picklable, so a
+    ``spawn``-started worker process can receive its sub-schedule and
+    reconstruct identical behavior.
     """
 
-    def __init__(self, cluster: "Cluster",
+    def __init__(self, cluster: "Cluster | typing.Any",
                  schedule: typing.Sequence[FaultEvent]) -> None:
         self.cluster = cluster
         self.schedule = sorted(schedule)

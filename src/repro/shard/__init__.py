@@ -1,0 +1,66 @@
+"""Sharded parallel trace replay with a single-process differential oracle.
+
+Large-fleet replays are embarrassingly parallel *between* epoch
+boundaries: machines only interact through the router, and the
+router→machine latency gives every shard a conservative lookahead window
+it can simulate without seeing any message decided in the same epoch.
+This package exploits that:
+
+* :mod:`~repro.shard.protocol` — picklable epoch envelopes and the
+  :class:`~repro.shard.protocol.ShardConfig` knobs;
+* :mod:`~repro.shard.worker` — one machine group per simulator,
+  stepped ``run_epoch(horizon, deliveries)`` at a time;
+* :mod:`~repro.shard.broker` — the router as an epoch-boundary message
+  broker: deterministic routing over snapshot views, retry/backoff/drop
+  ladder, global conservation ledger;
+* :mod:`~repro.shard.replay` — the coordinator with ``serial`` (the
+  oracle) and ``process`` (spawn multiprocessing) backends and the
+  canonical global report.
+
+The headline property, enforced by the test tier: for a fixed trace,
+seed and fault schedule, the outcome signature (every request's terminal
+state and exact timestamps) is identical for any shard count and for
+both backends.
+"""
+
+from repro.shard.broker import EpochBroker, PendingRequest
+from repro.shard.protocol import (
+    AttemptFailure,
+    BACKENDS,
+    Completion,
+    Delivery,
+    EpochOutcome,
+    MachineFinal,
+    MachineSnapshot,
+    ShardConfig,
+    ShardFinal,
+    ShedNotice,
+    WorkerInit,
+)
+from repro.shard.replay import (
+    ShardedReplay,
+    ShardedReport,
+    partition_machines,
+)
+from repro.shard.worker import ShardWorker, shard_entry
+
+__all__ = [
+    "AttemptFailure",
+    "BACKENDS",
+    "Completion",
+    "Delivery",
+    "EpochBroker",
+    "EpochOutcome",
+    "MachineFinal",
+    "MachineSnapshot",
+    "PendingRequest",
+    "ShardConfig",
+    "ShardFinal",
+    "ShardWorker",
+    "ShardedReplay",
+    "ShardedReport",
+    "ShedNotice",
+    "WorkerInit",
+    "partition_machines",
+    "shard_entry",
+]

@@ -1,0 +1,212 @@
+"""Wire types of the epoch-synchronized sharding protocol.
+
+Everything in this module is a plain frozen dataclass of primitives —
+picklable under the ``spawn`` start method, so worker processes receive
+*values*, never live simulator state.  The protocol has four message
+kinds:
+
+* :class:`WorkerInit` — everything a worker needs to deterministically
+  reconstruct its machine group from scratch: the machine spec, machine
+  names, the instance placement (by model *name*, rebuilt from the zoo
+  in-process), the server configuration, and the shard's fault
+  sub-schedule;
+* :class:`Delivery` — one routed request: the broker's dispatch
+  decision, due at ``deliver_at`` (the routing instant plus the
+  router→machine latency that provides the conservative lookahead);
+* :class:`EpochOutcome` — what a shard reports back at each horizon:
+  completions, failed attempts (orphans), sheds, one
+  :class:`MachineSnapshot` per machine (the routing state for the next
+  epoch), and its running :class:`~repro.audit.shard.ShardLedger`;
+* :class:`ShardFinal` — the quiesce payload: the shard's merged latency
+  histogram, per-machine statistics, and audit counters.
+
+Lookahead discipline: a message created by routing at epoch boundary
+``k·E`` is never due before ``k·E + router_latency``, and failures
+observed during epoch ``k`` are re-routed no earlier than boundary
+``(k+1)·E``.  Both rules hold for *any* partition of machines into
+shards, which is what makes outcomes independent of the shard count.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.audit.shard import ShardLedger
+from repro.cluster.faults import FaultEvent
+from repro.errors import WorkloadError
+from repro.hw.specs import MachineSpec
+from repro.serving.metrics import RequestRecord
+from repro.serving.server import ServerConfig
+from repro.units import MS
+
+__all__ = ["ShardConfig", "WorkerInit", "Delivery", "Completion",
+           "AttemptFailure", "ShedNotice", "MachineSnapshot",
+           "EpochOutcome", "MachineFinal", "ShardFinal", "BACKENDS"]
+
+BACKENDS = ("serial", "process")
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardConfig:
+    """How to split and synchronize one replay."""
+
+    #: Number of machine groups (= simulator instances = workers).
+    num_shards: int = 1
+    #: Synchronization quantum: shards run freely for this many seconds
+    #: between barrier exchanges.  Longer epochs amortize the barrier
+    #: but quantize retry re-routing more coarsely.
+    epoch_length: float = 100 * MS
+    #: Router→machine network latency — the conservative lookahead
+    #: window.  Every dispatch decided at an epoch boundary is delivered
+    #: at least this much later, so a shard can simulate a whole epoch
+    #: without ever seeing a message from the same epoch's decisions.
+    router_latency: float = 1 * MS
+    #: ``serial`` steps every shard in this process (the differential
+    #: oracle); ``process`` runs one spawn-started worker per shard.
+    backend: str = "serial"
+    #: Hard cap on epochs (defends against a schedule that can never
+    #: quiesce; generous because epochs are short).
+    max_epochs: int = 2_000_000
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise WorkloadError(
+                f"num_shards must be >= 1, got {self.num_shards}")
+        if self.epoch_length <= 0:
+            raise WorkloadError(
+                f"epoch_length must be positive, got {self.epoch_length}")
+        if self.router_latency <= 0:
+            raise WorkloadError(
+                f"router_latency must be positive, got {self.router_latency}")
+        if self.router_latency > self.epoch_length:
+            raise WorkloadError(
+                f"epoch_length ({self.epoch_length}) must be at least the "
+                f"router latency ({self.router_latency}): the lookahead "
+                f"window bounds how far a shard may run ahead")
+        if self.backend not in BACKENDS:
+            raise WorkloadError(f"unknown backend {self.backend!r}; "
+                                f"options: {', '.join(BACKENDS)}")
+        if self.max_epochs < 1:
+            raise WorkloadError(
+                f"max_epochs must be >= 1, got {self.max_epochs}")
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkerInit:
+    """Deterministic construction recipe for one shard."""
+
+    shard_id: int
+    spec: MachineSpec
+    machine_names: tuple[str, ...]
+    #: (machine_name, instance_name, model_name) in global deploy order.
+    placements: tuple[tuple[str, str, str], ...]
+    server: ServerConfig
+    prewarm: bool
+    audit: bool
+    fault_schedule: tuple[FaultEvent, ...] = ()
+    #: Whether servers wrap cold starts in abortable watch processes.
+    #: Computed from the *global* fault schedule (any device-granular
+    #: action arms every machine, as in the single-simulator cluster) —
+    #: deriving it per shard would make event scheduling order, and so
+    #: outcomes, depend on the grouping.
+    watch_device_faults: bool = False
+
+
+@dataclasses.dataclass(frozen=True)
+class Delivery:
+    """One routed request on its way to a machine."""
+
+    request_id: int
+    instance_name: str
+    machine_name: str
+    #: Run-relative arrival offset from the original trace.
+    arrival_time: float
+    #: Absolute original submission time (latency is measured from here
+    #: across retries, exactly as in the single-simulator cluster).
+    submitted_at: float
+    #: Absolute time the machine receives the request.
+    deliver_at: float
+    batch_size: int = 1
+    qos: str = "standard"
+    #: Failed attempts so far (0 for the first dispatch).
+    attempt: int = 0
+
+
+@dataclasses.dataclass(frozen=True)
+class Completion:
+    """A request finished on one of the shard's machines."""
+
+    machine_name: str
+    record: RequestRecord
+
+
+@dataclasses.dataclass(frozen=True)
+class AttemptFailure:
+    """A dispatched request came back without completing (orphaned)."""
+
+    request_id: int
+    #: Simulated time the attempt failed (crash, dead GPU, or delivery
+    #: to a machine that went down in the meantime).
+    time: float
+    where: str
+
+
+@dataclasses.dataclass(frozen=True)
+class ShedNotice:
+    """Admission control turned a request away (terminal)."""
+
+    request_id: int
+    machine_name: str
+    time: float
+
+
+@dataclasses.dataclass(frozen=True)
+class MachineSnapshot:
+    """One machine's routing-relevant state at an epoch horizon."""
+
+    name: str
+    #: :class:`~repro.cluster.machine.MachineState` value.
+    state: str
+    #: GPU-resident (warm) instance names.
+    warm: frozenset[str]
+    #: ``server.outstanding`` at the horizon (conservation cross-check).
+    outstanding: int
+
+
+@dataclasses.dataclass
+class EpochOutcome:
+    """Everything a shard reports at one epoch horizon."""
+
+    shard_id: int
+    horizon: float
+    completions: list[Completion]
+    failures: list[AttemptFailure]
+    sheds: list[ShedNotice]
+    snapshots: list[MachineSnapshot]
+    ledger: ShardLedger
+
+
+@dataclasses.dataclass
+class MachineFinal:
+    """Per-machine statistics for the final report."""
+
+    name: str
+    state: str
+    served: int
+    busy_time: float
+    crashes: int
+    gpu_failures: int
+
+
+@dataclasses.dataclass
+class ShardFinal:
+    """A shard's quiesce payload."""
+
+    shard_id: int
+    #: Serialized per-shard :class:`~repro.serving.histogram.LatencyHistogram`.
+    histogram: dict[str, typing.Any]
+    ledger: ShardLedger
+    machines: list[MachineFinal]
+    #: Invariant checks executed by the shard's machine auditors.
+    audit_checks: int

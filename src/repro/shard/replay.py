@@ -1,0 +1,455 @@
+"""Sharded trace replay: the coordinator, both backends, and the report.
+
+:class:`ShardedReplay` partitions the fleet into contiguous machine
+groups, builds one :class:`~repro.shard.worker.ShardWorker` recipe per
+group, and drives them through bounded time epochs: route at the
+boundary, let every shard simulate one epoch ahead (safe because the
+router→machine latency guarantees no message lands earlier), ingest the
+outcomes, reconcile conservation, repeat until every request is
+terminal.
+
+Two backends execute the identical protocol:
+
+* ``serial`` — every shard steps in this process, in shard order.  This
+  is the **differential oracle**: with ``num_shards=1`` it is a plain
+  single-simulator replay, and because outcomes are independent of the
+  grouping (see :mod:`repro.shard.worker`), any shard count must
+  reproduce its results bit for bit;
+* ``process`` — one ``spawn``-started worker per shard, exchanging
+  pickled epoch messages over pipes.  Spawn (not fork) is deliberate:
+  workers must prove they can rebuild identical state from the picklable
+  :class:`~repro.shard.protocol.WorkerInit` alone, which is exactly what
+  the determinism tests assert.
+
+Global metrics are *rebuilt*, not merged: float summation is
+association-sensitive, so the report's collector is reconstructed from
+all completion records in canonical ``(finished_at, request_id)`` order
+— per-shard histograms are still merged and cross-checked against it
+count-for-count.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import multiprocessing
+import typing
+
+from repro.audit.shard import GlobalLedger, ShardLedger, reconcile
+from repro.cluster.cluster import ClusterConfig
+from repro.cluster.faults import DEVICE_FAULT_ACTIONS, FaultEvent
+from repro.errors import WorkloadError
+from repro.hw.specs import MachineSpec
+from repro.models.graph import ModelSpec
+from repro.serving.histogram import LatencyHistogram, merge_histograms
+from repro.serving.metrics import MetricsCollector
+from repro.serving.server import ServerConfig
+from repro.serving.workload import Request
+from repro.shard.broker import EpochBroker, PendingRequest
+from repro.shard.protocol import (
+    Completion,
+    Delivery,
+    EpochOutcome,
+    ShardConfig,
+    ShardFinal,
+    ShedNotice,
+    WorkerInit,
+)
+from repro.shard.worker import ShardWorker, shard_entry
+from repro.units import MS
+
+__all__ = ["ShardedReplay", "ShardedReport", "partition_machines"]
+
+Outcome = tuple[typing.Any, ...]
+
+
+def partition_machines(names: typing.Sequence[str],
+                       num_shards: int) -> list[tuple[str, ...]]:
+    """Split *names* into contiguous groups with sizes differing by <= 1."""
+    if num_shards < 1:
+        raise WorkloadError(f"num_shards must be >= 1, got {num_shards}")
+    if num_shards > len(names):
+        raise WorkloadError(
+            f"cannot split {len(names)} machine(s) into {num_shards} shards")
+    base, extra = divmod(len(names), num_shards)
+    groups, start = [], 0
+    for index in range(num_shards):
+        size = base + (1 if index < extra else 0)
+        groups.append(tuple(names[start:start + size]))
+        start += size
+    return groups
+
+
+@dataclasses.dataclass
+class ShardedReport:
+    """Outcome of one sharded replay."""
+
+    #: Canonical global collector, rebuilt from records sorted by
+    #: ``(finished_at, request_id)`` — identical for every shard count.
+    metrics: MetricsCollector
+    ledger: GlobalLedger
+    shard_ledgers: list[ShardLedger]
+    #: Per-shard latency histograms (mergeable; their merge matches the
+    #: canonical histogram count-for-count).
+    shard_histograms: list[LatencyHistogram]
+    finals: list[ShardFinal]
+    completions: list[Completion]
+    sheds: list[ShedNotice]
+    dropped: list[PendingRequest]
+    epochs: int
+    duration: float
+    num_shards: int
+    backend: str
+
+    @property
+    def completed(self) -> int:
+        return len(self.metrics.records)
+
+    def merged_histogram(self) -> LatencyHistogram:
+        """The order-insensitive merge of the per-shard histograms."""
+        return merge_histograms(self.shard_histograms)
+
+    def outcome_signature(self) -> tuple[Outcome, ...]:
+        """Every request's exact terminal outcome, in request-id order.
+
+        Two replays of one trace are *bit-identical* iff their
+        signatures compare equal: completions carry the serving machine
+        and the exact submit/start/finish timestamps, sheds their
+        machine and time, drops just the fact (their attempt count is
+        pinned at ``max_retries + 1`` by construction).
+        """
+        rows: list[Outcome] = []
+        for completion in self.completions:
+            record = completion.record
+            rows.append((record.request_id, "completed",
+                         completion.machine_name, record.submitted_at,
+                         record.started_at, record.finished_at,
+                         record.cold_start, record.degraded))
+        for shed in self.sheds:
+            rows.append((shed.request_id, "shed", shed.machine_name,
+                         shed.time))
+        for pending in self.dropped:
+            rows.append((pending.request_id, "dropped"))
+        return tuple(sorted(rows))
+
+    def summary(self) -> dict[str, float]:
+        data = {
+            "submitted": float(self.ledger.submitted),
+            "completed": float(self.completed),
+            "dropped": float(self.ledger.dropped),
+            "shed": float(self.ledger.shed),
+            "retries": float(self.ledger.retries),
+            "epochs": float(self.epochs),
+            "shards": float(self.num_shards),
+        }
+        if self.metrics.records:
+            data.update(p99_ms=self.metrics.p99_latency / MS,
+                        goodput=self.metrics.goodput,
+                        cold_start_rate=self.metrics.cold_start_rate)
+        return data
+
+
+class _SerialShard:
+    """In-process shard driver (the oracle backend)."""
+
+    def __init__(self, init: WorkerInit) -> None:
+        self.worker = ShardWorker(init)
+
+    def begin_epoch(self, horizon: float,
+                    deliveries: list[Delivery]) -> None:
+        self._result = self.worker.run_epoch(horizon, deliveries)
+
+    def collect_epoch(self) -> EpochOutcome:
+        return self._result
+
+    def finish(self) -> ShardFinal:
+        return self.worker.finish()
+
+    def stop(self) -> None:
+        pass
+
+
+class _ProcessShard:
+    """Pipe-connected spawn-process shard driver."""
+
+    def __init__(self, init: WorkerInit,
+                 context: typing.Any) -> None:
+        self.shard_id = init.shard_id
+        self._conn, child = context.Pipe()
+        self._process = context.Process(
+            target=shard_entry, args=(child, init),
+            name=f"repro-shard{init.shard_id}", daemon=True)
+        self._process.start()
+        child.close()
+        self._expect("ready")
+
+    def _expect(self, kind: str) -> typing.Any:
+        try:
+            message = self._conn.recv()
+        except EOFError:
+            raise WorkloadError(
+                f"shard {self.shard_id} worker exited unexpectedly "
+                f"(exit code {self._process.exitcode})") from None
+        if message[0] == "error":
+            raise WorkloadError(f"shard worker failed: {message[1]}")
+        if message[0] != kind:
+            raise WorkloadError(
+                f"shard {self.shard_id} protocol error: expected "
+                f"{kind!r}, got {message[0]!r}")
+        return message[1] if len(message) > 1 else None
+
+    def begin_epoch(self, horizon: float,
+                    deliveries: list[Delivery]) -> None:
+        self._conn.send(("epoch", horizon, deliveries))
+
+    def collect_epoch(self) -> EpochOutcome:
+        return typing.cast(EpochOutcome, self._expect("outcome"))
+
+    def finish(self) -> ShardFinal:
+        self._conn.send(("finish",))
+        return typing.cast(ShardFinal, self._expect("final"))
+
+    def stop(self) -> None:
+        try:
+            self._conn.send(("stop",))
+        except (OSError, BrokenPipeError):
+            pass
+        self._conn.close()
+        self._process.join(timeout=30)
+        if self._process.is_alive():  # pragma: no cover - hang backstop
+            self._process.terminate()
+            self._process.join()
+
+
+class ShardedReplay:
+    """Epoch-synchronized replay of one trace over a partitioned fleet."""
+
+    def __init__(self, spec: MachineSpec,
+                 config: ClusterConfig = ClusterConfig(),
+                 shard: ShardConfig = ShardConfig()) -> None:
+        if config.num_standby:
+            raise WorkloadError(
+                "sharded replay covers the base fleet only; standby "
+                "machines (and the autoscaler) need the single-simulator "
+                "cluster")
+        if config.autoscale is not None:
+            raise WorkloadError(
+                "autoscaling is a continuous-time control loop; sharded "
+                "replay does not replicate it — use the single-simulator "
+                "cluster")
+        if shard.num_shards > config.num_machines:
+            raise WorkloadError(
+                f"{shard.num_shards} shards need at least that many "
+                f"machines, got {config.num_machines}")
+        self.spec = spec
+        self.config = config
+        self.shard = shard
+        self.machine_names = tuple(f"m{i}"
+                                   for i in range(config.num_machines))
+        self.groups = partition_machines(self.machine_names,
+                                         shard.num_shards)
+        self._shard_of = {name: index
+                          for index, group in enumerate(self.groups)
+                          for name in group}
+        #: (machine, instance, model) placements in global deploy order.
+        self._placements: list[tuple[str, str, str]] = []
+        self._instance_models: dict[str, str] = {}
+        self._replicas: dict[str, list[str]] = {}
+        self._model_counts: dict[str, int] = {}
+        self._slot = 0
+
+    # -- placement (mirrors Cluster.deploy round-robin) -------------------------------
+
+    @property
+    def instance_names(self) -> list[str]:
+        return list(self._instance_models)
+
+    def deploy(self, catalog: typing.Sequence[tuple[ModelSpec | str, int]]
+               ) -> list[str]:
+        """Place ``count`` logical instances of each model on the fleet.
+
+        Accepts zoo model names or :class:`~repro.models.graph.ModelSpec`
+        objects (only the name travels to the workers — each shard
+        rebuilds the model from the zoo).  Replica assignment is the
+        same round-robin the single-simulator cluster uses, so a given
+        catalog produces the same placement either way.
+        """
+        created = []
+        for model, count in catalog:
+            model_name = model if isinstance(model, str) else model.name
+            if count < 1:
+                raise WorkloadError(
+                    f"instance count must be >= 1, got {count}")
+            start = self._model_counts.get(model_name, 0)
+            for k in range(start, start + count):
+                instance = f"{model_name}#{k}"
+                replicas = []
+                for r in range(self.config.replication):
+                    machine = self.machine_names[
+                        (self._slot + r) % len(self.machine_names)]
+                    replicas.append(machine)
+                    self._placements.append((machine, instance, model_name))
+                self._instance_models[instance] = model_name
+                self._replicas[instance] = replicas
+                self._model_counts[model_name] = k + 1
+                created.append(instance)
+                self._slot += 1
+        return created
+
+    # -- the epoch loop ---------------------------------------------------------------
+
+    def _worker_inits(self, fault_schedule: typing.Sequence[FaultEvent]
+                      ) -> list[WorkerInit]:
+        known = set(self.machine_names)
+        for event in fault_schedule:
+            if event.machine_name not in known:
+                raise WorkloadError(f"fault event targets unknown machine "
+                                    f"{event.machine_name!r}")
+        watch = any(event.action in DEVICE_FAULT_ACTIONS
+                    for event in fault_schedule)
+        server = ServerConfig(strategy=self.config.strategy,
+                              slo=self.config.slo, prewarm=False,
+                              deadline=self.config.deadline,
+                              audit=self.config.audit)
+        inits = []
+        for shard_id, group in enumerate(self.groups):
+            members = set(group)
+            inits.append(WorkerInit(
+                shard_id=shard_id,
+                spec=self.spec,
+                machine_names=group,
+                placements=tuple(p for p in self._placements
+                                 if p[0] in members),
+                server=server,
+                prewarm=self.config.prewarm,
+                audit=self.config.audit,
+                fault_schedule=tuple(e for e in fault_schedule
+                                     if e.machine_name in members),
+                watch_device_faults=watch))
+        return inits
+
+    def run(self, requests: typing.Sequence[Request],
+            fault_schedule: typing.Sequence[FaultEvent] = ()
+            ) -> ShardedReport:
+        """Serve *requests* to termination (completed, shed, or dropped)."""
+        if not self._placements:
+            raise WorkloadError("no instances deployed")
+        if not requests:
+            raise WorkloadError("no requests to serve")
+        unknown = ({r.instance_name for r in requests}
+                   - set(self._instance_models))
+        if unknown:
+            raise WorkloadError(f"requests target unknown instances: "
+                                f"{sorted(unknown)[:5]}")
+        broker = EpochBroker(
+            spec=self.spec, policy=self.config.policy,
+            strategy=self.config.strategy,
+            instance_models=self._instance_models,
+            replicas=self._replicas,
+            machine_names=self.machine_names,
+            max_retries=self.config.max_retries,
+            retry_backoff=self.config.retry_backoff,
+            router_latency=self.shard.router_latency)
+        for request in requests:
+            broker.submit(request)
+        inits = self._worker_inits(fault_schedule)
+        if self.shard.backend == "process":
+            context = multiprocessing.get_context("spawn")
+            shards: list[typing.Any] = [_ProcessShard(init, context)
+                                        for init in inits]
+        else:
+            shards = [_SerialShard(init) for init in inits]
+        try:
+            return self._drive(broker, shards)
+        finally:
+            for shard in shards:
+                shard.stop()
+
+    def _drive(self, broker: EpochBroker,
+               shards: list[typing.Any]) -> ShardedReport:
+        epoch_length = self.shard.epoch_length
+        completions: list[Completion] = []
+        sheds: list[ShedNotice] = []
+        time, epochs = 0.0, 0
+        ledgers: list[ShardLedger] = [ShardLedger(shard_id=i)
+                                      for i in range(len(shards))]
+        while not broker.done():
+            epochs += 1
+            if epochs > self.shard.max_epochs:
+                raise WorkloadError(
+                    f"replay did not quiesce within "
+                    f"{self.shard.max_epochs} epochs")
+            routed = broker.route_epoch(time)
+            if not routed and broker.outstanding_total == 0:
+                # Nothing in flight and the next retry/arrival is in the
+                # future: jump the whole fleet to the epoch-grid boundary
+                # that can route it.  Purely broker-state-driven, so the
+                # jump sequence is identical for every grouping.
+                horizon = epoch_length * math.ceil(
+                    broker.next_ready / epoch_length)
+                if horizon <= time:
+                    horizon = time + epoch_length
+            else:
+                horizon = time + epoch_length
+            per_shard: list[list[Delivery]] = [[] for _ in shards]
+            for machine_name, deliveries in routed.items():
+                per_shard[self._shard_of[machine_name]].extend(deliveries)
+            for deliveries in per_shard:
+                deliveries.sort(key=lambda d: (d.deliver_at, d.request_id))
+            for shard, deliveries in zip(shards, per_shard):
+                shard.begin_epoch(horizon, deliveries)
+            outcomes = [shard.collect_epoch() for shard in shards]
+            for outcome in outcomes:
+                broker.ingest(outcome)
+                completions.extend(outcome.completions)
+                sheds.extend(outcome.sheds)
+                ledgers[outcome.shard_id] = outcome.ledger
+            for outcome in outcomes:
+                broker.check_shard(outcome)
+            reconcile(broker.ledger, ledgers,
+                      pending=broker.pending_count,
+                      outstanding=broker.outstanding_total)
+            time = horizon
+        finals = [shard.finish() for shard in shards]
+        ledgers = [final.ledger for final in finals]
+        reconcile(broker.ledger, ledgers, pending=0, outstanding=0)
+        records = sorted((c.record for c in completions),
+                         key=lambda r: (r.finished_at, r.request_id))
+        metrics = MetricsCollector.from_records(
+            records, slo=self.config.slo,
+            shed=broker.ledger.shed, dropped=broker.ledger.dropped)
+        shard_histograms = [LatencyHistogram.from_dict(final.histogram)
+                            for final in finals]
+        self._check_histograms(metrics, shard_histograms)
+        return ShardedReport(
+            metrics=metrics,
+            ledger=broker.ledger,
+            shard_ledgers=ledgers,
+            shard_histograms=shard_histograms,
+            finals=finals,
+            completions=completions,
+            sheds=sheds,
+            dropped=list(broker.dropped),
+            epochs=epochs,
+            duration=time,
+            num_shards=len(shards),
+            backend=self.shard.backend)
+
+    @staticmethod
+    def _check_histograms(metrics: MetricsCollector,
+                          shard_histograms: list[LatencyHistogram]) -> None:
+        """The shards' merged histogram must match the canonical one.
+
+        Bucket counts, totals and min/max are order-insensitive, so they
+        must agree exactly; only the running ``sum`` may differ in its
+        last bits (float addition is not associative), which is exactly
+        why the canonical collector is rebuilt instead of merged.
+        """
+        merged = merge_histograms(shard_histograms)
+        canonical = metrics.histogram
+        if (merged.counts != canonical.counts
+                or merged.total != canonical.total):
+            raise WorkloadError(
+                "per-shard histograms disagree with the canonical global "
+                "histogram — the sharded replay lost or duplicated a "
+                "completion")

@@ -351,6 +351,22 @@ class Simulator:
         future = len(self._queue) if calendar is None else len(calendar)
         return future + len(self._ripe)
 
+    @property
+    def next_time(self) -> float:
+        """Time of the earliest scheduled action (``inf`` when idle).
+
+        Ripe (same-instant) actions report the current time.  Epoch-
+        stepped drivers (:mod:`repro.shard`) use this to detect a
+        quiesced shard without running it.
+        """
+        if self._ripe:
+            return self._now
+        calendar = self._calendar
+        if calendar is None:
+            return self._queue[0][0] if self._queue else _INF
+        head = calendar.head
+        return head[0] if head is not None else _INF
+
     # -- scheduling ----------------------------------------------------------
 
     def _push(self, at: float, action: typing.Callable[[], None]) -> None:
@@ -450,6 +466,21 @@ class Simulator:
                 event._value = value
             calendar.push((at, next(self._sequence), event))
         return event
+
+    def call_at(self, at: float, action: typing.Callable[[], None]) -> None:
+        """Schedule a plain callback at the absolute time *at*.
+
+        Cheaper than a one-shot process for fire-and-forget actions, and
+        — unlike triggering through an intermediate event — the callback
+        gets a queue entry whose sequence number is assigned *now*, so a
+        batch of ``call_at`` registrations executes in registration order
+        at equal times.  The epoch-stepped shard workers rely on that to
+        keep cross-shard delivery order canonical.
+        """
+        if at < self._now:
+            raise ValueError(f"call_at({at!r}) is in the past "
+                             f"(now={self._now!r})")
+        self._push(at, action)
 
     def process(self, generator: ProcessGenerator, name: str = "") -> Process:
         """Start a coroutine process running from the current time."""

@@ -28,6 +28,10 @@ SEED_FIXTURES = {
     # Byte-conservation property of the flow engine under random
     # contended schedules (test_audit_invariants.py; full count nightly).
     "conservation_seed": (20, 200),
+    # Sharded replay vs the single-process differential oracle
+    # (test_shard_replay.py / test_shard_determinism.py; the issue's
+    # 200-seed sharded-vs-reference sweep runs nightly).
+    "shard_seed": (2, 200),
 }
 
 

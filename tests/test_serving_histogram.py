@@ -128,6 +128,89 @@ class TestMerge:
         assert a.max == pytest.approx(30 * MS)
 
 
+class TestMergeProperties:
+    """Seeded algebraic properties of merge — the sharded-replay transport.
+
+    Sharded replay reassembles one global latency distribution from
+    per-shard histograms, so merge must behave like a commutative
+    monoid on the count state: any grouping of shards, merged in any
+    order, has to tell the same story as recording every sample into a
+    single histogram.
+    """
+
+    @staticmethod
+    def _partition(seed):
+        rng = numpy.random.default_rng(seed)
+        samples = rng.lognormal(mean=numpy.log(0.010), sigma=0.8,
+                                size=int(rng.integers(50, 400)))
+        cuts = sorted(rng.integers(0, len(samples),
+                                   size=int(rng.integers(1, 5))))
+        parts = numpy.split(samples, cuts)
+        hists = []
+        for part in parts:
+            hist = LatencyHistogram()
+            for value in part:
+                hist.add(float(value))
+            hists.append(hist)
+        return samples, hists
+
+    def test_commutative_exactly(self, property_seed):
+        _, hists = self._partition(property_seed)
+        a = hists[0]
+        b = hists[-1]
+        ab = merge_histograms([a, b])
+        ba = merge_histograms([b, a])
+        assert ab.counts == ba.counts
+        assert ab.total == ba.total
+        assert ab.min == ba.min
+        assert ab.max == ba.max
+        # Two-operand float addition commutes exactly, so even the sum
+        # accumulator must match to the last bit.
+        assert ab.sum == ba.sum
+
+    def test_associative_on_counts(self, property_seed):
+        _, hists = self._partition(property_seed)
+        if len(hists) < 3:
+            hists = hists * 3
+        a, b, c = hists[0], hists[1], hists[2]
+        left = merge_histograms([merge_histograms([a, b]), c])
+        right = merge_histograms([a, merge_histograms([b, c])])
+        assert left.counts == right.counts
+        assert left.total == right.total
+        assert left.min == right.min
+        assert left.max == right.max
+        # Association changes float-addition order: counts are exact,
+        # the sum may differ in its last ulps only.
+        assert left.sum == pytest.approx(right.sum, rel=1e-12)
+
+    def test_merge_matches_single_histogram_recording(self, property_seed):
+        samples, hists = self._partition(property_seed)
+        single = LatencyHistogram()
+        for value in samples:
+            single.add(float(value))
+        rng = numpy.random.default_rng(property_seed + 1)
+        order = list(rng.permutation(len(hists)))
+        merged = merge_histograms([hists[i] for i in order])
+        assert merged.counts == single.counts
+        assert merged.total == single.total
+        assert merged.min == single.min
+        assert merged.max == single.max
+        assert merged.sum == pytest.approx(single.sum, rel=1e-12)
+        if single.total:
+            assert merged.percentile(99) == single.percentile(99)
+
+    def test_merged_round_trips_through_serialization(self, property_seed):
+        _, hists = self._partition(property_seed)
+        merged = merge_histograms(hists)
+        clone = LatencyHistogram.from_dict(merged.to_dict())
+        assert clone == merged
+        restored = merge_histograms(
+            [LatencyHistogram.from_dict(h.to_dict()) for h in hists])
+        assert restored.counts == merged.counts
+        assert restored.total == merged.total
+        assert restored.sum == merged.sum
+
+
 class TestSerialization:
     def test_round_trip(self):
         hist = LatencyHistogram()

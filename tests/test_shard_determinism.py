@@ -1,0 +1,139 @@
+"""Epoch-boundary determinism of the sharded replay (issue satellite).
+
+Sweeps shard counts {1, 2, 4, 8} and epoch-length variations over an
+8-machine fleet with random fault schedules and asserts the global
+conservation ledger — ``submitted = completed + shed + dropped`` with
+every in-flight book balanced — is identical regardless of how the
+fleet is grouped or how long the lookahead epochs are.
+
+Two strengths of guarantee, deliberately distinct:
+
+* at a **fixed** epoch length, grouping is unobservable: every shard
+  count yields the bit-identical outcome signature (and therefore the
+  identical ledger);
+* **across** epoch lengths the boundary grid moves, so retry dispatch
+  times (and hence individual outcomes) may legitimately differ — but
+  the conservation ledger must still balance exactly, and no request
+  may ever be lost or duplicated.
+"""
+
+import numpy
+import pytest
+
+from repro.cluster.cluster import ClusterConfig
+from repro.cluster.faults import random_fault_schedule
+from repro.hw.specs import p3_8xlarge
+from repro.serving.workload import PoissonWorkload
+from repro.shard import ShardConfig, ShardedReplay
+from repro.units import MS
+
+SHARD_COUNTS = (1, 2, 4, 8)
+EPOCH_LENGTHS = (50 * MS, 100 * MS, 250 * MS)
+
+
+def eight_machine_scenario(seed):
+    rng = numpy.random.default_rng(seed ^ 0x5EED)
+    config = ClusterConfig(
+        num_machines=8,
+        replication=int(rng.integers(1, 4)),
+        policy=("round-robin", "least-loaded",
+                "affinity")[int(rng.integers(3))],
+        max_retries=int(rng.integers(1, 4)),
+        audit=True)
+    catalog = [("resnet50", 2), ("bert-base", 2)]
+    instances = [f"{model}#{k}" for model, count in catalog
+                 for k in range(count)]
+    requests = PoissonWorkload(
+        instances, rate=float(rng.uniform(30.0, 70.0)),
+        num_requests=int(rng.integers(70, 120)),
+        seed=int(rng.integers(1 << 31))).generate()
+    faults = random_fault_schedule(
+        [f"m{i}" for i in range(8)], int(rng.integers(1, 4)),
+        requests[-1].arrival_time, seed=int(rng.integers(1 << 31)),
+        granularity="mixed", gpu_count=4)
+    return config, catalog, requests, faults
+
+
+def replay(config, catalog, requests, faults, num_shards, epoch_length):
+    runner = ShardedReplay(p3_8xlarge(), config, ShardConfig(
+        num_shards=num_shards, epoch_length=epoch_length))
+    runner.deploy(catalog)
+    return runner.run(requests, fault_schedule=faults)
+
+
+class TestEpochBoundaryDeterminism:
+    def test_ledger_identical_across_shard_counts(self, shard_seed):
+        config, catalog, requests, faults = \
+            eight_machine_scenario(shard_seed)
+        for epoch_length in EPOCH_LENGTHS:
+            reference = None
+            for num_shards in SHARD_COUNTS:
+                report = replay(config, catalog, requests, faults,
+                                num_shards, epoch_length)
+                if reference is None:
+                    reference = report
+                    continue
+                assert report.ledger == reference.ledger, (
+                    f"conservation ledger diverged at {num_shards} "
+                    f"shards, epoch {epoch_length / MS:g} ms "
+                    f"(seed {shard_seed})")
+                assert (report.outcome_signature()
+                        == reference.outcome_signature())
+
+    def test_ledger_balances_for_every_epoch_length(self, shard_seed):
+        config, catalog, requests, faults = \
+            eight_machine_scenario(shard_seed)
+        totals = set()
+        for epoch_length in EPOCH_LENGTHS:
+            report = replay(config, catalog, requests, faults, 4,
+                            epoch_length)
+            ledger = report.ledger
+            assert ledger.submitted == len(requests)
+            assert (ledger.submitted
+                    == ledger.completed + ledger.shed + ledger.dropped)
+            for shard in report.shard_ledgers:
+                assert shard.in_flight == 0
+                assert shard.undelivered == 0
+            totals.add(ledger.completed + ledger.shed + ledger.dropped)
+        # Outcomes may shift between grids, but never leak requests.
+        assert totals == {len(requests)}
+
+    def test_longer_epochs_take_fewer_boundaries(self, shard_seed):
+        config, catalog, requests, faults = \
+            eight_machine_scenario(shard_seed)
+        epochs = [replay(config, catalog, requests, faults, 2,
+                         length).epochs
+                  for length in (50 * MS, 250 * MS)]
+        assert epochs[1] <= epochs[0]
+
+
+class TestEpochEdgeCases:
+    def test_single_request_fast_forwards_to_its_boundary(self):
+        config = ClusterConfig(num_machines=2, audit=True)
+        requests = PoissonWorkload(["resnet50#0"], rate=0.5,
+                                   num_requests=3, seed=7).generate()
+        runner = ShardedReplay(p3_8xlarge(), config,
+                               ShardConfig(num_shards=2))
+        runner.deploy([("resnet50", 1)])
+        report = runner.run(requests)
+        assert report.completed == 3
+        # Fast-forward keeps the epoch count near one per arrival burst,
+        # far below the dense-grid count of duration / epoch_length.
+        dense = int(report.duration / (100 * MS)) + 1
+        assert report.epochs < dense
+
+    def test_epoch_equal_to_router_latency_is_legal(self):
+        shard = ShardConfig(epoch_length=1 * MS, router_latency=1 * MS)
+        assert shard.epoch_length == pytest.approx(shard.router_latency)
+        config = ClusterConfig(num_machines=2, audit=True)
+        requests = PoissonWorkload(["resnet50#0"], rate=40.0,
+                                   num_requests=20, seed=3).generate()
+        reports = []
+        for num_shards in (1, 2):
+            runner = ShardedReplay(p3_8xlarge(), config, ShardConfig(
+                num_shards=num_shards, epoch_length=1 * MS,
+                router_latency=1 * MS))
+            runner.deploy([("resnet50", 1)])
+            reports.append(runner.run(requests))
+        assert (reports[0].outcome_signature()
+                == reports[1].outcome_signature())

@@ -1,0 +1,161 @@
+"""Sharded replay vs the single-process differential oracle.
+
+The headline property of :mod:`repro.shard`: for a fixed trace, seed and
+fault schedule, the outcome signature — every request's terminal state
+with its exact timestamps — is identical for ANY shard count and for
+both execution backends.  The ``shard_seed`` fixture sweeps randomized
+scenarios (fleet size, replication, policy, load, faults); the nightly
+``--full-seeds`` run widens it to the issue's 200-seed sweep.
+"""
+
+import numpy
+import pytest
+
+from repro.cluster.cluster import ClusterConfig
+from repro.cluster.faults import random_fault_schedule
+from repro.errors import WorkloadError
+from repro.hw.specs import p3_8xlarge
+from repro.serving.workload import PoissonWorkload, TraceWorkload
+from repro.shard import ShardConfig, ShardedReplay, partition_machines
+from repro.units import MS
+
+MODELS = ("resnet50", "bert-base", "resnet101")
+
+
+def random_scenario(seed):
+    """A seeded small-fleet replay scenario: config, catalog, trace, faults."""
+    rng = numpy.random.default_rng(seed)
+    num_machines = int(rng.integers(2, 5))
+    config = ClusterConfig(
+        num_machines=num_machines,
+        replication=int(rng.integers(1, num_machines + 1)),
+        policy=("round-robin", "least-loaded",
+                "affinity")[int(rng.integers(3))],
+        prewarm=bool(rng.integers(2)),
+        max_retries=int(rng.integers(1, 4)),
+        deadline=(float(rng.uniform(0.3, 0.8))
+                  if rng.integers(2) else None),
+        audit=True)
+    catalog = [(model, int(rng.integers(1, 3)))
+               for model in rng.permutation(MODELS)[:int(rng.integers(1, 3))]]
+    instances = [f"{model}#{k}" for model, count in catalog
+                 for k in range(count)]
+    requests = PoissonWorkload(
+        instances, rate=float(rng.uniform(20.0, 80.0)),
+        num_requests=int(rng.integers(60, 160)),
+        seed=int(rng.integers(1 << 31))).generate()
+    names = [f"m{i}" for i in range(num_machines)]
+    faults = random_fault_schedule(
+        names, int(rng.integers(0, 4)), requests[-1].arrival_time,
+        seed=int(rng.integers(1 << 31)))
+    return config, catalog, requests, faults
+
+
+def run_replay(config, catalog, requests, faults, num_shards,
+               backend="serial", epoch_length=100 * MS):
+    replay = ShardedReplay(p3_8xlarge(), config, ShardConfig(
+        num_shards=num_shards, backend=backend, epoch_length=epoch_length))
+    replay.deploy(catalog)
+    return replay.run(requests, fault_schedule=faults)
+
+
+class TestDifferentialOracle:
+    def test_any_shard_count_matches_the_reference(self, shard_seed):
+        config, catalog, requests, faults = random_scenario(shard_seed)
+        reference = run_replay(config, catalog, requests, faults, 1)
+        signature = reference.outcome_signature()
+        assert len(signature) == len(requests)
+        for num_shards in (2, 4):
+            if num_shards > config.num_machines:
+                continue
+            report = run_replay(config, catalog, requests, faults,
+                                num_shards)
+            assert report.outcome_signature() == signature, (
+                f"{num_shards}-shard replay diverged from the "
+                f"single-process reference (seed {shard_seed})")
+            # The canonical collector is rebuilt in one global order, so
+            # even float aggregates must match to the last bit.
+            assert report.metrics.histogram == reference.metrics.histogram
+            assert report.ledger == reference.ledger
+            merged = report.merged_histogram()
+            assert merged.counts == reference.metrics.histogram.counts
+            assert merged.total == reference.metrics.histogram.total
+
+    def test_conservation_holds_per_shard_and_globally(self, shard_seed):
+        config, catalog, requests, faults = random_scenario(shard_seed)
+        num_shards = min(2, config.num_machines)
+        report = run_replay(config, catalog, requests, faults, num_shards)
+        ledger = report.ledger
+        assert ledger.submitted == len(requests)
+        assert (ledger.submitted
+                == ledger.completed + ledger.shed + ledger.dropped)
+        for shard in report.shard_ledgers:
+            assert shard.in_flight == 0
+            assert shard.undelivered == 0
+            assert (shard.delivered
+                    == shard.completed + shard.shed + shard.orphaned)
+        assert sum(s.completed for s in report.shard_ledgers) \
+            == ledger.completed
+        assert sum(s.shed for s in report.shard_ledgers) == ledger.shed
+
+
+class TestProcessBackend:
+    def test_spawn_workers_match_serial_oracle(self, shard_seed):
+        config, catalog, requests, faults = random_scenario(shard_seed)
+        num_shards = min(2, config.num_machines)
+        serial = run_replay(config, catalog, requests, faults, num_shards)
+        process = run_replay(config, catalog, requests, faults, num_shards,
+                             backend="process")
+        assert process.outcome_signature() == serial.outcome_signature()
+        assert process.metrics.histogram == serial.metrics.histogram
+        assert process.ledger == serial.ledger
+        assert [f.histogram for f in process.finals] \
+            == [f.histogram for f in serial.finals]
+
+
+class TestMAFTrace:
+    def test_maf_subset_replay_is_shard_count_invariant(self):
+        from repro.serving.maf import MAFTraceConfig, synthesize_maf_trace
+        config = ClusterConfig(num_machines=4, replication=2,
+                               policy="affinity", audit=True)
+        instances = [f"{m}#0" for m in MODELS]
+        trace = synthesize_maf_trace(instances, MAFTraceConfig(
+            duration=20.0, target_rps=15.0, seed=15))
+        requests = TraceWorkload(trace.arrivals).generate()
+        names = [f"m{i}" for i in range(4)]
+        faults = random_fault_schedule(names, 2, 20.0, seed=15)
+        catalog = [(m, 1) for m in MODELS]
+        reference = run_replay(config, catalog, requests, faults, 1)
+        for num_shards in (2, 4):
+            report = run_replay(config, catalog, requests, faults,
+                                num_shards)
+            assert (report.outcome_signature()
+                    == reference.outcome_signature())
+
+
+class TestPartitioning:
+    def test_contiguous_near_even_groups(self):
+        names = tuple(f"m{i}" for i in range(10))
+        groups = partition_machines(names, 4)
+        assert [len(g) for g in groups] == [3, 3, 2, 2]
+        assert tuple(name for group in groups for name in group) == names
+
+    def test_rejects_more_shards_than_machines(self):
+        with pytest.raises(WorkloadError):
+            partition_machines(("m0",), 2)
+
+    def test_replay_rejects_unsupported_configs(self):
+        spec = p3_8xlarge()
+        with pytest.raises(WorkloadError):
+            ShardedReplay(spec, ClusterConfig(num_machines=2, num_standby=1))
+        from repro.cluster import AutoscalerConfig
+        with pytest.raises(WorkloadError):
+            ShardedReplay(spec, ClusterConfig(
+                num_machines=2, autoscale=AutoscalerConfig()))
+        with pytest.raises(WorkloadError):
+            ShardedReplay(spec, ClusterConfig(num_machines=2),
+                          ShardConfig(num_shards=4))
+
+    def test_epoch_must_cover_router_latency(self):
+        with pytest.raises(WorkloadError):
+            ShardConfig(epoch_length=0.5 * MS, router_latency=1 * MS)
