@@ -36,7 +36,8 @@ def scenario():
         num_machines, num_requests, rate = 16, 800, 120.0
         catalog = [("resnet50", 8), ("bert-base", 8), ("gpt2", 4)]
     config = ClusterConfig(num_machines=num_machines, replication=2,
-                           policy="affinity", audit=True)
+                           policy="affinity", audit=True,
+                           breaker_cooldown=0.0)
     instances = [f"{model}#{k}" for model, count in catalog
                  for k in range(count)]
     requests = PoissonWorkload(instances, rate=rate,

@@ -423,6 +423,10 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         slo=args.slo_ms * MS,
         max_retries=args.max_retries,
         audit=args.audit,
+        # The cold-start circuit breaker is a continuous-time control
+        # loop the epoch broker does not replicate; ShardedReplay
+        # rejects configs that enable it.
+        breaker_cooldown=0.0,
     )
 
     def build(num_shards: int, backend: str) -> ShardedReplay:

@@ -41,6 +41,7 @@ from repro.cluster.faults import DEVICE_FAULT_ACTIONS, FaultEvent
 from repro.errors import WorkloadError
 from repro.hw.specs import MachineSpec
 from repro.models.graph import ModelSpec
+from repro.models.zoo import build_model
 from repro.serving.histogram import LatencyHistogram, merge_histograms
 from repro.serving.metrics import MetricsCollector
 from repro.serving.server import ServerConfig
@@ -237,6 +238,12 @@ class ShardedReplay:
                 "autoscaling is a continuous-time control loop; sharded "
                 "replay does not replicate it — use the single-simulator "
                 "cluster")
+        if config.breaker_cooldown > 0:
+            raise WorkloadError(
+                "the cold-start circuit breaker is a continuous-time "
+                "control loop the epoch broker does not replicate; pass "
+                "breaker_cooldown=0 (the ClusterConfig default enables "
+                "it) or use the single-simulator cluster")
         if shard.num_shards > config.num_machines:
             raise WorkloadError(
                 f"{shard.num_shards} shards need at least that many "
@@ -270,13 +277,33 @@ class ShardedReplay:
 
         Accepts zoo model names or :class:`~repro.models.graph.ModelSpec`
         objects (only the name travels to the workers — each shard
-        rebuilds the model from the zoo).  Replica assignment is the
-        same round-robin the single-simulator cluster uses, so a given
-        catalog produces the same placement either way.
+        rebuilds the model from the zoo, so a passed spec must *be* its
+        zoo entry: a customized spec would be silently swapped for the
+        zoo's version and is rejected instead).  Replica assignment is
+        the same round-robin the single-simulator cluster uses, so a
+        given catalog produces the same placement either way.
         """
         created = []
         for model, count in catalog:
-            model_name = model if isinstance(model, str) else model.name
+            if isinstance(model, str):
+                model_name = model
+            else:
+                model_name = model.name
+                try:
+                    zoo_model = build_model(model_name)
+                except KeyError:
+                    raise WorkloadError(
+                        f"sharded replay rebuilds models from the zoo by "
+                        f"name, and {model_name!r} is not a zoo model; "
+                        f"custom ModelSpecs need the single-simulator "
+                        f"cluster") from None
+                if model != zoo_model:
+                    raise WorkloadError(
+                        f"ModelSpec {model_name!r} differs from the zoo "
+                        f"model of the same name; the workers rebuild "
+                        f"models from the zoo, so a customized spec would "
+                        f"be silently substituted — use the "
+                        f"single-simulator cluster for custom models")
             if count < 1:
                 raise WorkloadError(
                     f"instance count must be >= 1, got {count}")
@@ -374,12 +401,19 @@ class ShardedReplay:
         ledgers: list[ShardLedger] = [ShardLedger(shard_id=i)
                                       for i in range(len(shards))]
         while not broker.done():
+            routed = broker.route_epoch(time)
+            if broker.done():
+                # route_epoch can quiesce the replay by itself: every
+                # remaining pending request was dropped as unroutable
+                # (retries exhausted with all its replicas down) and
+                # nothing is in flight, so there is no epoch left to
+                # simulate — and no next_ready to fast-forward to.
+                break
             epochs += 1
             if epochs > self.shard.max_epochs:
                 raise WorkloadError(
                     f"replay did not quiesce within "
                     f"{self.shard.max_epochs} epochs")
-            routed = broker.route_epoch(time)
             if not routed and broker.outstanding_total == 0:
                 # Nothing in flight and the next retry/arrival is in the
                 # future: jump the whole fleet to the epoch-grid boundary

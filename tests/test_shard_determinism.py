@@ -39,7 +39,8 @@ def eight_machine_scenario(seed):
         policy=("round-robin", "least-loaded",
                 "affinity")[int(rng.integers(3))],
         max_retries=int(rng.integers(1, 4)),
-        audit=True)
+        audit=True,
+        breaker_cooldown=0.0)
     catalog = [("resnet50", 2), ("bert-base", 2)]
     instances = [f"{model}#{k}" for model, count in catalog
                  for k in range(count)]
@@ -109,7 +110,8 @@ class TestEpochBoundaryDeterminism:
 
 class TestEpochEdgeCases:
     def test_single_request_fast_forwards_to_its_boundary(self):
-        config = ClusterConfig(num_machines=2, audit=True)
+        config = ClusterConfig(num_machines=2, audit=True,
+                               breaker_cooldown=0.0)
         requests = PoissonWorkload(["resnet50#0"], rate=0.5,
                                    num_requests=3, seed=7).generate()
         runner = ShardedReplay(p3_8xlarge(), config,
@@ -125,7 +127,8 @@ class TestEpochEdgeCases:
     def test_epoch_equal_to_router_latency_is_legal(self):
         shard = ShardConfig(epoch_length=1 * MS, router_latency=1 * MS)
         assert shard.epoch_length == pytest.approx(shard.router_latency)
-        config = ClusterConfig(num_machines=2, audit=True)
+        config = ClusterConfig(num_machines=2, audit=True,
+                               breaker_cooldown=0.0)
         requests = PoissonWorkload(["resnet50#0"], rate=40.0,
                                    num_requests=20, seed=3).generate()
         reports = []

@@ -12,7 +12,7 @@ import numpy
 import pytest
 
 from repro.cluster.cluster import ClusterConfig
-from repro.cluster.faults import random_fault_schedule
+from repro.cluster.faults import FaultEvent, random_fault_schedule
 from repro.errors import WorkloadError
 from repro.hw.specs import p3_8xlarge
 from repro.serving.workload import PoissonWorkload, TraceWorkload
@@ -35,7 +35,8 @@ def random_scenario(seed):
         max_retries=int(rng.integers(1, 4)),
         deadline=(float(rng.uniform(0.3, 0.8))
                   if rng.integers(2) else None),
-        audit=True)
+        audit=True,
+        breaker_cooldown=0.0)
     catalog = [(model, int(rng.integers(1, 3)))
                for model in rng.permutation(MODELS)[:int(rng.integers(1, 3))]]
     instances = [f"{model}#{k}" for model, count in catalog
@@ -117,7 +118,8 @@ class TestMAFTrace:
     def test_maf_subset_replay_is_shard_count_invariant(self):
         from repro.serving.maf import MAFTraceConfig, synthesize_maf_trace
         config = ClusterConfig(num_machines=4, replication=2,
-                               policy="affinity", audit=True)
+                               policy="affinity", audit=True,
+                               breaker_cooldown=0.0)
         instances = [f"{m}#0" for m in MODELS]
         trace = synthesize_maf_trace(instances, MAFTraceConfig(
             duration=20.0, target_rps=15.0, seed=15))
@@ -131,6 +133,36 @@ class TestMAFTrace:
                                 num_shards)
             assert (report.outcome_signature()
                     == reference.outcome_signature())
+
+
+class TestUnroutableDrops:
+    def test_replay_quiesces_when_every_request_drops_unroutable(self):
+        """Regression: a replay that ends via broker drops must return.
+
+        With a single machine crashed before the first arrival, every
+        request exhausts its retries against a fleet with no active
+        replica and is dropped at the routing boundary itself.  The
+        coordinator used to fast-forward on ``broker.next_ready`` after
+        the final drop — ``inf`` once the pending heap empties — and
+        crash with an OverflowError instead of reporting the drops.
+        """
+        config = ClusterConfig(num_machines=1, max_retries=1,
+                               audit=True, breaker_cooldown=0.0)
+        replay = ShardedReplay(p3_8xlarge(), config)
+        replay.deploy([("resnet50", 1)])
+        requests = PoissonWorkload(["resnet50#0"], rate=10.0,
+                                   num_requests=3, seed=5).generate()
+        faults = [FaultEvent(time=0.001, machine_name="m0",
+                             action="crash")]
+        report = replay.run(requests, fault_schedule=faults)
+        assert report.completed == 0
+        assert report.ledger.dropped == len(requests)
+        assert {p.request_id for p in report.dropped} \
+            == {r.request_id for r in requests}
+        assert (report.ledger.submitted
+                == report.ledger.completed + report.ledger.shed
+                + report.ledger.dropped)
+        assert len(report.outcome_signature()) == len(requests)
 
 
 class TestPartitioning:
@@ -152,9 +184,38 @@ class TestPartitioning:
         with pytest.raises(WorkloadError):
             ShardedReplay(spec, ClusterConfig(
                 num_machines=2, autoscale=AutoscalerConfig()))
+        # The ClusterConfig default enables the cold-start circuit
+        # breaker, which the epoch broker does not replicate — sharded
+        # replay demands an explicit breaker_cooldown=0.
+        with pytest.raises(WorkloadError, match="breaker"):
+            ShardedReplay(spec, ClusterConfig(num_machines=2))
         with pytest.raises(WorkloadError):
-            ShardedReplay(spec, ClusterConfig(num_machines=2),
+            ShardedReplay(spec,
+                          ClusterConfig(num_machines=2,
+                                        breaker_cooldown=0.0),
                           ShardConfig(num_shards=4))
+
+    def test_deploy_rejects_non_zoo_model_specs(self):
+        import dataclasses
+
+        from repro.models.zoo import build_model
+
+        replay = ShardedReplay(
+            p3_8xlarge(),
+            ClusterConfig(num_machines=2, breaker_cooldown=0.0))
+        zoo_spec = build_model("resnet50")
+        # The exact zoo spec is fine — workers rebuild the identical
+        # model by name.
+        replay.deploy([(zoo_spec, 1)])
+        # A customized spec whose name collides with a zoo entry would
+        # be silently swapped for the zoo's version on the workers.
+        customized = dataclasses.replace(zoo_spec, seq_len=zoo_spec.seq_len + 1)
+        with pytest.raises(WorkloadError, match="differs from the zoo"):
+            replay.deploy([(customized, 1)])
+        # A spec the zoo cannot rebuild at all.
+        unknown = dataclasses.replace(zoo_spec, name="not-in-zoo")
+        with pytest.raises(WorkloadError, match="not a zoo model"):
+            replay.deploy([(unknown, 1)])
 
     def test_epoch_must_cover_router_latency(self):
         with pytest.raises(WorkloadError):
