@@ -3,7 +3,7 @@
 Unlike the ``bench_fig*`` modules (which reproduce the *paper's* numbers,
 i.e. simulated milliseconds), this harness measures how fast the
 simulator itself runs: how many wall-clock seconds it takes to push
-simulated traffic through the kernel.  Four probes:
+simulated traffic through the kernel.  Five probes:
 
 * **events/sec** — raw event-loop throughput (timeout churn across many
   concurrent processes);
@@ -11,6 +11,9 @@ simulated traffic through the kernel.  Four probes:
   and finishing, each triggering a fair-share rebalance;
 * **plans/sec** — ``DeepPlan.plan`` throughput, cold (fresh planner
   state) and repeat (same planner asked again — the plan-cache path);
+* **shard replay requests/sec** — the ``repro.shard`` epoch engine on
+  the serial backend: route-ahead planning, vectorized broker routing,
+  adaptive epochs, per-epoch reconciliation;
 * **fig13/fig15 runtime** — end-to-end wall time of reduced versions of
   the two serving benchmarks, together with their *simulated* outputs so
   the fast path can be proven behavior-preserving.
@@ -47,6 +50,7 @@ _ROOT = _HERE.parent
 if str(_ROOT / "src") not in sys.path:  # script-mode convenience
     sys.path.insert(0, str(_ROOT / "src"))
 
+from repro.cluster.cluster import ClusterConfig  # noqa: E402
 from repro.core import DeepPlan  # noqa: E402
 from repro.hw.machine import Machine  # noqa: E402
 from repro.hw.specs import p3_8xlarge  # noqa: E402
@@ -59,6 +63,7 @@ from repro.serving import (  # noqa: E402
     TraceWorkload,
     synthesize_maf_trace,
 )
+from repro.shard import ShardConfig, ShardedReplay  # noqa: E402
 from repro.simkit import Simulator  # noqa: E402
 from repro.units import MS  # noqa: E402
 
@@ -161,6 +166,38 @@ def measure_plan_throughput(rounds: int = 12) -> dict:
     }
 
 
+def measure_shard_replay(num_requests: int = 1200) -> dict:
+    """Sharded replay throughput: 2-shard pipelined epoch engine.
+
+    Serial backend, so the probe measures the epoch pipeline itself —
+    route-ahead planning, vectorized broker routing, adaptive epoch
+    sizing, per-epoch reconciliation — without multiprocessing jitter,
+    which keeps the number meaningful on a 1-CPU runner.
+    """
+    config = ClusterConfig(num_machines=4, replication=2,
+                           policy="least-loaded", prewarm=True,
+                           max_retries=2, audit=True,
+                           breaker_cooldown=0.0)
+    catalog = [("bert-base", 2), ("resnet50", 2)]
+    instances = [f"{model}#{k}" for model, count in catalog
+                 for k in range(count)]
+    requests = PoissonWorkload(instances, rate=200.0,
+                               num_requests=num_requests,
+                               seed=5).generate()
+    replay = ShardedReplay(p3_8xlarge(), config, ShardConfig(
+        num_shards=2, backend="serial", epoch_length=50 * MS,
+        adaptive_epochs=True))
+    replay.deploy(catalog)
+    gc.collect()
+    start = time.perf_counter()
+    report = replay.run(requests)
+    wall = time.perf_counter() - start
+    return {"requests": num_requests, "wall_s": wall,
+            "requests_per_sec": num_requests / wall,
+            "epochs": report.epochs,
+            "completed": report.ledger.completed}
+
+
 def _summarize(report) -> dict:
     metrics = report.metrics
     records = metrics.records
@@ -244,6 +281,7 @@ def run_suite(smoke: bool = False) -> dict:
             "event_churn": measure_event_churn(processes=20, timeouts=1000),
             "flow_churn": measure_flow_churn(flows=1200, concurrency=8),
             "plan_throughput": measure_plan_throughput(rounds=3),
+            "shard_replay": measure_shard_replay(num_requests=400),
             "fig15": measure_fig15(duration=30.0),
         }
     return {
@@ -251,6 +289,7 @@ def run_suite(smoke: bool = False) -> dict:
         "event_churn": _best_of(measure_event_churn, 3),
         "flow_churn": _best_of(measure_flow_churn, 3),
         "plan_throughput": measure_plan_throughput(),
+        "shard_replay": _best_of(measure_shard_replay, 3),
         "fig15": measure_fig15(),
         "fig13": measure_fig13(),
     }
@@ -290,7 +329,8 @@ def compare_runs(fast: dict, other: dict, label: str) -> dict:
     """Speedups + simulated-output identity between two suite runs."""
     result: dict = {"against": label, "speedup": {}, "identity": {}}
     for probe, metric in (("event_churn", "events_per_sec"),
-                          ("flow_churn", "flows_per_sec")):
+                          ("flow_churn", "flows_per_sec"),
+                          ("shard_replay", "requests_per_sec")):
         if probe in fast and probe in other:
             result["speedup"][metric] = (fast[probe][metric]
                                          / other[probe][metric])
@@ -357,6 +397,7 @@ def emit_bench(smoke: bool = False) -> dict:
 SMOKE_GATES = (
     ("events_per_sec", "event_churn", "events_per_sec"),
     ("flows_per_sec", "flow_churn", "flows_per_sec"),
+    ("shard_replay_rps", "shard_replay", "requests_per_sec"),
 )
 
 
@@ -447,6 +488,8 @@ def main(argv: list[str] | None = None) -> None:
                     "--write-baseline` on the reference machine",
             "events_per_sec": measured["event_churn"]["events_per_sec"],
             "flows_per_sec": measured["flow_churn"]["flows_per_sec"],
+            "shard_replay_rps": measured["shard_replay"]
+                                        ["requests_per_sec"],
         }, indent=2) + "\n")
         print(f"wrote {BASELINE_PATH}")
     if args.check:

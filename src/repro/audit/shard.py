@@ -107,28 +107,35 @@ class GlobalLedger:
 def reconcile(global_ledger: GlobalLedger,
               shard_ledgers: typing.Sequence[ShardLedger],
               pending: int, outstanding: int,
+              in_transit: int = 0,
               raise_on_violation: bool = True) -> list[AuditViolation]:
     """Prove the global conservation law at one epoch boundary.
 
-    ``submitted == completed + shed + dropped + pending + in_flight``
-    must hold at every boundary; at quiesce both *pending* and the
-    shards' in-flight counts must be zero, reducing it to the familiar
+    ``submitted == completed + shed + dropped + pending + in_transit +
+    in_flight`` must hold at every boundary.  *in_transit* counts
+    deliveries the broker has already routed ahead (the pipelined
+    epoch's commands) that no shard ledger has recorded yet; under the
+    lock-step v1 protocol it was identically zero.  At quiesce
+    *pending*, *in_transit* and the shards' in-flight counts are all
+    zero, reducing the law to the familiar
     ``submitted == completed + shed + dropped``.
     """
     violations: list[AuditViolation] = []
     g = global_ledger
     in_flight = sum(ledger.in_flight for ledger in shard_ledgers)
-    if g.submitted != g.completed + g.shed + g.dropped + pending + in_flight:
+    if (g.submitted != g.completed + g.shed + g.dropped + pending
+            + in_transit + in_flight):
         violations.append(AuditViolation(
             "shard.global_conservation", "broker",
             f"{g.submitted} submitted != {g.completed} completed + "
             f"{g.shed} shed + {g.dropped} dropped + {pending} pending + "
-            f"{in_flight} in-flight"))
-    if in_flight != outstanding:
+            f"{in_transit} in-transit + {in_flight} in-flight"))
+    if in_flight + in_transit != outstanding:
         violations.append(AuditViolation(
             "shard.outstanding_reconciliation", "broker",
-            f"shard ledgers say {in_flight} in flight but the broker "
-            f"charges {outstanding} outstanding dispatches"))
+            f"shard ledgers say {in_flight} in flight + {in_transit} "
+            f"in transit but the broker charges {outstanding} "
+            f"outstanding dispatches"))
     completed = sum(ledger.completed for ledger in shard_ledgers)
     if completed != g.completed:
         violations.append(AuditViolation(

@@ -141,6 +141,15 @@ def _build_parser() -> argparse.ArgumentParser:
                         choices=("serial", "process"),
                         help="serial = in-process oracle; process = one "
                              "spawn worker per shard")
+    replay.add_argument("--lockstep", action="store_true",
+                        help="disable route-ahead pipelining (issue each "
+                             "epoch only after the previous one is "
+                             "collected; outcomes are identical either "
+                             "way)")
+    replay.add_argument("--adaptive-epochs", action="store_true",
+                        help="grow/shrink the epoch length with observed "
+                             "work (deterministic; changes the epoch grid "
+                             "and therefore retry timing)")
     replay.add_argument("--epoch-ms", type=float, default=100.0,
                         help="synchronization quantum in milliseconds")
     replay.add_argument("--machines", type=int, default=4,
@@ -432,7 +441,9 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     def build(num_shards: int, backend: str) -> ShardedReplay:
         replay = ShardedReplay(spec, config, ShardConfig(
             num_shards=num_shards, backend=backend,
-            epoch_length=args.epoch_ms * MS))
+            epoch_length=args.epoch_ms * MS,
+            pipelined=not args.lockstep,
+            adaptive_epochs=args.adaptive_epochs))
         replay.deploy([(args.model, args.instances)])
         return replay
 

@@ -71,6 +71,16 @@ class LayerExecutionPlanner:
             Partition(index=0, start=0, stop=len(self.costs)),)
         self.nvlink_time = nvlink_time
         self._primary = self.partitions[0]
+        # Conversion candidates in PerfDiff order, computed once:
+        # eligibility by layer index and current decision varies per
+        # stalled layer, but the ordering key never does, so the per-
+        # stall ``sorted`` reduces to a filtered scan of this list
+        # (ties break by layer index, matching the stable sort over an
+        # index-ascending generator it replaces).
+        self._candidate_order = sorted(
+            (j for j in range(self._primary.start, self._primary.stop)
+             if self.costs[j].load_pcie_bytes > 0),
+            key=lambda j: self.costs[j].perf_diff)
 
     # -- the algorithm -----------------------------------------------------------
 
@@ -114,15 +124,14 @@ class LayerExecutionPlanner:
         conversion happened) so a memoized timeline knows where its
         cached prefix ends.
         """
-        # Step 1: candidate layers L_1..L_i not yet converted, sorted by
-        # PerfDiff ascending (cheapest conversions first).
-        candidates = sorted(
-            (j for j in range(self._primary.start, min(i, self._primary.stop - 1) + 1)
-             if decisions[j] is ExecMethod.LOAD
-             and self.costs[j].load_pcie_bytes > 0),
-            key=lambda j: self.costs[j].perf_diff)
+        # Step 1: candidate layers L_1..L_i not yet converted, cheapest
+        # conversions (smallest PerfDiff) first — a filtered scan of the
+        # precomputed order.
+        limit = min(i, self._primary.stop - 1)
         first_converted: int | None = None
-        for j in candidates:
+        for j in self._candidate_order:
+            if j > limit or decisions[j] is not ExecMethod.LOAD:
+                continue
             perf_diff = self.costs[j].perf_diff
             # Step 2: a conversion only helps while its execution-time
             # penalty is smaller than the stall left to remove.

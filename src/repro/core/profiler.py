@@ -83,9 +83,16 @@ class LayerProfiler:
                 self.cost_model.exec_dha(layer, batch_size, during_load=True))
             exec_inmem = self._measure(truth.exec_inmem)
             load_time = self._measure(truth.load_time)
-            measured.append(dataclasses.replace(
-                truth, exec_dha=exec_dha, exec_inmem=exec_inmem,
-                load_time=load_time))
+            if (exec_dha == truth.exec_dha
+                    and exec_inmem == truth.exec_inmem
+                    and load_time == truth.load_time):
+                # Noise-free profile (or zero-cost layer): the truth
+                # object already is the measurement — skip the copy.
+                measured.append(truth)
+            else:
+                measured.append(dataclasses.replace(
+                    truth, exec_dha=exec_dha, exec_inmem=exec_inmem,
+                    load_time=load_time))
             harness = self.iterations * PROFILE_HARNESS_OVERHEAD
             time_dha += self.iterations * exec_dha + harness
             time_inmem += self.iterations * exec_inmem + harness

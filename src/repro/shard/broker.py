@@ -13,6 +13,22 @@ fault schedule and the epoch grid — never of how machines are grouped
 into shards — which is what lets the serial execution of this same
 protocol serve as the differential oracle for the parallel one.
 
+Route-ahead accounting: under the pipelined protocol the broker routes
+epoch ``k+1`` *before* ingesting epoch ``k``'s outcomes, so its
+outstanding charges temporarily include deliveries no shard ledger has
+seen.  :meth:`EpochBroker.route_epoch` books each epoch's per-machine
+routed counts into a preflight queue; :meth:`in_transit_for` /
+:attr:`in_transit_total` expose the not-yet-ingested portion for the
+conservation checks, and the coordinator calls :meth:`retire_epoch`
+once an epoch's outcomes have been folded back in.
+
+The per-request policy loop has a vectorized fast path (flat numpy
+arrays over the boundary snapshots, first-occurrence ``argmin``
+replicating the scalar ``(score, name)`` tie-break bit for bit) used
+for batches of at least ``_VEC_MIN_BATCH`` requests when
+:func:`repro.fastpath.enabled`; the scalar loop remains the
+differential reference.
+
 Scope: the epoch protocol covers the base fleet with the three routing
 policies (round-robin, least-loaded, affinity).  Autoscaling, standby
 activation and the cold-start circuit breaker are continuous-time
@@ -23,10 +39,14 @@ configurations that enable them.
 
 from __future__ import annotations
 
+import collections
 import dataclasses
 import heapq
 import typing
 
+import numpy
+
+from repro import fastpath
 from repro.audit.shard import GlobalLedger
 from repro.core.deepplan import DeepPlan, Strategy
 from repro.core.plan import ExecutionPlan
@@ -36,6 +56,9 @@ from repro.serving.workload import Request
 from repro.shard.protocol import Delivery, EpochOutcome, MachineSnapshot
 
 __all__ = ["EpochBroker", "PendingRequest"]
+
+#: Smallest ready batch worth the vectorized policy loop's setup cost.
+_VEC_MIN_BATCH = 8
 
 
 @dataclasses.dataclass(frozen=True)
@@ -101,6 +124,22 @@ class EpochBroker:
         #: trace fields preserved across retries, so latency spans them).
         self._requests: dict[int, PendingRequest] = {}
         self.dropped: list[PendingRequest] = []
+        #: One per-machine routed-count dict per epoch that has been
+        #: routed but whose outcomes have not been ingested yet (the
+        #: oldest entry is the epoch currently executing; anything
+        #: newer is in transit — see :meth:`in_transit_for`).
+        self._preflight: collections.deque[dict[str, int]] = \
+            collections.deque()
+        # Flat-array views for the vectorized policy loop: a stable
+        # machine numbering plus, per instance, its replica machines as
+        # an index array in the scalar loop's (name-sorted) candidate
+        # order.
+        self._names: list[str] = list(machine_names)
+        name_index = {name: i for i, name in enumerate(self._names)}
+        self._candidate_idx = {
+            instance: numpy.array([name_index[name] for name in machines],
+                                  dtype=numpy.intp)
+            for instance, machines in self._replicas.items()}
 
     # -- intake ---------------------------------------------------------------------
 
@@ -147,6 +186,31 @@ class EpochBroker:
     def done(self) -> bool:
         return not self._pending and self.outstanding_total == 0
 
+    # -- route-ahead (preflight) accounting -------------------------------------------
+
+    @property
+    def in_transit_total(self) -> int:
+        """Routed deliveries not yet visible in any shard ledger.
+
+        The oldest preflight entry belongs to the epoch whose outcomes
+        are ingested next, so everything *newer* is in transit.
+        """
+        rest = iter(self._preflight)
+        next(rest, None)
+        return sum(sum(bucket.values()) for bucket in rest)
+
+    def in_transit_for(self, names: typing.Iterable[str]) -> int:
+        """In-transit deliveries bound for the given machines."""
+        names = tuple(names)
+        rest = iter(self._preflight)
+        next(rest, None)
+        return sum(bucket.get(name, 0)
+                   for bucket in rest for name in names)
+
+    def retire_epoch(self) -> None:
+        """Drop the oldest preflight entry: its outcomes are ingested."""
+        self._preflight.popleft()
+
     # -- routing (the Router's three policies, over snapshot views) ------------------
 
     def _estimated_service(self, machine_name: str,
@@ -173,6 +237,68 @@ class EpochBroker:
                     name, pending.instance_name), name))
         return choice
 
+    def _service_vector(self, instance_name: str) -> numpy.ndarray:
+        """Per-candidate estimated service, in candidate-index order."""
+        plan = self._plans[self._instance_models[instance_name]]
+        warm_latency = plan.predicted_warm_latency
+        cold_latency = plan.predicted_latency
+        return numpy.array(
+            [warm_latency
+             if instance_name in self.snapshots[self._names[i]].warm
+             else cold_latency
+             for i in self._candidate_idx[instance_name].tolist()],
+            dtype=numpy.float64)
+
+    def _route_batch_vectorized(
+            self, batch: typing.Sequence[PendingRequest]
+    ) -> "list[str | None]":
+        """Flat-array version of :meth:`_route` over a whole batch.
+
+        Sequential in request order (each routed request raises its
+        machine's load before the next request scores it, exactly like
+        the scalar loop), but every per-request decision is a masked
+        ``argmin`` over flat arrays instead of a Python ``min`` over
+        dict lookups.  Candidates are name-sorted, so numpy's
+        first-occurrence ``argmin`` reproduces the scalar
+        ``(score, name)`` tie-break; the score arithmetic is the same
+        one IEEE-754 add, so choices are bit-identical.
+        """
+        names = self._names
+        active = numpy.array(
+            [self.snapshots[name].state == "active" for name in names])
+        least_loaded = self.policy == "least-loaded"
+        if least_loaded:
+            load = numpy.array([self.outstanding[name] for name in names],
+                               dtype=numpy.float64)
+        else:
+            load = numpy.array([self.pending_cost[name] for name in names],
+                               dtype=numpy.float64)
+        service_vectors: dict[str, numpy.ndarray] = {}
+        choices: "list[str | None]" = []
+        for pending in batch:
+            candidates = self._candidate_idx[pending.instance_name]
+            mask = active[candidates]
+            if not mask.any():
+                choices.append(None)
+                continue
+            if least_loaded:
+                scores = load[candidates].copy()
+            else:
+                service = service_vectors.get(pending.instance_name)
+                if service is None:
+                    service = self._service_vector(pending.instance_name)
+                    service_vectors[pending.instance_name] = service
+                scores = load[candidates] + service
+            scores[~mask] = numpy.inf
+            machine = int(candidates[int(scores.argmin())])
+            choices.append(names[machine])
+            if least_loaded:
+                load[machine] += 1.0
+            else:
+                load[machine] += self._estimated_service(
+                    names[machine], pending.instance_name)
+        return choices
+
     def route_epoch(self, boundary: float) -> dict[str, list[Delivery]]:
         """Route everything ready at *boundary*; deliveries due later.
 
@@ -180,13 +306,21 @@ class EpochBroker:
         ``(deliver_at, request_id)`` order.  Requests with no routable
         replica burn a failed attempt (mirroring the cluster's
         "unroutable" path) and re-enter the pending heap with backoff.
+        Every call books one preflight entry (the epoch's per-machine
+        routed counts) for the route-ahead accounting.
         """
         deliveries: dict[str, list[Delivery]] = {}
+        bucket: dict[str, int] = {}
         batch: list[PendingRequest] = []
         while self._pending and self._pending[0][0] <= boundary:
             batch.append(heapq.heappop(self._pending)[2])
-        for pending in batch:
-            machine_name = self._route(pending)
+        choices: "list[str | None] | None" = None
+        if (len(batch) >= _VEC_MIN_BATCH
+                and self.policy != "round-robin" and fastpath.enabled()):
+            choices = self._route_batch_vectorized(batch)
+        for i, pending in enumerate(batch):
+            machine_name = (choices[i] if choices is not None
+                            else self._route(pending))
             if machine_name is None:
                 self._attempt_failed(pending, boundary)
                 continue
@@ -195,6 +329,7 @@ class EpochBroker:
             self._charges[(machine_name, pending.request_id)] = cost
             self.pending_cost[machine_name] += cost
             self.outstanding[machine_name] += 1
+            bucket[machine_name] = bucket.get(machine_name, 0) + 1
             self._machine_of[pending.request_id] = machine_name
             deliveries.setdefault(machine_name, []).append(Delivery(
                 request_id=pending.request_id,
@@ -209,6 +344,7 @@ class EpochBroker:
         for machine_name in deliveries:
             deliveries[machine_name].sort(
                 key=lambda d: (d.deliver_at, d.request_id))
+        self._preflight.append(bucket)
         return deliveries
 
     # -- settlement -------------------------------------------------------------------
@@ -252,11 +388,14 @@ class EpochBroker:
         """Cross-check one shard's reported outstanding against ours.
 
         Runs *after* :meth:`ingest` for the epoch: the broker's charged
-        dispatches for the shard's machines must match the servers'
-        live outstanding plus deliveries scheduled past the horizon.
+        dispatches for the shard's machines — minus the in-transit
+        charges for epochs routed ahead, which the outcome predates —
+        must match the servers' live outstanding plus deliveries
+        scheduled past the horizon.
         """
         names = [snapshot.name for snapshot in outcome.snapshots]
-        broker_side = sum(self.outstanding[name] for name in names)
+        broker_side = (sum(self.outstanding[name] for name in names)
+                       - self.in_transit_for(names))
         shard_side = (sum(snapshot.outstanding
                           for snapshot in outcome.snapshots)
                       + outcome.ledger.undelivered)

@@ -22,15 +22,33 @@ kinds:
 
 Lookahead discipline: a message created by routing at epoch boundary
 ``k·E`` is never due before ``k·E + router_latency``, and failures
-observed during epoch ``k`` are re-routed no earlier than boundary
-``(k+1)·E``.  Both rules hold for *any* partition of machines into
-shards, which is what makes outcomes independent of the shard count.
+observed during epoch ``k`` are re-routed no earlier than one epoch
+*after* the boundary that learns about them.  Both rules hold for
+*any* partition of machines into shards, which is what makes outcomes
+independent of the shard count.
+
+Columnar wire encoding
+----------------------
+
+The frozen dataclasses are the API surface (and what the serial oracle
+passes around in-process), but the ``process`` backend does not pickle
+them one by one: :func:`pack_epoch` / :func:`pack_outcome` flatten a
+whole epoch batch into little-endian numpy record arrays behind a
+versioned header, with one deduplicated string table per message.  A
+pickled frozen :class:`Delivery` costs ~230 bytes; a packed row costs
+45 plus its string-table amortization — an order of magnitude fewer
+bytes per epoch, and the decode side rebuilds the exact dataclasses
+(floats round-trip bit-for-bit: the columns are IEEE-754 doubles, the
+same representation Python floats use in memory).
 """
 
 from __future__ import annotations
 
 import dataclasses
+import struct
 import typing
+
+import numpy
 
 from repro.audit.shard import ShardLedger
 from repro.cluster.faults import FaultEvent
@@ -42,7 +60,9 @@ from repro.units import MS
 
 __all__ = ["ShardConfig", "WorkerInit", "Delivery", "Completion",
            "AttemptFailure", "ShedNotice", "MachineSnapshot",
-           "EpochOutcome", "MachineFinal", "ShardFinal", "BACKENDS"]
+           "EpochOutcome", "MachineFinal", "ShardFinal", "BACKENDS",
+           "WIRE_VERSION", "pack_epoch", "unpack_epoch",
+           "pack_outcome", "unpack_outcome"]
 
 BACKENDS = ("serial", "process")
 
@@ -68,6 +88,27 @@ class ShardConfig:
     #: Hard cap on epochs (defends against a schedule that can never
     #: quiesce; generous because epochs are short).
     max_epochs: int = 2_000_000
+    #: Stream each epoch's commands to the workers as soon as routing
+    #: decides them (the route-ahead pipeline), so a worker starts its
+    #: next epoch without waiting for slower shards to finish theirs.
+    #: ``False`` holds every command until the previous epoch's
+    #: outcomes are all collected — the lock-step reference schedule.
+    #: Both settings execute the identical routing protocol and produce
+    #: bit-identical outcomes; the flag only moves wall-clock work.
+    pipelined: bool = True
+    #: Adapt ``epoch_length`` between the lookahead floor
+    #: (``router_latency``) and ``max_epoch_length`` so each epoch
+    #: carries roughly ``epoch_work_target`` protocol events.  The
+    #: adaptation is a pure function of the (grouping-independent)
+    #: per-epoch work counts, so every shard count and backend walks
+    #: the identical boundary grid.
+    adaptive_epochs: bool = False
+    #: Protocol events (deliveries + completions + failures + sheds)
+    #: the adaptive controller aims to carry per epoch.
+    epoch_work_target: int = 256
+    #: Upper bound for adaptive epoch growth; ``0`` derives
+    #: ``64 * epoch_length``.
+    max_epoch_length: float = 0.0
 
     def __post_init__(self) -> None:
         if self.num_shards < 1:
@@ -90,6 +131,25 @@ class ShardConfig:
         if self.max_epochs < 1:
             raise WorkloadError(
                 f"max_epochs must be >= 1, got {self.max_epochs}")
+        if self.epoch_work_target < 1:
+            raise WorkloadError(
+                f"epoch_work_target must be >= 1, got "
+                f"{self.epoch_work_target}")
+        if self.max_epoch_length < 0:
+            raise WorkloadError(
+                f"max_epoch_length must be >= 0, got "
+                f"{self.max_epoch_length}")
+        if 0 < self.max_epoch_length < self.epoch_length:
+            raise WorkloadError(
+                f"max_epoch_length ({self.max_epoch_length}) must be at "
+                f"least epoch_length ({self.epoch_length})")
+
+    @property
+    def epoch_ceiling(self) -> float:
+        """The adaptive controller's upper bound on the epoch length."""
+        if self.max_epoch_length > 0:
+            return self.max_epoch_length
+        return 64.0 * self.epoch_length
 
 
 @dataclasses.dataclass(frozen=True)
@@ -210,3 +270,255 @@ class ShardFinal:
     machines: list[MachineFinal]
     #: Invariant checks executed by the shard's machine auditors.
     audit_checks: int
+
+
+# --------------------------------------------------------------------------
+# Columnar wire encoding
+#
+# Layout of every packed message:
+#
+#   header   <4sHH>   magic ``RSHD``, wire version, message kind
+#   scalars  (kind-specific: horizon, shard_id, row counts)
+#   strings  one deduplicated table: <I> count, <I> blob length,
+#            ``\x00``-joined UTF-8 blob
+#   columns  little-endian packed numpy record arrays; string-valued
+#            fields hold <i4> indices into the table
+#
+# All numeric columns are wide enough to be lossless (<i8> ids, <f8>
+# times — the in-memory representation of Python floats), so unpacking
+# rebuilds the exact frozen dataclasses the serial oracle passes
+# around.  Row order is preserved verbatim.
+
+WIRE_VERSION = 1
+
+_MAGIC = b"RSHD"
+_HEADER = struct.Struct("<4sHH")
+_KIND_EPOCH = 1
+_KIND_OUTCOME = 2
+
+_DELIVERY_DTYPE = numpy.dtype([
+    ("request_id", "<i8"), ("instance", "<i4"), ("machine", "<i4"),
+    ("arrival", "<f8"), ("submitted", "<f8"), ("deliver", "<f8"),
+    ("batch", "<i4"), ("qos", "<i4"), ("attempt", "<i4")])
+
+_COMPLETION_DTYPE = numpy.dtype([
+    ("machine", "<i4"), ("request_id", "<i8"), ("instance", "<i4"),
+    ("arrival", "<f8"), ("submitted", "<f8"), ("started", "<f8"),
+    ("finished", "<f8"), ("cold", "u1"), ("degraded", "u1"),
+    ("qos", "<i4")])
+
+_FAILURE_DTYPE = numpy.dtype([
+    ("request_id", "<i8"), ("time", "<f8"), ("where", "<i4")])
+
+_SHED_DTYPE = numpy.dtype([
+    ("request_id", "<i8"), ("machine", "<i4"), ("time", "<f8")])
+
+_SNAPSHOT_DTYPE = numpy.dtype([
+    ("name", "<i4"), ("state", "<i4"), ("outstanding", "<i8")])
+
+_WARM_DTYPE = numpy.dtype([("snapshot", "<i4"), ("instance", "<i4")])
+
+_EPOCH_SCALARS = struct.Struct("<dI")
+_OUTCOME_SCALARS = struct.Struct("<qd5I6q")
+_STRINGS_HEADER = struct.Struct("<II")
+
+
+class _StringTable:
+    """Deduplicating accumulator for a message's string column values."""
+
+    def __init__(self) -> None:
+        self._index: dict[str, int] = {}
+        self.strings: list[str] = []
+
+    def add(self, value: str) -> int:
+        slot = self._index.get(value)
+        if slot is None:
+            slot = self._index[value] = len(self.strings)
+            self.strings.append(value)
+        return slot
+
+    def pack(self) -> bytes:
+        blob = "\x00".join(self.strings).encode("utf-8")
+        return _STRINGS_HEADER.pack(len(self.strings), len(blob)) + blob
+
+
+def _unpack_strings(buf: bytes, offset: int) -> tuple[list[str], int]:
+    count, size = _STRINGS_HEADER.unpack_from(buf, offset)
+    offset += _STRINGS_HEADER.size
+    blob = bytes(buf[offset:offset + size]).decode("utf-8")
+    strings = blob.split("\x00") if count else []
+    if len(strings) != count:
+        raise WorkloadError(
+            f"corrupt wire message: string table declares {count} "
+            f"entries but decodes to {len(strings)}")
+    return strings, offset + size
+
+
+def _check_header(buf: bytes, kind: int) -> int:
+    if len(buf) < _HEADER.size:
+        raise WorkloadError(
+            f"corrupt wire message: {len(buf)} bytes is shorter than "
+            f"the {_HEADER.size}-byte header")
+    magic, version, got_kind = _HEADER.unpack_from(buf, 0)
+    if magic != _MAGIC:
+        raise WorkloadError(
+            f"corrupt wire message: bad magic {magic!r}")
+    if version != WIRE_VERSION:
+        raise WorkloadError(
+            f"wire version mismatch: peer speaks v{version}, this "
+            f"process speaks v{WIRE_VERSION} — coordinator and workers "
+            f"must run the same build")
+    if got_kind != kind:
+        raise WorkloadError(
+            f"unexpected wire message kind {got_kind} (wanted {kind})")
+    return _HEADER.size
+
+
+def pack_epoch(horizon: float, deliveries: list[Delivery]) -> bytes:
+    """Flatten one epoch command into a columnar byte string."""
+    table = _StringTable()
+    rows = numpy.empty(len(deliveries), dtype=_DELIVERY_DTYPE)
+    for i, d in enumerate(deliveries):
+        rows[i] = (d.request_id, table.add(d.instance_name),
+                   table.add(d.machine_name), d.arrival_time,
+                   d.submitted_at, d.deliver_at, d.batch_size,
+                   table.add(d.qos), d.attempt)
+    return b"".join((
+        _HEADER.pack(_MAGIC, WIRE_VERSION, _KIND_EPOCH),
+        _EPOCH_SCALARS.pack(horizon, len(deliveries)),
+        table.pack(),
+        rows.tobytes()))
+
+
+def unpack_epoch(buf: bytes) -> tuple[float, list[Delivery]]:
+    """Rebuild ``(horizon, deliveries)`` from :func:`pack_epoch` bytes."""
+    offset = _check_header(buf, _KIND_EPOCH)
+    horizon, count = _EPOCH_SCALARS.unpack_from(buf, offset)
+    offset += _EPOCH_SCALARS.size
+    strings, offset = _unpack_strings(buf, offset)
+    rows = numpy.frombuffer(buf, dtype=_DELIVERY_DTYPE, count=count,
+                            offset=offset)
+    deliveries = [
+        Delivery(request_id=rid, instance_name=strings[inst],
+                 machine_name=strings[mach], arrival_time=arrival,
+                 submitted_at=submitted, deliver_at=deliver,
+                 batch_size=batch, qos=strings[qos], attempt=attempt)
+        for rid, inst, mach, arrival, submitted, deliver, batch, qos,
+        attempt in zip(
+            rows["request_id"].tolist(), rows["instance"].tolist(),
+            rows["machine"].tolist(), rows["arrival"].tolist(),
+            rows["submitted"].tolist(), rows["deliver"].tolist(),
+            rows["batch"].tolist(), rows["qos"].tolist(),
+            rows["attempt"].tolist())]
+    return horizon, deliveries
+
+
+def pack_outcome(outcome: EpochOutcome) -> bytes:
+    """Flatten one :class:`EpochOutcome` into a columnar byte string."""
+    table = _StringTable()
+    completions = numpy.empty(len(outcome.completions),
+                              dtype=_COMPLETION_DTYPE)
+    for i, c in enumerate(outcome.completions):
+        r = c.record
+        completions[i] = (table.add(c.machine_name), r.request_id,
+                          table.add(r.instance_name), r.arrival_time,
+                          r.submitted_at, r.started_at, r.finished_at,
+                          r.cold_start, r.degraded, table.add(r.qos))
+    failures = numpy.empty(len(outcome.failures), dtype=_FAILURE_DTYPE)
+    for i, f in enumerate(outcome.failures):
+        failures[i] = (f.request_id, f.time, table.add(f.where))
+    sheds = numpy.empty(len(outcome.sheds), dtype=_SHED_DTYPE)
+    for i, s in enumerate(outcome.sheds):
+        sheds[i] = (s.request_id, table.add(s.machine_name), s.time)
+    snapshots = numpy.empty(len(outcome.snapshots), dtype=_SNAPSHOT_DTYPE)
+    warm_pairs: list[tuple[int, int]] = []
+    for i, snap in enumerate(outcome.snapshots):
+        snapshots[i] = (table.add(snap.name), table.add(snap.state),
+                        snap.outstanding)
+        # Frozensets iterate in hash order; sort so the bytes (though
+        # not the decoded frozensets) are deterministic too.
+        warm_pairs.extend((i, table.add(name))
+                          for name in sorted(snap.warm))
+    warm = numpy.array(warm_pairs or [], dtype=_WARM_DTYPE)
+    ledger = outcome.ledger
+    return b"".join((
+        _HEADER.pack(_MAGIC, WIRE_VERSION, _KIND_OUTCOME),
+        _OUTCOME_SCALARS.pack(
+            outcome.shard_id, outcome.horizon,
+            len(completions), len(failures), len(sheds),
+            len(snapshots), len(warm_pairs),
+            ledger.shard_id, ledger.scheduled, ledger.delivered,
+            ledger.completed, ledger.shed, ledger.orphaned),
+        table.pack(),
+        completions.tobytes(), failures.tobytes(), sheds.tobytes(),
+        snapshots.tobytes(), warm.tobytes()))
+
+
+def unpack_outcome(buf: bytes) -> EpochOutcome:
+    """Rebuild an :class:`EpochOutcome` from :func:`pack_outcome` bytes."""
+    offset = _check_header(buf, _KIND_OUTCOME)
+    (shard_id, horizon, n_completions, n_failures, n_sheds, n_snapshots,
+     n_warm, ledger_shard, scheduled, delivered, completed, shed,
+     orphaned) = _OUTCOME_SCALARS.unpack_from(buf, offset)
+    offset += _OUTCOME_SCALARS.size
+    strings, offset = _unpack_strings(buf, offset)
+
+    rows = numpy.frombuffer(buf, dtype=_COMPLETION_DTYPE,
+                            count=n_completions, offset=offset)
+    offset += n_completions * _COMPLETION_DTYPE.itemsize
+    completions = [
+        Completion(machine_name=strings[mach], record=RequestRecord(
+            request_id=rid, instance_name=strings[inst],
+            arrival_time=arrival, submitted_at=submitted,
+            started_at=started, finished_at=finished,
+            cold_start=bool(cold), degraded=bool(degraded),
+            qos=strings[qos]))
+        for mach, rid, inst, arrival, submitted, started, finished,
+        cold, degraded, qos in zip(
+            rows["machine"].tolist(), rows["request_id"].tolist(),
+            rows["instance"].tolist(), rows["arrival"].tolist(),
+            rows["submitted"].tolist(), rows["started"].tolist(),
+            rows["finished"].tolist(), rows["cold"].tolist(),
+            rows["degraded"].tolist(), rows["qos"].tolist())]
+
+    rows = numpy.frombuffer(buf, dtype=_FAILURE_DTYPE, count=n_failures,
+                            offset=offset)
+    offset += n_failures * _FAILURE_DTYPE.itemsize
+    failures = [AttemptFailure(request_id=rid, time=time,
+                               where=strings[where])
+                for rid, time, where in zip(
+                    rows["request_id"].tolist(), rows["time"].tolist(),
+                    rows["where"].tolist())]
+
+    rows = numpy.frombuffer(buf, dtype=_SHED_DTYPE, count=n_sheds,
+                            offset=offset)
+    offset += n_sheds * _SHED_DTYPE.itemsize
+    sheds = [ShedNotice(request_id=rid, machine_name=strings[mach],
+                        time=time)
+             for rid, mach, time in zip(
+                 rows["request_id"].tolist(), rows["machine"].tolist(),
+                 rows["time"].tolist())]
+
+    rows = numpy.frombuffer(buf, dtype=_SNAPSHOT_DTYPE, count=n_snapshots,
+                            offset=offset)
+    offset += n_snapshots * _SNAPSHOT_DTYPE.itemsize
+    warm_rows = numpy.frombuffer(buf, dtype=_WARM_DTYPE, count=n_warm,
+                                 offset=offset)
+    warm_by_snapshot: dict[int, list[str]] = {}
+    for snap_idx, inst in zip(warm_rows["snapshot"].tolist(),
+                              warm_rows["instance"].tolist()):
+        warm_by_snapshot.setdefault(snap_idx, []).append(strings[inst])
+    snapshots = [
+        MachineSnapshot(name=strings[name], state=strings[state],
+                        warm=frozenset(warm_by_snapshot.get(i, ())),
+                        outstanding=outstanding)
+        for i, (name, state, outstanding) in enumerate(zip(
+            rows["name"].tolist(), rows["state"].tolist(),
+            rows["outstanding"].tolist()))]
+
+    ledger = ShardLedger(
+        shard_id=ledger_shard, scheduled=scheduled, delivered=delivered,
+        completed=completed, shed=shed, orphaned=orphaned)
+    return EpochOutcome(shard_id=shard_id, horizon=horizon,
+                        completions=completions, failures=failures,
+                        sheds=sheds, snapshots=snapshots, ledger=ledger)

@@ -16,10 +16,26 @@ Two backends execute the identical protocol:
   grouping (see :mod:`repro.shard.worker`), any shard count must
   reproduce its results bit for bit;
 * ``process`` — one ``spawn``-started worker per shard, exchanging
-  pickled epoch messages over pipes.  Spawn (not fork) is deliberate:
-  workers must prove they can rebuild identical state from the picklable
+  columnar epoch messages (:func:`~repro.shard.protocol.pack_epoch`)
+  over pipes.  Spawn (not fork) is deliberate: workers must prove they
+  can rebuild identical state from the picklable
   :class:`~repro.shard.protocol.WorkerInit` alone, which is exactly what
   the determinism tests assert.
+
+The route-ahead pipeline: because every delivery decided at boundary
+``k`` is due no earlier than ``k + router_latency`` — inside epoch
+``k+1`` — the broker can route epoch ``k+1`` *before* it has seen
+epoch ``k``'s outcomes.  The drive loop therefore plans one epoch
+ahead: routing for boundary ``k`` consumes machine snapshots from
+boundary ``k-1``, and retries of epoch-``k`` failures queue for
+boundary ``k+2``.  Both drive modes execute this same protocol —
+``pipelined=True`` streams the planned epoch's commands to the workers
+immediately and collects outcomes in arrival order (so fast shards
+start epoch ``k+1`` while slow ones finish ``k``), ``pipelined=False``
+holds the commands until all of epoch ``k`` is collected — so their
+outcomes are bit-identical; only the wall-clock overlap differs.
+Outcomes are *ingested* in shard-id order regardless of arrival order,
+keeping the broker's bookkeeping canonical.
 
 Global metrics are *rebuilt*, not merged: float summation is
 association-sensitive, so the report's collector is reconstructed from
@@ -30,9 +46,11 @@ count-for-count.
 
 from __future__ import annotations
 
+import collections
 import dataclasses
 import math
 import multiprocessing
+import multiprocessing.connection
 import typing
 
 from repro.audit.shard import GlobalLedger, ShardLedger, reconcile
@@ -55,6 +73,8 @@ from repro.shard.protocol import (
     ShardFinal,
     ShedNotice,
     WorkerInit,
+    pack_epoch,
+    unpack_outcome,
 )
 from repro.shard.worker import ShardWorker, shard_entry
 from repro.units import MS
@@ -151,17 +171,33 @@ class ShardedReport:
 
 
 class _SerialShard:
-    """In-process shard driver (the oracle backend)."""
+    """In-process shard driver (the oracle backend).
+
+    Commands queue and execute lazily at collection, so the pipelined
+    drive can issue epoch ``k+1`` before collecting epoch ``k`` exactly
+    as it does against process workers — a worker process would buffer
+    the command in its pipe the same way.
+    """
 
     def __init__(self, init: WorkerInit) -> None:
         self.worker = ShardWorker(init)
+        self._commands: collections.deque[tuple[float, list[Delivery]]] = \
+            collections.deque()
 
     def begin_epoch(self, horizon: float,
                     deliveries: list[Delivery]) -> None:
-        self._result = self.worker.run_epoch(horizon, deliveries)
+        self._commands.append((horizon, deliveries))
+
+    def poll(self) -> bool:
+        """An outcome can be produced without blocking."""
+        return True
+
+    def wait_handle(self) -> typing.Any:
+        return None
 
     def collect_epoch(self) -> EpochOutcome:
-        return self._result
+        horizon, deliveries = self._commands.popleft()
+        return self.worker.run_epoch(horizon, deliveries)
 
     def finish(self) -> ShardFinal:
         return self.worker.finish()
@@ -171,18 +207,32 @@ class _SerialShard:
 
 
 class _ProcessShard:
-    """Pipe-connected spawn-process shard driver."""
+    """Pipe-connected spawn-process shard driver.
+
+    Epoch commands and outcomes travel as packed columnar messages
+    (:func:`~repro.shard.protocol.pack_epoch` /
+    :func:`~repro.shard.protocol.pack_outcome`); the low-rate
+    ready/finish/stop control messages stay plain pickles.
+    """
 
     def __init__(self, init: WorkerInit,
                  context: typing.Any) -> None:
         self.shard_id = init.shard_id
+        self._process: typing.Any = None
         self._conn, child = context.Pipe()
-        self._process = context.Process(
-            target=shard_entry, args=(child, init),
-            name=f"repro-shard{init.shard_id}", daemon=True)
-        self._process.start()
-        child.close()
-        self._expect("ready")
+        try:
+            self._process = context.Process(
+                target=shard_entry, args=(child, init),
+                name=f"repro-shard{init.shard_id}", daemon=True)
+            self._process.start()
+            child.close()
+            self._expect("ready")
+        except BaseException:
+            # Partial construction must not leak the pipe fds or the
+            # worker process: release everything before re-raising.
+            child.close()
+            self.stop()
+            raise
 
     def _expect(self, kind: str) -> typing.Any:
         try:
@@ -201,25 +251,44 @@ class _ProcessShard:
 
     def begin_epoch(self, horizon: float,
                     deliveries: list[Delivery]) -> None:
-        self._conn.send(("epoch", horizon, deliveries))
+        self._conn.send(("epoch", pack_epoch(horizon, deliveries)))
+
+    def poll(self) -> bool:
+        """A message (outcome or worker error) is waiting on the pipe."""
+        return self._conn.poll(0)
+
+    def wait_handle(self) -> typing.Any:
+        return self._conn
 
     def collect_epoch(self) -> EpochOutcome:
-        return typing.cast(EpochOutcome, self._expect("outcome"))
+        return unpack_outcome(self._expect("outcome"))
 
     def finish(self) -> ShardFinal:
         self._conn.send(("finish",))
         return typing.cast(ShardFinal, self._expect("final"))
 
     def stop(self) -> None:
-        try:
-            self._conn.send(("stop",))
-        except (OSError, BrokenPipeError):
-            pass
-        self._conn.close()
-        self._process.join(timeout=30)
-        if self._process.is_alive():  # pragma: no cover - hang backstop
-            self._process.terminate()
-            self._process.join()
+        """Shut down and release the pipe and the process (idempotent).
+
+        ``Process.join`` alone keeps the process object's sentinel fd
+        open, so repeated replays used to accumulate two fds per shard
+        per run; ``Process.close`` releases it.
+        """
+        if self._conn is not None:
+            try:
+                self._conn.send(("stop",))
+            except (OSError, BrokenPipeError, ValueError):
+                pass
+            self._conn.close()
+            self._conn = None
+        if self._process is not None:
+            if self._process.pid is not None:
+                self._process.join(timeout=30)
+                if self._process.is_alive():  # pragma: no cover - backstop
+                    self._process.terminate()
+                    self._process.join()
+            self._process.close()
+            self._process = None
 
 
 class ShardedReplay:
@@ -380,69 +449,172 @@ class ShardedReplay:
         for request in requests:
             broker.submit(request)
         inits = self._worker_inits(fault_schedule)
-        if self.shard.backend == "process":
-            context = multiprocessing.get_context("spawn")
-            shards: list[typing.Any] = [_ProcessShard(init, context)
-                                        for init in inits]
-        else:
-            shards = [_SerialShard(init) for init in inits]
+        # Build incrementally inside the try so a failure constructing
+        # shard k still stops (and releases the fds of) shards 0..k-1.
+        shards: list[typing.Any] = []
         try:
+            if self.shard.backend == "process":
+                context = multiprocessing.get_context("spawn")
+                for init in inits:
+                    shards.append(_ProcessShard(init, context))
+            else:
+                for init in inits:
+                    shards.append(_SerialShard(init))
             return self._drive(broker, shards)
         finally:
             for shard in shards:
                 shard.stop()
 
+    def _plan_epoch(self, broker: EpochBroker, now: float,
+                    epoch_length: float, shards: list[typing.Any]
+                    ) -> "tuple[float, list[list[Delivery]], int] | None":
+        """Route one epoch at boundary *now*; ``None`` when quiesced.
+
+        Returns ``(horizon, per-shard deliveries, routed count)``.  The
+        plan is a pure function of broker state, so the planning
+        sequence — including idle fast-forward jumps — is identical for
+        every grouping, backend and drive mode.
+        """
+        if broker.done():
+            return None
+        routed = broker.route_epoch(now)
+        if broker.done():
+            # route_epoch can quiesce the replay by itself: every
+            # remaining pending request was dropped as unroutable
+            # (retries exhausted with all its replicas down) and
+            # nothing is in flight, so there is no epoch left to
+            # simulate — and no next_ready to fast-forward to.  The
+            # preflight entry booked for the aborted epoch is empty and
+            # inert.
+            return None
+        routed_count = sum(len(d) for d in routed.values())
+        if not routed_count and broker.outstanding_total == 0:
+            # Nothing in flight and the next retry/arrival is in the
+            # future: jump the whole fleet to the epoch-grid boundary
+            # that can route it.  Relative to *now* because the grid is
+            # no longer global under adaptive epoch lengths.
+            horizon = now + epoch_length * math.ceil(
+                (broker.next_ready - now) / epoch_length)
+            if horizon <= now:
+                horizon = now + epoch_length
+        else:
+            horizon = now + epoch_length
+        per_shard: list[list[Delivery]] = [[] for _ in shards]
+        for machine_name, deliveries in routed.items():
+            per_shard[self._shard_of[machine_name]].extend(deliveries)
+        for deliveries in per_shard:
+            deliveries.sort(key=lambda d: (d.deliver_at, d.request_id))
+        return horizon, per_shard, routed_count
+
+    def _adapted_length(self, epoch_length: float, work: int) -> float:
+        """One deterministic step of the adaptive epoch controller.
+
+        Doubles when the last planning cycle carried under half the
+        work target, halves when it carried over twice the target —
+        exact binary scaling, bounded by the lookahead floor and
+        ``ShardConfig.epoch_ceiling``.  *work* is a global count
+        (routed deliveries plus outcome events), so every shard count
+        and backend takes the identical step sequence.
+        """
+        target = self.shard.epoch_work_target
+        if work > 2 * target:
+            shrunk = epoch_length * 0.5
+            if shrunk >= self.shard.router_latency:
+                return shrunk
+        elif 2 * work < target:
+            grown = epoch_length * 2.0
+            if grown <= self.shard.epoch_ceiling:
+                return grown
+        return epoch_length
+
+    @staticmethod
+    def _collect_epoch(shards: list[typing.Any],
+                       pipelined: bool) -> list[EpochOutcome]:
+        """Collect one outcome per shard, sorted by shard id.
+
+        The lock-step drive blocks on each shard in order; the
+        pipelined drive drains whichever shards have reported (the
+        overlap win: unpacking fast shards' outcomes while slow ones
+        still simulate) and sleeps on the pipes only when none are
+        ready.
+        """
+        if not pipelined:
+            return [shard.collect_epoch() for shard in shards]
+        remaining = dict(enumerate(shards))
+        outcomes: list[EpochOutcome] = []
+        while remaining:
+            progressed = False
+            for index in sorted(remaining):
+                if remaining[index].poll():
+                    outcomes.append(remaining.pop(index).collect_epoch())
+                    progressed = True
+            if remaining and not progressed:
+                multiprocessing.connection.wait(
+                    [shard.wait_handle() for shard in remaining.values()])
+        outcomes.sort(key=lambda outcome: outcome.shard_id)
+        return outcomes
+
     def _drive(self, broker: EpochBroker,
                shards: list[typing.Any]) -> ShardedReport:
+        pipelined = self.shard.pipelined
         epoch_length = self.shard.epoch_length
         completions: list[Completion] = []
         sheds: list[ShedNotice] = []
         time, epochs = 0.0, 0
+        #: Outcome events of the most recently ingested epoch — the
+        #: feedback half of the adaptive controller's work signal.
+        last_events = 0
         ledgers: list[ShardLedger] = [ShardLedger(shard_id=i)
                                       for i in range(len(shards))]
-        while not broker.done():
-            routed = broker.route_epoch(time)
-            if broker.done():
-                # route_epoch can quiesce the replay by itself: every
-                # remaining pending request was dropped as unroutable
-                # (retries exhausted with all its replicas down) and
-                # nothing is in flight, so there is no epoch left to
-                # simulate — and no next_ready to fast-forward to.
-                break
-            epochs += 1
-            if epochs > self.shard.max_epochs:
-                raise WorkloadError(
-                    f"replay did not quiesce within "
-                    f"{self.shard.max_epochs} epochs")
-            if not routed and broker.outstanding_total == 0:
-                # Nothing in flight and the next retry/arrival is in the
-                # future: jump the whole fleet to the epoch-grid boundary
-                # that can route it.  Purely broker-state-driven, so the
-                # jump sequence is identical for every grouping.
-                horizon = epoch_length * math.ceil(
-                    broker.next_ready / epoch_length)
-                if horizon <= time:
-                    horizon = time + epoch_length
-            else:
-                horizon = time + epoch_length
-            per_shard: list[list[Delivery]] = [[] for _ in shards]
-            for machine_name, deliveries in routed.items():
-                per_shard[self._shard_of[machine_name]].extend(deliveries)
-            for deliveries in per_shard:
-                deliveries.sort(key=lambda d: (d.deliver_at, d.request_id))
+
+        def issue(plan: tuple[float, list[list[Delivery]], int]) -> None:
+            horizon, per_shard, _ = plan
             for shard, deliveries in zip(shards, per_shard):
                 shard.begin_epoch(horizon, deliveries)
-            outcomes = [shard.collect_epoch() for shard in shards]
+
+        queue: collections.deque[tuple[float, list[list[Delivery]], int]] \
+            = collections.deque()
+        plan = self._plan_epoch(broker, 0.0, epoch_length, shards)
+        if plan is not None:
+            epochs += 1
+            queue.append(plan)
+            issue(plan)
+        while queue:
+            current = queue[0]
+            horizon = current[0]
+            if self.shard.adaptive_epochs:
+                epoch_length = self._adapted_length(
+                    epoch_length, current[2] + last_events)
+            # Route one epoch ahead of the one in flight: its snapshots
+            # date from the boundary *before* `current`'s outcomes.
+            nxt = self._plan_epoch(broker, horizon, epoch_length, shards)
+            if nxt is not None:
+                epochs += 1
+                if epochs > self.shard.max_epochs:
+                    raise WorkloadError(
+                        f"replay did not quiesce within "
+                        f"{self.shard.max_epochs} epochs")
+                queue.append(nxt)
+                if pipelined:
+                    issue(nxt)
+            outcomes = self._collect_epoch(shards, pipelined)
             for outcome in outcomes:
                 broker.ingest(outcome)
                 completions.extend(outcome.completions)
                 sheds.extend(outcome.sheds)
                 ledgers[outcome.shard_id] = outcome.ledger
+            last_events = sum(len(o.completions) + len(o.failures)
+                              + len(o.sheds) for o in outcomes)
             for outcome in outcomes:
                 broker.check_shard(outcome)
             reconcile(broker.ledger, ledgers,
                       pending=broker.pending_count,
-                      outstanding=broker.outstanding_total)
+                      outstanding=broker.outstanding_total,
+                      in_transit=broker.in_transit_total)
+            broker.retire_epoch()
+            queue.popleft()
+            if nxt is not None and not pipelined:
+                issue(nxt)
             time = horizon
         finals = [shard.finish() for shard in shards]
         ledgers = [final.ledger for final in finals]

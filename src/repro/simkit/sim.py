@@ -53,18 +53,24 @@ class _CalendarQueue:
     The day width adapts to the observed bucket occupancy: every
     ``_CAL_RESIZE`` bucket adoptions, the mean entries-per-bucket is
     compared against the target fill and the queue re-buckets itself
-    when it is off by 4x or more.  Width only affects speed, never
-    order — entries compare by ``(time, seq)`` wherever they sit — and
-    it adapts deterministically (a function of the entries alone), so
-    replays stay identical.
+    when it is off by 2x or more.  The band must be tighter than the
+    rebucketing is costly: at 4x tolerance a timer-wheel mix settles
+    at fill ~3, paying three adoptions' worth of bookkeeping (days-heap
+    pop, dict pop, heapify) where one would do.  Width only affects
+    speed, never order — entries compare by ``(time, seq)`` wherever
+    they sit — and it adapts deterministically (a function of the
+    entries alone), so replays stay identical.
 
     The hot paths — push in :meth:`Simulator.timeout`, pop in
     :meth:`Simulator._run_fast` — are inlined at their call sites; the
     methods here are the same operations for everything else.
     """
 
-    #: Aim for this many entries per bucket after a resize.
-    _TARGET_FILL = 8.0
+    #: Aim for this many entries per bucket after a resize.  Adoption
+    #: bookkeeping amortizes over the fill, and popping from a 16-entry
+    #: heap costs barely more than from a 4-entry one, so erring high
+    #: wins: 16 measures ~10% faster than 8 on the event-churn mix.
+    _TARGET_FILL = 16.0
 
     __slots__ = ("_width", "_inv_width", "_buckets", "_days", "_cur_day",
                  "_bucket", "head", "_size", "_adoptions", "_adopted")
@@ -158,7 +164,7 @@ class _CalendarQueue:
         self._adoptions = 0
         self._adopted = 0
         target = self._TARGET_FILL
-        if target * 0.25 <= mean <= target * 4.0:
+        if target * 0.5 <= mean <= target * 2.0:
             return
         ideal = self._width * (target / mean)
         entries = [e for bucket in self._buckets.values() for e in bucket]
