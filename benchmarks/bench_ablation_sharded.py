@@ -28,7 +28,7 @@ from repro.cluster.cluster import ClusterConfig
 from repro.cluster.faults import random_fault_schedule
 from repro.hw.specs import p3_8xlarge
 from repro.serving.workload import PoissonWorkload
-from repro.shard import ShardConfig, ShardedReplay
+from repro.shard import ChaosEvent, ShardConfig, ShardedReplay
 
 
 def scenario():
@@ -117,6 +117,34 @@ def test_ablation_sharded_replay(benchmark, emit):
     emit("ablation_sharded", "\n\n".join(blocks))
 
     assert reference.ledger.submitted == len(requests)
+
+    # Recovery overhead probe: the same trace with two injected worker
+    # crashes.  Outcomes must stay bit-identical to the crash-free
+    # reference (the journal fast-forward restores the exact pre-crash
+    # state), and the wall-clock delta is the price of two respawns
+    # plus their replayed epochs.
+    chaos = (ChaosEvent(shard_id=0, epoch=4, kind="kill"),
+             ChaosEvent(shard_id=1, epoch=9, kind="kill"))
+    replay = ShardedReplay(p3_8xlarge(), config, ShardConfig(
+        num_shards=2, backend="process", epoch_length=0.250,
+        chaos=chaos, worker_timeout=60.0, max_worker_restarts=2,
+        restart_backoff=0.01))
+    replay.deploy(catalog)
+    start = time.perf_counter()
+    recovered = replay.run(requests, fault_schedule=faults)
+    chaos_wall = time.perf_counter() - start
+    assert recovered.outcome_signature() == signature, (
+        "crash-injected replay diverged from the crash-free reference")
+    assert recovered.worker_restarts == 2
+    crash_free_wall = results[3][3]  # the (2, process, pipelined) run
+    emit("ablation_sharded_chaos",
+         f"crash recovery: 2 injected kills -> "
+         f"{recovered.worker_restarts} restarts, "
+         f"{recovered.replayed_epochs} epochs replayed; wall "
+         f"{chaos_wall:.2f}s vs {crash_free_wall:.2f}s crash-free "
+         f"(+{chaos_wall - crash_free_wall:.2f}s recovery overhead) — "
+         f"outcomes bit-identical")
+
     if full_scale() and cpus >= 4:
         # Acceptance criterion: >3x at 4 shards on the 100-machine
         # synthetic replay, with route-ahead pipelining and the

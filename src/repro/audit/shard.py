@@ -33,7 +33,8 @@ import typing
 
 from repro.audit.invariants import AuditError, AuditViolation
 
-__all__ = ["ShardLedger", "GlobalLedger", "reconcile"]
+__all__ = ["ShardLedger", "GlobalLedger", "reconcile",
+           "resume_divergence"]
 
 
 @dataclasses.dataclass
@@ -149,4 +150,29 @@ def reconcile(global_ledger: GlobalLedger,
             f"shards shed {shed} requests but the broker recorded {g.shed}"))
     if violations and raise_on_violation:
         raise AuditError(violations)
+    return violations
+
+
+def resume_divergence(expected: ShardLedger, actual: ShardLedger,
+                      shard_id: int, epoch: int) -> list[AuditViolation]:
+    """Compare a fast-forward replay's ledger against the journalled one.
+
+    Used by the process backend's crash recovery: a respawned worker
+    re-executes the journalled epoch commands, and because shard state
+    is a pure function of (init, commands) every counter must land on
+    the exact value the dead worker reported for that epoch.  Any
+    difference means the recovered shard walked a different path and
+    the bit-identity contract would silently break — the caller turns a
+    non-empty result into a
+    :class:`~repro.shard.supervision.ShardDeterminismError`.
+    """
+    violations: list[AuditViolation] = []
+    for field in dataclasses.fields(ShardLedger):
+        want = getattr(expected, field.name)
+        got = getattr(actual, field.name)
+        if want != got:
+            violations.append(AuditViolation(
+                "shard.resume_divergence",
+                f"shard {shard_id} epoch {epoch}",
+                f"{field.name}: journalled {want}, replayed {got}"))
     return violations

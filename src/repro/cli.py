@@ -179,6 +179,31 @@ def _build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--audit", action="store_true",
                         help="enable per-shard conservation ledgers plus "
                              "the servers' invariant-audit layer")
+    replay.add_argument("--chaos-workers", type=int, default=0,
+                        metavar="N",
+                        help="inject N seeded random worker faults "
+                             "(kill/stall/corrupt at random epochs; "
+                             "process backend only) to exercise "
+                             "crash recovery")
+    replay.add_argument("--chaos-spec", default="",
+                        help="explicit chaos events as "
+                             "kind@shard:epoch[:duration],... "
+                             "(e.g. kill@0:2,stall@1:3:5.0); combined "
+                             "with --chaos-workers")
+    replay.add_argument("--worker-timeout", type=float, default=30.0,
+                        help="supervision deadline in seconds per worker "
+                             "pipe interaction (0 disables supervision)")
+    replay.add_argument("--max-worker-restarts", type=int, default=3,
+                        help="respawn budget per worker before the "
+                             "replay fails (or falls back)")
+    replay.add_argument("--serial-fallback", action="store_true",
+                        help="rerun on the in-process serial backend if "
+                             "a worker exhausts its restart budget")
+    replay.add_argument("--watchdog", type=float, default=0.0,
+                        metavar="SECS",
+                        help="dump all thread stacks via faulthandler "
+                             "and exit if the command runs longer than "
+                             "SECS (CI hang debugging)")
 
     chaos = sub.add_parser(
         "chaos", help="replay a seeded device/link fault schedule and "
@@ -419,6 +444,37 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
 
 
 def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.shard import parse_chaos_spec, random_chaos_plan
+
+    chaos = parse_chaos_spec(args.chaos_spec)
+    if args.chaos_workers > 0:
+        # Random faults across the first ~min(50, expected epoch count)
+        # epochs so they land inside the replay, not past quiesce.
+        max_epoch = max(1, min(50, int(
+            (args.requests / max(args.rate, 1.0)) / (args.epoch_ms * MS))))
+        chaos += random_chaos_plan(
+            args.chaos_workers, args.shards, max_epoch, seed=args.seed,
+            stall_duration=(1.5 * args.worker_timeout
+                            if args.worker_timeout > 0 else 1.0))
+    if chaos and args.backend != "process":
+        print("chaos injection targets worker processes; use "
+              "--backend process", file=sys.stderr)
+        return 1
+    if args.watchdog > 0:
+        # CI hang debugging: if the replay wedges past the watchdog,
+        # dump every thread's stack and exit instead of timing out the
+        # whole job with no evidence.  Cancelled on normal completion.
+        import faulthandler
+        faulthandler.dump_traceback_later(args.watchdog, exit=True)
+    try:
+        return _run_replay(args, chaos)
+    finally:
+        if args.watchdog > 0:
+            import faulthandler
+            faulthandler.cancel_dump_traceback_later()
+
+
+def _run_replay(args: argparse.Namespace, chaos: tuple) -> int:
     from repro.cluster import ClusterConfig, random_fault_schedule
     from repro.serving.workload import TraceWorkload
     from repro.shard import ShardConfig, ShardedReplay
@@ -438,16 +494,24 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         breaker_cooldown=0.0,
     )
 
-    def build(num_shards: int, backend: str) -> ShardedReplay:
+    def build(num_shards: int, backend: str,
+              chaos_events: tuple = ()) -> ShardedReplay:
         replay = ShardedReplay(spec, config, ShardConfig(
             num_shards=num_shards, backend=backend,
             epoch_length=args.epoch_ms * MS,
             pipelined=not args.lockstep,
-            adaptive_epochs=args.adaptive_epochs))
+            adaptive_epochs=args.adaptive_epochs,
+            worker_timeout=args.worker_timeout,
+            # An N-event chaos plan may concentrate on one shard, so
+            # the budget never undercuts the injection count.
+            max_worker_restarts=max(args.max_worker_restarts,
+                                    len(chaos_events)),
+            serial_fallback=args.serial_fallback,
+            chaos=chaos_events if backend == "process" else ()))
         replay.deploy([(args.model, args.instances)])
         return replay
 
-    replay = build(args.shards, args.backend)
+    replay = build(args.shards, args.backend, chaos)
     names = replay.instance_names
     if args.trace == "maf":
         from repro.serving.maf import MAFTraceConfig, synthesize_maf_trace
@@ -474,12 +538,21 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         print(f"  shard {ledger.shard_id}: {ledger.delivered} delivered = "
               f"{ledger.completed} completed + {ledger.shed} shed + "
               f"{ledger.orphaned} orphaned")
+    if chaos:
+        print(f"  chaos: {len(chaos)} injected fault(s) -> "
+              f"{report.worker_restarts} worker restart(s), "
+              f"{report.replayed_epochs} epoch(s) replayed in recovery"
+              + (" [serial fallback]" if report.serial_fallback else ""))
     if args.check:
+        # The reference never sees the chaos plan: it proves the
+        # crash-injected run recovered onto the crash-free trajectory.
         reference = build(1, "serial").run(requests, fault_schedule=schedule)
         if report.outcome_signature() == reference.outcome_signature():
             print(f"\ndifferential check: {args.shards}-shard {args.backend} "
                   f"replay is bit-identical to the single-process reference "
-                  f"({len(requests)} requests)")
+                  f"({len(requests)} requests"
+                  + (f", {len(chaos)} injected fault(s)" if chaos else "")
+                  + ")")
         else:
             print("\ndifferential check FAILED: sharded outcomes diverge "
                   "from the single-process reference", file=sys.stderr)

@@ -15,7 +15,12 @@ This package exploits that:
   ladder, global conservation ledger;
 * :mod:`~repro.shard.replay` — the coordinator with ``serial`` (the
   oracle) and ``process`` (spawn multiprocessing) backends and the
-  canonical global report.
+  canonical global report;
+* :mod:`~repro.shard.supervision` — worker supervision for the process
+  backend: the typed :class:`~repro.shard.supervision.ShardFaultError`
+  hierarchy, the command journal behind deterministic
+  restart-and-fast-forward recovery, and the
+  :class:`~repro.shard.supervision.ChaosEvent` crash-injection harness.
 
 The headline property, enforced by the test tier: for a fixed trace,
 seed and fault schedule, the outcome signature (every request's terminal
@@ -42,25 +47,53 @@ from repro.shard.replay import (
     ShardedReport,
     partition_machines,
 )
+from repro.shard.supervision import (
+    CHAOS_KINDS,
+    ChaosEvent,
+    ENV_CHAOS,
+    RECOVERABLE_FAULTS,
+    ShardDeterminismError,
+    ShardFaultError,
+    ShardRecoveryExhaustedError,
+    WorkerCrashError,
+    WorkerInternalError,
+    WorkerProtocolError,
+    WorkerTimeoutError,
+    parse_chaos_spec,
+    random_chaos_plan,
+)
 from repro.shard.worker import ShardWorker, shard_entry
 
 __all__ = [
     "AttemptFailure",
     "BACKENDS",
+    "CHAOS_KINDS",
+    "ChaosEvent",
     "Completion",
     "Delivery",
+    "ENV_CHAOS",
     "EpochBroker",
     "EpochOutcome",
     "MachineFinal",
     "MachineSnapshot",
     "PendingRequest",
+    "RECOVERABLE_FAULTS",
     "ShardConfig",
+    "ShardDeterminismError",
+    "ShardFaultError",
     "ShardFinal",
+    "ShardRecoveryExhaustedError",
     "ShardWorker",
     "ShardedReplay",
     "ShardedReport",
     "ShedNotice",
+    "WorkerCrashError",
     "WorkerInit",
+    "WorkerInternalError",
+    "WorkerProtocolError",
+    "WorkerTimeoutError",
+    "parse_chaos_spec",
     "partition_machines",
+    "random_chaos_plan",
     "shard_entry",
 ]

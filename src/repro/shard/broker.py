@@ -51,6 +51,7 @@ from repro.audit.shard import GlobalLedger
 from repro.core.deepplan import DeepPlan, Strategy
 from repro.core.plan import ExecutionPlan
 from repro.errors import WorkloadError
+from repro.shard.supervision import ShardDeterminismError
 from repro.models.zoo import build_model
 from repro.serving.workload import Request
 from repro.shard.protocol import Delivery, EpochOutcome, MachineSnapshot
@@ -400,7 +401,8 @@ class EpochBroker:
                           for snapshot in outcome.snapshots)
                       + outcome.ledger.undelivered)
         if broker_side != shard_side:
-            raise WorkloadError(
-                f"shard {outcome.shard_id} outstanding mismatch at horizon "
-                f"{outcome.horizon}: broker charges {broker_side}, shard "
-                f"reports {shard_side}")
+            raise ShardDeterminismError(
+                outcome.shard_id,
+                f"outstanding mismatch at horizon {outcome.horizon}: "
+                f"broker charges {broker_side}, shard reports "
+                f"{shard_side}")

@@ -20,6 +20,12 @@ kinds:
 * :class:`ShardFinal` — the quiesce payload: the shard's merged latency
   histogram, per-machine statistics, and audit counters.
 
+A fifth, out-of-band kind carries no simulation state: heartbeat frames
+(:func:`pack_heartbeat`) are sent by a worker when it dequeues an epoch
+command, so the coordinator's supervision layer
+(:mod:`repro.shard.supervision`) can tell a busy worker from a wedged
+one without ever blocking unbounded on a pipe.
+
 Lookahead discipline: a message created by routing at epoch boundary
 ``k·E`` is never due before ``k·E + router_latency``, and failures
 observed during epoch ``k`` are re-routed no earlier than one epoch
@@ -56,13 +62,15 @@ from repro.errors import WorkloadError
 from repro.hw.specs import MachineSpec
 from repro.serving.metrics import RequestRecord
 from repro.serving.server import ServerConfig
+from repro.shard.supervision import ChaosEvent
 from repro.units import MS
 
 __all__ = ["ShardConfig", "WorkerInit", "Delivery", "Completion",
            "AttemptFailure", "ShedNotice", "MachineSnapshot",
            "EpochOutcome", "MachineFinal", "ShardFinal", "BACKENDS",
            "WIRE_VERSION", "pack_epoch", "unpack_epoch",
-           "pack_outcome", "unpack_outcome"]
+           "pack_outcome", "unpack_outcome",
+           "pack_heartbeat", "unpack_heartbeat"]
 
 BACKENDS = ("serial", "process")
 
@@ -109,6 +117,30 @@ class ShardConfig:
     #: Upper bound for adaptive epoch growth; ``0`` derives
     #: ``64 * epoch_length``.
     max_epoch_length: float = 0.0
+    #: Supervision deadline (wall-clock seconds) on every worker pipe
+    #: interaction with the ``process`` backend: if no frame — outcome
+    #: or heartbeat — arrives within this window, the worker is
+    #: classified wedged (:class:`~repro.shard.supervision.WorkerTimeoutError`)
+    #: and killed.  The worker heartbeats when it dequeues each epoch
+    #: command, so the deadline effectively bounds one epoch's wall
+    #: time.  ``0`` disables supervision (legacy blocking receives).
+    worker_timeout: float = 60.0
+    #: Respawn budget per worker: a crashed/wedged/poisoned worker is
+    #: restarted (with bounded exponential backoff) and fast-forwarded
+    #: from the command journal up to this many times before the replay
+    #: fails with a typed
+    #: :class:`~repro.shard.supervision.ShardRecoveryExhaustedError`.
+    max_worker_restarts: int = 3
+    #: Base of the restart backoff: restart *n* sleeps
+    #: ``restart_backoff * 2**(n-1)`` wall seconds, capped at 5 s.
+    restart_backoff: float = 0.05
+    #: Opt-in degraded mode: when a process-backend replay exhausts its
+    #: restart budget, rerun the whole replay on the serial backend
+    #: (chaos injection stripped) instead of failing.
+    serial_fallback: bool = False
+    #: Injected worker faults for the chaos harness (``process``
+    #: backend only); see :class:`~repro.shard.supervision.ChaosEvent`.
+    chaos: tuple[ChaosEvent, ...] = ()
 
     def __post_init__(self) -> None:
         if self.num_shards < 1:
@@ -143,6 +175,22 @@ class ShardConfig:
             raise WorkloadError(
                 f"max_epoch_length ({self.max_epoch_length}) must be at "
                 f"least epoch_length ({self.epoch_length})")
+        if self.worker_timeout < 0:
+            raise WorkloadError(
+                f"worker_timeout must be >= 0, got {self.worker_timeout}")
+        if self.max_worker_restarts < 0:
+            raise WorkloadError(
+                f"max_worker_restarts must be >= 0, got "
+                f"{self.max_worker_restarts}")
+        if self.restart_backoff < 0:
+            raise WorkloadError(
+                f"restart_backoff must be >= 0, got "
+                f"{self.restart_backoff}")
+        if self.chaos and self.backend != "process":
+            raise WorkloadError(
+                "chaos injection targets worker processes; it needs "
+                "backend='process' (the serial oracle must stay "
+                "fault-free to serve as the differential reference)")
 
     @property
     def epoch_ceiling(self) -> float:
@@ -171,6 +219,9 @@ class WorkerInit:
     #: deriving it per shard would make event scheduling order, and so
     #: outcomes, depend on the grouping.
     watch_device_faults: bool = False
+    #: Injected worker faults for this shard (chaos harness; fired by
+    #: ``shard_entry``'s command loop, ignored by the serial oracle).
+    chaos: tuple[ChaosEvent, ...] = ()
 
 
 @dataclasses.dataclass(frozen=True)
@@ -289,12 +340,13 @@ class ShardFinal:
 # rebuilds the exact frozen dataclasses the serial oracle passes
 # around.  Row order is preserved verbatim.
 
-WIRE_VERSION = 1
+WIRE_VERSION = 2
 
 _MAGIC = b"RSHD"
 _HEADER = struct.Struct("<4sHH")
 _KIND_EPOCH = 1
 _KIND_OUTCOME = 2
+_KIND_HEARTBEAT = 3
 
 _DELIVERY_DTYPE = numpy.dtype([
     ("request_id", "<i8"), ("instance", "<i4"), ("machine", "<i4"),
@@ -372,6 +424,30 @@ def _check_header(buf: bytes, kind: int) -> int:
         raise WorkloadError(
             f"unexpected wire message kind {got_kind} (wanted {kind})")
     return _HEADER.size
+
+
+_HEARTBEAT_SCALARS = struct.Struct("<qq")
+
+
+def pack_heartbeat(shard_id: int, epoch_index: int) -> bytes:
+    """A liveness frame: the worker dequeued its ``epoch_index``-th command.
+
+    Heartbeats reset the broker's supervision deadline, letting it
+    distinguish a worker that accepted a command and is simulating from
+    one that is wedged or dead.
+    """
+    return (_HEADER.pack(_MAGIC, WIRE_VERSION, _KIND_HEARTBEAT)
+            + _HEARTBEAT_SCALARS.pack(shard_id, epoch_index))
+
+
+def unpack_heartbeat(buf: bytes) -> tuple[int, int]:
+    """Rebuild ``(shard_id, epoch_index)`` from :func:`pack_heartbeat`."""
+    offset = _check_header(buf, _KIND_HEARTBEAT)
+    if len(buf) < offset + _HEARTBEAT_SCALARS.size:
+        raise WorkloadError(
+            f"corrupt heartbeat frame: {len(buf)} bytes is shorter than "
+            f"the {offset + _HEARTBEAT_SCALARS.size}-byte frame")
+    return _HEARTBEAT_SCALARS.unpack_from(buf, offset)
 
 
 def pack_epoch(horizon: float, deliveries: list[Delivery]) -> bytes:

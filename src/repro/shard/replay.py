@@ -37,6 +37,18 @@ outcomes are bit-identical; only the wall-clock overlap differs.
 Outcomes are *ingested* in shard-id order regardless of arrival order,
 keeping the broker's bookkeeping canonical.
 
+The process backend is crash-tolerant: every worker interaction runs
+under a supervision deadline (``ShardConfig.worker_timeout``, kept
+honest by heartbeat frames), faults classify into the typed
+:mod:`repro.shard.supervision` hierarchy instead of hangs or raw
+``EOFError``, and recoverable faults — death, wedge, poisoned frame —
+trigger a respawn with bounded exponential backoff followed by a
+journal fast-forward to the exact pre-crash boundary.  Because shard
+state is a pure function of ``(WorkerInit, epoch commands)``, the
+recovered replay stays bit-identical to a crash-free run; the
+:class:`~repro.shard.supervision.ChaosEvent` harness exists to prove
+that differentially rather than assume it.
+
 Global metrics are *rebuilt*, not merged: float summation is
 association-sensitive, so the report's collector is reconstructed from
 all completion records in canonical ``(finished_at, request_id)`` order
@@ -51,9 +63,17 @@ import dataclasses
 import math
 import multiprocessing
 import multiprocessing.connection
+import os
+import struct
+import time
 import typing
 
-from repro.audit.shard import GlobalLedger, ShardLedger, reconcile
+from repro.audit.shard import (
+    GlobalLedger,
+    ShardLedger,
+    reconcile,
+    resume_divergence,
+)
 from repro.cluster.cluster import ClusterConfig
 from repro.cluster.faults import DEVICE_FAULT_ACTIONS, FaultEvent
 from repro.errors import WorkloadError
@@ -74,7 +94,20 @@ from repro.shard.protocol import (
     ShedNotice,
     WorkerInit,
     pack_epoch,
+    unpack_heartbeat,
     unpack_outcome,
+)
+from repro.shard.supervision import (
+    ENV_CHAOS,
+    RECOVERABLE_FAULTS,
+    CommandJournal,
+    ShardDeterminismError,
+    ShardRecoveryExhaustedError,
+    WorkerCrashError,
+    WorkerProtocolError,
+    WorkerTimeoutError,
+    parse_chaos_spec,
+    resolve_worker_error,
 )
 from repro.shard.worker import ShardWorker, shard_entry
 from repro.units import MS
@@ -121,6 +154,13 @@ class ShardedReport:
     duration: float
     num_shards: int
     backend: str
+    #: Worker processes respawned after a crash/wedge/poisoned frame.
+    worker_restarts: int = 0
+    #: Journalled epochs re-executed to fast-forward respawned workers.
+    replayed_epochs: int = 0
+    #: True when the process replay exhausted its restart budget and
+    #: this report came from the opt-in serial rerun instead.
+    serial_fallback: bool = False
 
     @property
     def completed(self) -> int:
@@ -162,6 +202,8 @@ class ShardedReport:
             "retries": float(self.ledger.retries),
             "epochs": float(self.epochs),
             "shards": float(self.num_shards),
+            "worker_restarts": float(self.worker_restarts),
+            "replayed_epochs": float(self.replayed_epochs),
         }
         if self.metrics.records:
             data.update(p99_ms=self.metrics.p99_latency / MS,
@@ -178,6 +220,11 @@ class _SerialShard:
     as it does against process workers — a worker process would buffer
     the command in its pipe the same way.
     """
+
+    #: In-process shards cannot crash independently of the coordinator,
+    #: so their recovery counters are identically zero.
+    restarts = 0
+    replayed_epochs = 0
 
     def __init__(self, init: WorkerInit) -> None:
         self.worker = ShardWorker(init)
@@ -206,74 +253,343 @@ class _SerialShard:
         pass
 
 
+#: Extra deadline slack while a worker boots: spawn plus model planning
+#: can legitimately take far longer than one epoch's compute.
+_SPAWN_GRACE = 30.0
+#: Seconds granted at each escalation step of :func:`_stop_process`.
+_STOP_GRACE = 5.0
+#: Ceiling on the exponential restart backoff.
+_MAX_BACKOFF = 5.0
+#: Pipe-poll slice while supervising; bounds deadline-check latency.
+_POLL_SLICE = 0.25
+
+#: Exceptions the columnar decoders can raise on a truncated or
+#: corrupted frame — numpy's ``frombuffer`` and the struct module do not
+#: funnel through :class:`~repro.errors.WorkloadError`.
+_DECODE_ERRORS = (WorkloadError, ValueError, IndexError, KeyError,
+                  UnicodeDecodeError, struct.error)
+
+
+def _stop_process(process: typing.Any,
+                  grace: float = _STOP_GRACE) -> "int | None":
+    """Reap *process* with escalation: join → terminate → kill.
+
+    Each step gets *grace* seconds before the next; ``kill`` cannot be
+    ignored, so the final unbounded join always returns.  ``Process.join``
+    alone keeps the process object's sentinel fd open, so repeated
+    replays used to accumulate two fds per shard per run —
+    ``Process.close`` releases it.  Returns the exit code (``None`` if
+    the process never started).
+    """
+    if process.pid is not None:
+        process.join(timeout=grace)
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=grace)
+        if process.is_alive():
+            # SIGTERM ignored or blocked: a polite stop must still
+            # never leave a zombie behind.
+            process.kill()
+            process.join()
+    exitcode = process.exitcode
+    process.close()
+    return exitcode
+
+
 class _ProcessShard:
-    """Pipe-connected spawn-process shard driver.
+    """Pipe-connected, supervised spawn-process shard driver.
 
     Epoch commands and outcomes travel as packed columnar messages
     (:func:`~repro.shard.protocol.pack_epoch` /
     :func:`~repro.shard.protocol.pack_outcome`); the low-rate
     ready/finish/stop control messages stay plain pickles.
+
+    Supervision: every receive is bounded by
+    ``ShardConfig.worker_timeout`` measured from the worker's last frame
+    — heartbeats acknowledging each epoch command keep the liveness
+    clock honest while a deep command backlog drains.  Faults are
+    classified into the :mod:`repro.shard.supervision` hierarchy, and
+    the recoverable ones (death, wedge, poisoned frame) trigger respawn
+    with bounded exponential backoff plus a journal fast-forward that
+    restores the worker to its exact pre-crash boundary; the replayed
+    epochs' ledgers are cross-checked against the journal so a
+    divergent recovery is caught, not propagated.
     """
 
-    def __init__(self, init: WorkerInit,
-                 context: typing.Any) -> None:
+    def __init__(self, init: WorkerInit, context: typing.Any,
+                 config: ShardConfig) -> None:
         self.shard_id = init.shard_id
+        self._context = context
+        self._config = config
+        self._journal = CommandJournal(init)
+        #: Recovery counters surfaced in ``ShardedReport.summary()``.
+        self.restarts = 0
+        self.replayed_epochs = 0
         self._process: typing.Any = None
-        self._conn, child = context.Pipe()
+        self._conn: typing.Any = None
+        #: Non-heartbeat frames drained off the pipe by :meth:`_pump`.
+        self._inbox: collections.deque[tuple[typing.Any, ...]] = \
+            collections.deque()
+        self._eof = False
+        self._last_signal = time.monotonic()
         try:
-            self._process = context.Process(
-                target=shard_entry, args=(child, init),
-                name=f"repro-shard{init.shard_id}", daemon=True)
-            self._process.start()
-            child.close()
-            self._expect("ready")
+            self._spawn(init)
         except BaseException:
             # Partial construction must not leak the pipe fds or the
             # worker process: release everything before re-raising.
-            child.close()
             self.stop()
             raise
 
-    def _expect(self, kind: str) -> typing.Any:
+    # -- liveness and receive --------------------------------------------------------
+
+    def _spawn(self, init: WorkerInit) -> None:
+        self._conn, child = self._context.Pipe()
+        self._inbox.clear()
+        self._eof = False
         try:
-            message = self._conn.recv()
-        except EOFError:
-            raise WorkloadError(
-                f"shard {self.shard_id} worker exited unexpectedly "
-                f"(exit code {self._process.exitcode})") from None
-        if message[0] == "error":
-            raise WorkloadError(f"shard worker failed: {message[1]}")
-        if message[0] != kind:
-            raise WorkloadError(
-                f"shard {self.shard_id} protocol error: expected "
-                f"{kind!r}, got {message[0]!r}")
-        return message[1] if len(message) > 1 else None
+            self._process = self._context.Process(
+                target=shard_entry, args=(child, init),
+                name=f"repro-shard{init.shard_id}", daemon=True)
+            self._process.start()
+        finally:
+            child.close()
+        self._last_signal = time.monotonic()
+        self._recv("ready", extra_grace=_SPAWN_GRACE)
+
+    def _pump(self) -> None:
+        """Drain every frame already sitting in the pipe into the inbox.
+
+        Heartbeats are consumed here: they advance the liveness clock
+        and never reach callers.  A beat that fails to decode becomes a
+        ``("poisoned", ...)`` sentinel so the fault surfaces as a typed
+        error on the next receive instead of being dropped.
+        """
+        while self._conn is not None and not self._eof:
+            try:
+                if not self._conn.poll(0):
+                    return
+                message = self._conn.recv()
+            except (EOFError, OSError):
+                self._eof = True
+                return
+            self._last_signal = time.monotonic()
+            if message[0] == "beat":
+                try:
+                    unpack_heartbeat(message[1])
+                except Exception:
+                    self._inbox.append(("poisoned", "heartbeat"))
+                continue
+            self._inbox.append(message)
+
+    def _exitcode(self) -> "int | None":
+        if self._process is None:
+            return None
+        self._process.join(timeout=1.0)
+        return self._process.exitcode
+
+    def _recv(self, kind: str, extra_grace: float = 0.0) -> typing.Any:
+        """Receive the next ``kind`` frame under the supervision deadline.
+
+        Raises a typed fault instead of blocking forever:
+        :class:`WorkerCrashError` on EOF,
+        :class:`WorkerTimeoutError` when no frame (heartbeats included)
+        arrives within ``worker_timeout + extra_grace`` seconds,
+        :class:`WorkerProtocolError` on poisoned or out-of-order
+        frames, and the resolved worker-side exception for ``error``
+        frames.  A ``worker_timeout`` of 0 disables the deadline.
+        """
+        timeout = self._config.worker_timeout
+        deadline = timeout + extra_grace
+        while True:
+            self._pump()
+            if self._inbox:
+                message = self._inbox.popleft()
+                if message[0] == "poisoned":
+                    raise WorkerProtocolError(
+                        self.shard_id,
+                        f"worker sent a poisoned {message[1]} frame")
+                if message[0] == "error":
+                    if len(message) == 4:
+                        raise resolve_worker_error(
+                            self.shard_id, message[1], message[2],
+                            message[3])
+                    raise WorkerProtocolError(
+                        self.shard_id,
+                        f"worker sent a malformed error frame: "
+                        f"{message[:2]!r}...")
+                if message[0] != kind:
+                    raise WorkerProtocolError(
+                        self.shard_id,
+                        f"protocol error: expected {kind!r}, got "
+                        f"{message[0]!r}")
+                return message[1] if len(message) > 1 else None
+            if self._eof:
+                raise WorkerCrashError(
+                    self.shard_id, self._exitcode(),
+                    context=f"while the broker waited for {kind!r}")
+            if timeout > 0:
+                waited = time.monotonic() - self._last_signal
+                if waited >= deadline:
+                    raise WorkerTimeoutError(self.shard_id, deadline,
+                                             kind)
+                self._conn.poll(min(_POLL_SLICE, deadline - waited))
+            else:
+                self._conn.poll(None)
+
+    # -- recovery --------------------------------------------------------------------
+
+    def _abort_worker(self) -> None:
+        """Tear down the current (presumed dead or wedged) incarnation."""
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+        if self._process is not None:
+            _stop_process(self._process)
+            self._process = None
+        self._inbox.clear()
+        self._eof = False
+
+    def _fast_forward(self) -> None:
+        """Replay the journal into a freshly spawned worker.
+
+        Strict request-response below the acked boundary — send command
+        ``i``, then receive and verify outcome ``i`` — keeps the pipe
+        from filling with unread outcome frames (a bulk resend could
+        deadlock both ends on a large journal).  Commands past the
+        acked boundary are streamed without waiting, restoring exactly
+        the in-flight state the dead worker had under the pipelined
+        drive.  Each replayed outcome's ledger must match the journal:
+        shard state is a pure function of (init, commands), so any
+        divergence means the bit-identity contract is broken and
+        recovery must not continue.
+        """
+        journal = self._journal
+        for index, packed in enumerate(journal.commands):
+            try:
+                self._conn.send(("epoch", packed))
+            except (OSError, ValueError):
+                raise WorkerCrashError(
+                    self.shard_id, self._exitcode(),
+                    context="during fast-forward") from None
+            if index >= journal.acked:
+                continue
+            payload = self._recv("outcome")
+            try:
+                outcome = unpack_outcome(payload)
+            except _DECODE_ERRORS:
+                raise WorkerProtocolError(
+                    self.shard_id,
+                    f"fast-forward outcome for epoch {index} failed to "
+                    f"decode") from None
+            violations = resume_divergence(
+                journal.ledgers[index], outcome.ledger,
+                shard_id=self.shard_id, epoch=index)
+            if violations:
+                detail = "; ".join(v.detail for v in violations)
+                raise ShardDeterminismError(
+                    self.shard_id,
+                    f"fast-forward diverged from the journal at epoch "
+                    f"{index}: {detail}")
+            self.replayed_epochs += 1
+
+    def _recover(self, fault: BaseException) -> None:
+        """Respawn and fast-forward after a recoverable *fault*.
+
+        Bounded exponential backoff between attempts; after
+        ``max_worker_restarts`` total respawns the replay degrades to a
+        clean :class:`ShardRecoveryExhaustedError` carrying the last
+        fault as its ``__cause__``.  Non-recoverable faults raised
+        during fast-forward (worker-side exceptions, determinism
+        divergence) propagate immediately — a respawn would fail
+        identically.
+        """
+        while True:
+            self._abort_worker()
+            if self.restarts >= self._config.max_worker_restarts:
+                raise ShardRecoveryExhaustedError(
+                    self.shard_id, self.restarts, fault) from fault
+            self.restarts += 1
+            backoff = min(
+                self._config.restart_backoff * 2 ** (self.restarts - 1),
+                _MAX_BACKOFF)
+            if backoff > 0:
+                time.sleep(backoff)
+            try:
+                self._spawn(self._journal.respawn_init())
+                self._fast_forward()
+                return
+            except RECOVERABLE_FAULTS as next_fault:
+                fault = next_fault
+
+    # -- the shard-driver protocol ---------------------------------------------------
 
     def begin_epoch(self, horizon: float,
                     deliveries: list[Delivery]) -> None:
-        self._conn.send(("epoch", pack_epoch(horizon, deliveries)))
+        packed = pack_epoch(horizon, deliveries)
+        self._journal.record_command(packed)
+        try:
+            self._conn.send(("epoch", packed))
+        except (OSError, ValueError):
+            # The command is already journalled, so recovery's
+            # fast-forward delivers it — do not resend here.
+            self._recover(WorkerCrashError(
+                self.shard_id, self._exitcode(),
+                context="while the broker sent an epoch command"))
 
     def poll(self) -> bool:
-        """A message (outcome or worker error) is waiting on the pipe."""
-        return self._conn.poll(0)
+        """A frame — or evidence of a fault — is ready without blocking."""
+        self._pump()
+        if self._inbox or self._eof:
+            return True
+        timeout = self._config.worker_timeout
+        return (timeout > 0
+                and time.monotonic() - self._last_signal >= timeout)
 
     def wait_handle(self) -> typing.Any:
         return self._conn
 
     def collect_epoch(self) -> EpochOutcome:
-        return unpack_outcome(self._expect("outcome"))
+        while True:
+            try:
+                payload = self._recv("outcome")
+            except RECOVERABLE_FAULTS as fault:
+                self._recover(fault)
+                continue
+            try:
+                outcome = unpack_outcome(payload)
+            except _DECODE_ERRORS:
+                # The chaos harness's "corrupt" kind lands here: the
+                # frame arrived but will not decode.  The journal still
+                # holds the command, so a respawned worker recomputes
+                # and resends this epoch's outcome.
+                self._recover(WorkerProtocolError(
+                    self.shard_id,
+                    "outcome frame failed to decode (truncated or "
+                    "corrupt)"))
+                continue
+            self._journal.record_outcome(outcome.ledger.copy())
+            return outcome
 
     def finish(self) -> ShardFinal:
-        self._conn.send(("finish",))
-        return typing.cast(ShardFinal, self._expect("final"))
+        while True:
+            try:
+                self._conn.send(("finish",))
+            except (OSError, ValueError):
+                self._recover(WorkerCrashError(
+                    self.shard_id, self._exitcode(),
+                    context="while the broker requested finals"))
+                continue
+            try:
+                final = self._recv("final")
+            except RECOVERABLE_FAULTS as fault:
+                # finish is not journalled (it is idempotent given the
+                # journal): recover to the last boundary and re-ask.
+                self._recover(fault)
+                continue
+            return typing.cast(ShardFinal, final)
 
     def stop(self) -> None:
-        """Shut down and release the pipe and the process (idempotent).
-
-        ``Process.join`` alone keeps the process object's sentinel fd
-        open, so repeated replays used to accumulate two fds per shard
-        per run; ``Process.close`` releases it.
-        """
+        """Shut down and release the pipe and the process (idempotent)."""
         if self._conn is not None:
             try:
                 self._conn.send(("stop",))
@@ -282,12 +598,7 @@ class _ProcessShard:
             self._conn.close()
             self._conn = None
         if self._process is not None:
-            if self._process.pid is not None:
-                self._process.join(timeout=30)
-                if self._process.is_alive():  # pragma: no cover - backstop
-                    self._process.terminate()
-                    self._process.join()
-            self._process.close()
+            _stop_process(self._process)
             self._process = None
 
 
@@ -320,6 +631,21 @@ class ShardedReplay:
         self.spec = spec
         self.config = config
         self.shard = shard
+        # Chaos: the explicit config plus (process backend only) the
+        # REPRO_SHARD_CHAOS environment spec.  Env-injected chaos never
+        # touches the serial oracle, so a chaos-injected process run can
+        # still be differentially checked against it in-process.
+        chaos = tuple(shard.chaos)
+        if shard.backend == "process":
+            env_spec = os.environ.get(ENV_CHAOS, "")
+            if env_spec:
+                chaos += parse_chaos_spec(env_spec)
+        for event in chaos:
+            if event.shard_id >= shard.num_shards:
+                raise WorkloadError(
+                    f"chaos event targets shard {event.shard_id} but "
+                    f"the replay has {shard.num_shards} shard(s)")
+        self._chaos = chaos
         self.machine_names = tuple(f"m{i}"
                                    for i in range(config.num_machines))
         self.groups = partition_machines(self.machine_names,
@@ -421,13 +747,24 @@ class ShardedReplay:
                 audit=self.config.audit,
                 fault_schedule=tuple(e for e in fault_schedule
                                      if e.machine_name in members),
-                watch_device_faults=watch))
+                watch_device_faults=watch,
+                # Serial shards never read init.chaos (injection lives
+                # in the process entry point), so attaching it
+                # unconditionally keeps the oracle chaos-free for free.
+                chaos=tuple(e for e in self._chaos
+                            if e.shard_id == shard_id)))
         return inits
 
     def run(self, requests: typing.Sequence[Request],
             fault_schedule: typing.Sequence[FaultEvent] = ()
             ) -> ShardedReport:
-        """Serve *requests* to termination (completed, shed, or dropped)."""
+        """Serve *requests* to termination (completed, shed, or dropped).
+
+        With ``ShardConfig.serial_fallback`` on, a process-backend run
+        whose restart budget is exhausted is rerun once on the serial
+        backend — the same protocol, bit-identical outcomes — and the
+        returned report is flagged ``serial_fallback=True``.
+        """
         if not self._placements:
             raise WorkloadError("no instances deployed")
         if not requests:
@@ -437,6 +774,18 @@ class ShardedReplay:
         if unknown:
             raise WorkloadError(f"requests target unknown instances: "
                                 f"{sorted(unknown)[:5]}")
+        try:
+            return self._execute(requests, fault_schedule,
+                                 self.shard.backend)
+        except ShardRecoveryExhaustedError:
+            if not self.shard.serial_fallback:
+                raise
+            report = self._execute(requests, fault_schedule, "serial")
+            return dataclasses.replace(report, serial_fallback=True)
+
+    def _execute(self, requests: typing.Sequence[Request],
+                 fault_schedule: typing.Sequence[FaultEvent],
+                 backend: str) -> ShardedReport:
         broker = EpochBroker(
             spec=self.spec, policy=self.config.policy,
             strategy=self.config.strategy,
@@ -453,14 +802,15 @@ class ShardedReplay:
         # shard k still stops (and releases the fds of) shards 0..k-1.
         shards: list[typing.Any] = []
         try:
-            if self.shard.backend == "process":
+            if backend == "process":
                 context = multiprocessing.get_context("spawn")
                 for init in inits:
-                    shards.append(_ProcessShard(init, context))
+                    shards.append(_ProcessShard(init, context,
+                                                self.shard))
             else:
                 for init in inits:
                     shards.append(_SerialShard(init))
-            return self._drive(broker, shards)
+            return self._drive(broker, shards, backend)
         finally:
             for shard in shards:
                 shard.stop()
@@ -527,8 +877,7 @@ class ShardedReplay:
                 return grown
         return epoch_length
 
-    @staticmethod
-    def _collect_epoch(shards: list[typing.Any],
+    def _collect_epoch(self, shards: list[typing.Any],
                        pipelined: bool) -> list[EpochOutcome]:
         """Collect one outcome per shard, sorted by shard id.
 
@@ -536,10 +885,14 @@ class ShardedReplay:
         pipelined drive drains whichever shards have reported (the
         overlap win: unpacking fast shards' outcomes while slow ones
         still simulate) and sleeps on the pipes only when none are
-        ready.
+        ready.  Under supervision the sleep is sliced so a worker that
+        wedges without closing its pipe still trips its deadline
+        (``_ProcessShard.poll`` reports deadline expiry as readiness
+        and ``collect_epoch`` turns it into recovery or a typed fault).
         """
         if not pipelined:
             return [shard.collect_epoch() for shard in shards]
+        supervised = self.shard.worker_timeout > 0
         remaining = dict(enumerate(shards))
         outcomes: list[EpochOutcome] = []
         while remaining:
@@ -550,17 +903,19 @@ class ShardedReplay:
                     progressed = True
             if remaining and not progressed:
                 multiprocessing.connection.wait(
-                    [shard.wait_handle() for shard in remaining.values()])
+                    [shard.wait_handle()
+                     for shard in remaining.values()],
+                    timeout=_POLL_SLICE if supervised else None)
         outcomes.sort(key=lambda outcome: outcome.shard_id)
         return outcomes
 
-    def _drive(self, broker: EpochBroker,
-               shards: list[typing.Any]) -> ShardedReport:
+    def _drive(self, broker: EpochBroker, shards: list[typing.Any],
+               backend: str) -> ShardedReport:
         pipelined = self.shard.pipelined
         epoch_length = self.shard.epoch_length
         completions: list[Completion] = []
         sheds: list[ShedNotice] = []
-        time, epochs = 0.0, 0
+        horizon_time, epochs = 0.0, 0
         #: Outcome events of the most recently ingested epoch — the
         #: feedback half of the adaptive controller's work signal.
         last_events = 0
@@ -615,7 +970,7 @@ class ShardedReplay:
             queue.popleft()
             if nxt is not None and not pipelined:
                 issue(nxt)
-            time = horizon
+            horizon_time = horizon
         finals = [shard.finish() for shard in shards]
         ledgers = [final.ledger for final in finals]
         reconcile(broker.ledger, ledgers, pending=0, outstanding=0)
@@ -637,9 +992,11 @@ class ShardedReplay:
             sheds=sheds,
             dropped=list(broker.dropped),
             epochs=epochs,
-            duration=time,
+            duration=horizon_time,
             num_shards=len(shards),
-            backend=self.shard.backend)
+            backend=backend,
+            worker_restarts=sum(s.restarts for s in shards),
+            replayed_epochs=sum(s.replayed_epochs for s in shards))
 
     @staticmethod
     def _check_histograms(metrics: MetricsCollector,

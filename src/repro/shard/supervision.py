@@ -1,0 +1,373 @@
+"""Worker supervision for the sharded replay's process backend.
+
+The spawn-process backend of :mod:`repro.shard.replay` talks to its
+workers over pipes, and a pipe has exactly two failure signals: it goes
+quiet (the worker wedged) or it goes away (the worker died).  Before
+this layer existed the broker turned the first into an infinite hang in
+a bare ``conn.recv()`` and the second into a raw ``EOFError`` — either
+way the whole replay was lost.  This module gives the coordinator the
+vocabulary and the bookkeeping to do better:
+
+* a typed :class:`ShardFaultError` hierarchy classifying every way a
+  worker interaction can fail — death (:class:`WorkerCrashError`),
+  silence past the deadline (:class:`WorkerTimeoutError`), poisoned or
+  truncated frames (:class:`WorkerProtocolError`), a worker-side
+  exception that is *not* a workload error
+  (:class:`WorkerInternalError`), recovery divergence
+  (:class:`ShardDeterminismError`) and an exhausted restart budget
+  (:class:`ShardRecoveryExhaustedError`);
+* a :class:`CommandJournal` recording the :class:`WorkerInit` and every
+  epoch command frame issued to one worker.  Shard state is a pure
+  function of ``(init, epoch commands)`` — that is the spawn-backend
+  determinism contract — so replaying the journal into a fresh process
+  fast-forwards it to the exact pre-crash boundary, and the replay
+  continues bit-identical to a crash-free run;
+* a process-level chaos harness (:class:`ChaosEvent`,
+  :func:`parse_chaos_spec`, :func:`random_chaos_plan`) that kills,
+  stalls or frame-corrupts workers at chosen epochs so the recovery
+  path is exercised by the differential sweep, not just trusted.
+
+Only :data:`RECOVERABLE_FAULTS` trigger a respawn: crashes, timeouts
+and poisoned frames are environmental, so a fresh deterministic rerun
+can succeed.  Worker-side exceptions (:class:`WorkerInternalError` and
+re-raised :class:`~repro.errors.ReproError` subclasses) are
+deterministic — a respawned worker would fail identically — and
+propagate immediately.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+import numpy
+
+from repro.errors import (
+    OutOfGPUMemoryError,
+    PlanError,
+    ReproError,
+    TopologyError,
+    WorkloadError,
+)
+
+__all__ = [
+    "CHAOS_KINDS",
+    "ChaosEvent",
+    "CommandJournal",
+    "ENV_CHAOS",
+    "RECOVERABLE_FAULTS",
+    "ShardDeterminismError",
+    "ShardFaultError",
+    "ShardRecoveryExhaustedError",
+    "WorkerCrashError",
+    "WorkerInternalError",
+    "WorkerProtocolError",
+    "WorkerTimeoutError",
+    "parse_chaos_spec",
+    "random_chaos_plan",
+    "resolve_worker_error",
+]
+
+#: Environment variable carrying a chaos spec (see
+#: :func:`parse_chaos_spec`); applied to every process-backend replay in
+#: the process, ignored by the serial oracle.
+ENV_CHAOS = "REPRO_SHARD_CHAOS"
+
+
+# --------------------------------------------------------------------------
+# The fault hierarchy
+
+
+class ShardFaultError(ReproError):
+    """A shard worker interaction failed at the process/pipe level.
+
+    Subclasses classify *how*; all carry ``shard_id`` so multi-shard
+    post-mortems can attribute the fault.
+    """
+
+    def __init__(self, shard_id: int, message: str) -> None:
+        super().__init__(f"shard {shard_id}: {message}")
+        self.shard_id = shard_id
+
+
+class WorkerCrashError(ShardFaultError):
+    """The worker process died (EOF on the pipe / dead sentinel)."""
+
+    def __init__(self, shard_id: int, exitcode: "int | None",
+                 context: str = "") -> None:
+        detail = (f"worker process died (exit code {exitcode})"
+                  if exitcode is not None
+                  else "worker process died (exit code unknown)")
+        if context:
+            detail += f" {context}"
+        super().__init__(shard_id, detail)
+        self.exitcode = exitcode
+
+
+class WorkerTimeoutError(ShardFaultError):
+    """No frame (outcome or heartbeat) arrived within the deadline."""
+
+    def __init__(self, shard_id: int, timeout: float,
+                 waiting_for: str) -> None:
+        super().__init__(
+            shard_id,
+            f"worker sent no frame for {timeout:.1f}s while the broker "
+            f"waited for {waiting_for!r} — worker presumed wedged")
+        self.timeout = timeout
+
+
+class WorkerProtocolError(ShardFaultError):
+    """The worker sent a poisoned, truncated, or out-of-order frame."""
+
+
+class WorkerInternalError(ShardFaultError):
+    """The worker reported an exception that is not a workload error.
+
+    The worker's error frame carries the exception class name, message
+    and traceback text; anything that does not map back onto the
+    :class:`~repro.errors.ReproError` hierarchy is an internal bug and
+    surfaces as this type so callers can tell it apart from bad input.
+    """
+
+    def __init__(self, shard_id: int, exception_type: str,
+                 message: str, traceback_text: str) -> None:
+        super().__init__(
+            shard_id,
+            f"worker raised {exception_type}: {message}\n{traceback_text}")
+        self.exception_type = exception_type
+        self.remote_traceback = traceback_text
+
+
+class ShardDeterminismError(ShardFaultError):
+    """Two views of one deterministic computation disagree.
+
+    Raised when a respawned worker's fast-forward replay diverges from
+    the journalled pre-crash ledgers, or when the broker's boundary
+    cross-check against a shard's reported outstanding fails — either
+    way the bit-identity contract is broken and recovery must not
+    continue.
+    """
+
+
+class ShardRecoveryExhaustedError(ShardFaultError):
+    """The worker kept failing past ``max_worker_restarts`` respawns."""
+
+    def __init__(self, shard_id: int, restarts: int,
+                 last_fault: BaseException) -> None:
+        super().__init__(
+            shard_id,
+            f"gave up after {restarts} restart(s); last fault: "
+            f"{last_fault}")
+        self.restarts = restarts
+        self.last_fault = last_fault
+
+
+#: Faults a respawn-and-fast-forward can fix.  Everything else is
+#: deterministic (worker-side exceptions, divergence) and propagates.
+RECOVERABLE_FAULTS = (WorkerCrashError, WorkerTimeoutError,
+                      WorkerProtocolError)
+
+
+#: Exception classes a worker error frame may be re-raised as by name.
+#: AuditError is registered lazily to avoid a circular import.
+def _error_registry() -> dict[str, type]:
+    from repro.audit.invariants import AuditError
+    registry: dict[str, type] = {
+        cls.__name__: cls
+        for cls in (WorkloadError, PlanError, TopologyError,
+                    OutOfGPUMemoryError, ReproError)
+    }
+    registry["AuditError"] = AuditError
+    return registry
+
+
+def resolve_worker_error(shard_id: int, exception_type: str,
+                         message: str,
+                         traceback_text: str) -> BaseException:
+    """Rebuild a worker-reported exception as its broker-side type.
+
+    Known :class:`~repro.errors.ReproError` subclasses (and
+    :class:`~repro.audit.invariants.AuditError`) come back as themselves
+    so ``except WorkloadError`` keeps working across the process
+    boundary; anything else — a genuine worker bug — becomes a
+    :class:`WorkerInternalError` carrying the original class name and
+    traceback.
+    """
+    cls = _error_registry().get(exception_type)
+    if cls is not None and cls is not ReproError:
+        try:
+            return cls(f"shard {shard_id} worker: {message}\n"
+                       f"{traceback_text}")
+        except TypeError:  # pragma: no cover - odd constructor signature
+            pass
+    return WorkerInternalError(shard_id, exception_type, message,
+                               traceback_text)
+
+
+# --------------------------------------------------------------------------
+# The command journal (deterministic restart-and-fast-forward)
+
+
+class CommandJournal:
+    """Everything needed to rebuild one worker at its last boundary.
+
+    The broker appends every epoch command frame (the packed columnar
+    bytes, verbatim) as it is issued, and the ledger of every outcome it
+    has collected.  On worker death the coordinator respawns the process
+    from :meth:`respawn_init` and replays :attr:`commands` in order; the
+    outcomes of the first :attr:`acked` epochs are discarded after their
+    ledgers are verified against the journalled ones — the conservation
+    cross-check that proves the recovered worker walked the identical
+    path — and the replay resumes at the first uncollected epoch.
+
+    Memory is O(total commands issued): exact recovery requires the full
+    history because shard state is a pure function of it.
+    """
+
+    def __init__(self, init: typing.Any) -> None:
+        self.init = init
+        #: Packed epoch command frames, in issue order.
+        self.commands: list[bytes] = []
+        #: Ledgers of collected outcomes, one per acked epoch.
+        self.ledgers: list[typing.Any] = []
+
+    @property
+    def acked(self) -> int:
+        """Epoch outcomes already collected (and therefore replayable)."""
+        return len(self.ledgers)
+
+    def record_command(self, packed: bytes) -> None:
+        self.commands.append(packed)
+
+    def record_outcome(self, ledger: typing.Any) -> None:
+        self.ledgers.append(ledger)
+
+    def respawn_init(self) -> typing.Any:
+        """The :class:`WorkerInit` for a replacement worker.
+
+        Chaos events at epochs the dead worker may already have reached
+        (anything below the issued-command count) are stripped so an
+        injected kill cannot re-fire during fast-forward and wedge the
+        replay in a restart loop; events at not-yet-issued epochs are
+        kept and will fire in the new incarnation.
+        """
+        chaos = getattr(self.init, "chaos", ())
+        if not chaos:
+            return self.init
+        issued = len(self.commands)
+        surviving = tuple(event for event in chaos
+                          if event.epoch >= issued)
+        if surviving == tuple(chaos):
+            return self.init
+        return dataclasses.replace(self.init, chaos=surviving)
+
+
+# --------------------------------------------------------------------------
+# The chaos harness
+
+
+CHAOS_KINDS = ("kill", "stall", "corrupt")
+
+
+@dataclasses.dataclass(frozen=True)
+class ChaosEvent:
+    """One injected worker fault, fired at a chosen epoch.
+
+    ``epoch`` counts the epoch *commands* a worker incarnation has
+    received (0-based); an event at an epoch the replay never reaches
+    simply does not fire.  Kinds:
+
+    * ``kill`` — the worker SIGKILLs itself on receiving the command
+      (before any heartbeat), simulating an OOM-kill mid-epoch;
+    * ``stall`` — the worker sleeps ``duration`` wall seconds before
+      acknowledging, simulating a wedge; a stall longer than
+      ``worker_timeout`` trips the broker's deadline, a shorter one
+      merely delays and must leave outcomes untouched;
+    * ``corrupt`` — the worker truncates its outcome frame, simulating
+      a poisoned wire message.
+    """
+
+    shard_id: int
+    epoch: int
+    kind: str
+    #: Wall-clock seconds for ``stall`` events (ignored otherwise).
+    duration: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in CHAOS_KINDS:
+            raise WorkloadError(
+                f"unknown chaos kind {self.kind!r}; options: "
+                f"{', '.join(CHAOS_KINDS)}")
+        if self.shard_id < 0:
+            raise WorkloadError(
+                f"chaos shard_id must be >= 0, got {self.shard_id}")
+        if self.epoch < 0:
+            raise WorkloadError(
+                f"chaos epoch must be >= 0, got {self.epoch}")
+        if self.kind == "stall" and self.duration <= 0:
+            raise WorkloadError(
+                f"stall events need a positive duration, got "
+                f"{self.duration}")
+
+
+def parse_chaos_spec(spec: str) -> tuple[ChaosEvent, ...]:
+    """Parse a ``kind@shard:epoch[:duration]`` comma-separated spec.
+
+    The format of the ``REPRO_SHARD_CHAOS`` environment variable and
+    the CLI's ``--chaos-spec``, e.g. ``kill@0:2,stall@1:3:5.0`` — kill
+    shard 0's worker at its 3rd epoch command, stall shard 1's worker
+    for 5 s at its 4th.  Whitespace around entries is ignored; an empty
+    spec yields no events.
+    """
+    events: list[ChaosEvent] = []
+    for raw in spec.split(","):
+        entry = raw.strip()
+        if not entry:
+            continue
+        try:
+            kind, _, target = entry.partition("@")
+            parts = target.split(":")
+            shard_id, epoch = int(parts[0]), int(parts[1])
+            duration = float(parts[2]) if len(parts) > 2 else 0.0
+        except (ValueError, IndexError):
+            raise WorkloadError(
+                f"malformed chaos entry {entry!r}; expected "
+                f"kind@shard:epoch[:duration]") from None
+        events.append(ChaosEvent(shard_id=shard_id, epoch=epoch,
+                                 kind=kind.strip(), duration=duration))
+    return tuple(events)
+
+
+def random_chaos_plan(num_events: int, num_shards: int, max_epoch: int,
+                      seed: int,
+                      kinds: typing.Sequence[str] = CHAOS_KINDS,
+                      stall_duration: float = 1.0
+                      ) -> tuple[ChaosEvent, ...]:
+    """A seeded random chaos plan for the differential sweep.
+
+    Draws ``num_events`` (shard, epoch, kind) triples; at most one
+    event lands on any (shard, epoch) pair so two injections cannot
+    race within one worker incarnation.  Deterministic in *seed*.
+    """
+    if num_events < 0:
+        raise WorkloadError(
+            f"num_events must be >= 0, got {num_events}")
+    for kind in kinds:
+        if kind not in CHAOS_KINDS:
+            raise WorkloadError(f"unknown chaos kind {kind!r}")
+    rng = numpy.random.default_rng([seed, 0x5AFE])
+    events: list[ChaosEvent] = []
+    used: set[tuple[int, int]] = set()
+    attempts = 0
+    while len(events) < num_events and attempts < num_events * 20:
+        attempts += 1
+        shard_id = int(rng.integers(num_shards))
+        epoch = int(rng.integers(max(1, max_epoch)))
+        if (shard_id, epoch) in used:
+            continue
+        used.add((shard_id, epoch))
+        kind = str(kinds[int(rng.integers(len(kinds)))])
+        events.append(ChaosEvent(
+            shard_id=shard_id, epoch=epoch, kind=kind,
+            duration=stall_duration if kind == "stall" else 0.0))
+    return tuple(events)

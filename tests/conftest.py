@@ -32,6 +32,10 @@ SEED_FIXTURES = {
     # (test_shard_replay.py / test_shard_determinism.py; the issue's
     # 200-seed sharded-vs-reference sweep runs nightly).
     "shard_seed": (2, 200),
+    # Crash-injected process replays vs the crash-free oracle
+    # (test_shard_chaos.py; each seed spawns, kills and respawns real
+    # worker processes, so the quick subset stays small).
+    "chaos_seed": (2, 200),
 }
 
 

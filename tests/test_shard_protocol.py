@@ -37,8 +37,10 @@ from repro.shard.protocol import (
     MachineSnapshot,
     ShedNotice,
     pack_epoch,
+    pack_heartbeat,
     pack_outcome,
     unpack_epoch,
+    unpack_heartbeat,
     unpack_outcome,
 )
 from repro.units import MS
@@ -184,6 +186,19 @@ class TestWireRoundTrip:
     def test_truncated_header_is_rejected(self):
         with pytest.raises(WorkloadError, match="shorter"):
             unpack_epoch(pack_epoch(1.0, [])[:3])
+
+    def test_heartbeat_round_trips(self):
+        for shard_id, epoch in ((0, 0), (7, 12), (1 << 40, 1 << 50)):
+            assert unpack_heartbeat(pack_heartbeat(shard_id, epoch)) \
+                == (shard_id, epoch)
+
+    def test_heartbeat_rejects_other_kinds_and_truncation(self):
+        with pytest.raises(WorkloadError, match="kind"):
+            unpack_heartbeat(pack_epoch(1.0, []))
+        with pytest.raises(WorkloadError, match="kind"):
+            unpack_epoch(pack_heartbeat(0, 0))
+        with pytest.raises(WorkloadError):
+            unpack_heartbeat(pack_heartbeat(3, 9)[:-4])
 
 
 def run_modes(scenario, num_shards, backend="serial", **shard_kwargs):
